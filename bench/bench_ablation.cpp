@@ -1,0 +1,156 @@
+// Ablations of the design choices DESIGN.md calls out (§IV-D/E/F):
+//   1. k-sweep granularity (geometric scale factor) and Dinkelbach
+//      refinement on/off — how close does the sweep get to the best ratio?
+//   2. seed count — the false-positive reduction of §IV-F.
+//   3. initial-partition strategy — rejection heuristic vs random only.
+//   4. bucket-list gain resolution — quantization's effect on quality/time.
+#include <iostream>
+
+#include "detect/classic_kl.h"
+#include "harness.h"
+#include "metrics/classification.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace rejecto;
+
+struct Run {
+  double precision = 0.0;
+  double seconds = 0.0;
+};
+
+Run RunRejecto(const sim::Scenario& scenario, const detect::Seeds& seeds,
+               detect::IterativeConfig cfg) {
+  util::WallTimer t;
+  const auto result = detect::DetectFriendSpammers(scenario.graph, seeds, cfg);
+  return {metrics::EvaluateDetection(scenario.is_fake, result.detected)
+              .Precision(),
+          t.Seconds()};
+}
+
+}  // namespace
+
+int main() {
+  const auto ctx = bench::ExperimentContext::FromEnv();
+  const auto& legit = bench::Dataset("facebook", ctx);
+
+  // A moderately hard setting: half the fakes spam, so trivial per-user
+  // signals are weak and the cut search does the work.
+  auto cfg = bench::PaperAttackConfig(ctx);
+  cfg.spamming_fraction = 0.5;
+  const auto scenario = sim::BuildScenario(legit, cfg);
+  util::Rng seed_rng(ctx.seed ^ 0xab1a7e5ULL);
+  const auto seeds = scenario.SampleSeeds(100, 30, seed_rng);
+  const auto base = bench::PaperDetectorConfig(ctx, scenario.num_fakes);
+
+  // --- 1. k sweep granularity & Dinkelbach ---
+  {
+    util::Table t({"k_scale", "dinkelbach_rounds", "precision", "seconds"});
+    t.set_precision(4);
+    for (double scale : {4.0, 2.0, 1.5}) {
+      for (int dk : {0, 3}) {
+        auto c = base;
+        c.maar.k_scale = scale;
+        c.maar.dinkelbach_rounds = dk;
+        const Run r = RunRejecto(scenario, seeds, c);
+        t.AddRow({scale, static_cast<std::int64_t>(dk), r.precision,
+                  r.seconds});
+      }
+    }
+    ctx.Emit("ablation_ksweep",
+             "Ablation 1: k-sweep granularity x Dinkelbach refinement", t);
+  }
+
+  // --- 2. seed count ---
+  {
+    util::Table t({"legit_seeds", "spammer_seeds", "precision", "seconds"});
+    t.set_precision(4);
+    for (const auto [nl, ns] : std::vector<std::pair<int, int>>{
+             {0, 0}, {10, 3}, {50, 15}, {200, 60}}) {
+      util::Rng rng(ctx.seed + 77);
+      const auto s = scenario.SampleSeeds(static_cast<graph::NodeId>(nl),
+                                          static_cast<graph::NodeId>(ns), rng);
+      const Run r = RunRejecto(scenario, s, base);
+      t.AddRow({static_cast<std::int64_t>(nl), static_cast<std::int64_t>(ns),
+                r.precision, r.seconds});
+    }
+    ctx.Emit("ablation_seeds", "Ablation 2: seed count (SIV-F)", t);
+  }
+
+  // --- 3. initial partition strategy ---
+  {
+    util::Table t({"strategy", "precision", "seconds"});
+    t.set_precision(4);
+    {
+      auto c = base;  // heuristic + 1 random init (default)
+      const Run r = RunRejecto(scenario, seeds, c);
+      t.AddRow({std::string("heuristic+random"), r.precision, r.seconds});
+    }
+    {
+      auto c = base;
+      c.maar.num_random_inits = 4;  // heavier random restarts
+      const Run r = RunRejecto(scenario, seeds, c);
+      t.AddRow({std::string("heuristic+4random"), r.precision, r.seconds});
+    }
+    {
+      auto c = base;
+      c.maar.num_random_inits = 0;  // heuristic only
+      const Run r = RunRejecto(scenario, seeds, c);
+      t.AddRow({std::string("heuristic-only"), r.precision, r.seconds});
+    }
+    ctx.Emit("ablation_init", "Ablation 3: initial partition strategy", t);
+  }
+
+  // --- 4. bucket-list gain resolution ---
+  {
+    util::Table t({"gain_resolution", "precision", "seconds"});
+    t.set_precision(4);
+    for (double res : {4.0, 64.0, 1024.0}) {
+      auto c = base;
+      c.maar.kl.gain_resolution = res;
+      const Run r = RunRejecto(scenario, seeds, c);
+      t.AddRow({res, r.precision, r.seconds});
+    }
+    ctx.Emit("ablation_resolution",
+             "Ablation 4: bucket-list gain quantization", t);
+  }
+
+  // --- 5. why the extension: classic balanced KL vs extended KL ---
+  {
+    // §IV-C/IV-D's motivating design choice, quantified: the textbook KL
+    // bisects the *friendship* graph with fixed part sizes and no rejection
+    // weighting, so even handed the true fake fraction it cannot separate
+    // spammers; the extended KL with the weighted augmented graph can.
+    util::Table t({"algorithm", "balance", "precision"});
+    t.set_precision(4);
+    const double true_fraction =
+        static_cast<double>(scenario.num_fakes) /
+        static_cast<double>(scenario.NumNodes());
+    for (double balance : {0.25, true_fraction, 0.5}) {
+      const auto r = detect::ClassicKl(scenario.graph.Friendships(),
+                                       {.balance = balance, .seed = ctx.seed});
+      std::vector<graph::NodeId> declared;
+      for (graph::NodeId v = 0; v < scenario.NumNodes(); ++v) {
+        if (r.in_u[v]) declared.push_back(v);
+      }
+      const auto cm = metrics::EvaluateDetection(scenario.is_fake, declared);
+      t.AddRow({std::string("classic-KL"), balance, cm.Precision()});
+    }
+    {
+      const Run r = RunRejecto(scenario, seeds, base);
+      t.AddRow({std::string("extended-KL (Rejecto)"), true_fraction,
+                r.precision});
+    }
+    ctx.Emit("ablation_classic_kl",
+             "Ablation 5: classic balanced KL vs the SIV-D extension", t);
+  }
+
+  std::cout << "\nExpected: accuracy is robust to coarser k sweeps (with"
+               " Dinkelbach compensating), degrades gracefully with zero"
+               " seeds, is insensitive to gain resolution, and classic"
+               " balanced KL (no rejections, fixed sizes) cannot find the"
+               " spammers at any balance.\n";
+  return 0;
+}

@@ -1,0 +1,99 @@
+// EXTENSION (beyond the paper's figures): §II-B's argument that per-user
+// ML classifiers are insufficient, quantified.
+//
+// Three individual-signal detectors vs Rejecto under the collusion sweep
+// of Fig 13 (intra-fake accepted edges 4 → 40):
+//   * naive acceptance-rate filter (the [16]/[36] strawman)
+//   * logistic regression on six per-user behaviour features, trained on
+//     the same seeds Rejecto gets ([36]-style, retrained per scenario)
+//   * Rejecto (aggregate acceptance-rate cut)
+// Collusion lifts every fake's individual acceptance rate, so the
+// individual-signal detectors degrade; the aggregate cut does not.
+#include <iostream>
+#include <optional>
+
+#include "baseline/acceptance_filter.h"
+#include "baseline/feature_classifier.h"
+#include "harness.h"
+#include "metrics/classification.h"
+#include "metrics/ranking.h"
+#include "util/table.h"
+
+int main() {
+  using namespace rejecto;
+  const auto ctx = bench::ExperimentContext::FromEnv();
+  const auto& legit = bench::Dataset("facebook", ctx);
+
+  util::Table t({"intra_fake_edges", "acceptance_filter",
+                 "ml_retrained", "ml_stale", "rejecto"});
+  t.set_precision(4);
+
+  // The "stale" classifier is trained once on the honest workload
+  // (4 intra edges) and then applied unchanged as the attacker adapts —
+  // the "extensive calibration efforts" liability of SII-B.
+  std::optional<baseline::FeatureClassifier> stale_clf;
+  {
+    auto cfg = bench::PaperAttackConfig(ctx);
+    cfg.intra_fake_links_per_account = 4;
+    const auto honest = sim::BuildScenario(legit, cfg);
+    util::Rng seed_rng(ctx.seed ^ 0x111c1a55ULL);
+    const auto seeds =
+        honest.SampleSeeds(ctx.fast ? 40 : 100, ctx.fast ? 10 : 30,
+                           seed_rng);
+    stale_clf.emplace(baseline::ExtractUserFeatures(honest.log), seeds,
+                      baseline::FeatureClassifierConfig{});
+  }
+
+  for (double edges : bench::Sweep({4, 12, 20, 28, 40}, ctx)) {
+    auto cfg = bench::PaperAttackConfig(ctx);
+    cfg.intra_fake_links_per_account = static_cast<std::uint32_t>(edges);
+    const auto scenario = sim::BuildScenario(legit, cfg);
+    util::Rng seed_rng(ctx.seed ^ 0x111c1a55ULL);
+    const auto seeds =
+        scenario.SampleSeeds(ctx.fast ? 40 : 100, ctx.fast ? 10 : 30,
+                             seed_rng);
+
+    const auto filter_scores =
+        baseline::AcceptanceRateScores(scenario.log, {});
+    const double p_filter =
+        metrics::EvaluateDetection(
+            scenario.is_fake,
+            metrics::LowestScored(filter_scores, scenario.num_fakes))
+            .Precision();
+
+    const auto feats = baseline::ExtractUserFeatures(scenario.log);
+    const baseline::FeatureClassifier clf(feats, seeds, {});
+    const double p_ml =
+        metrics::EvaluateDetection(
+            scenario.is_fake,
+            metrics::LowestScored(clf.TrustScores(feats),
+                                  scenario.num_fakes))
+            .Precision();
+    const double p_stale =
+        metrics::EvaluateDetection(
+            scenario.is_fake,
+            metrics::LowestScored(stale_clf->TrustScores(feats),
+                                  scenario.num_fakes))
+            .Precision();
+
+    const auto dcfg = bench::PaperDetectorConfig(ctx, scenario.num_fakes);
+    const auto detection =
+        detect::DetectFriendSpammers(scenario.graph, seeds, dcfg);
+    const double p_rejecto =
+        metrics::EvaluateDetection(scenario.is_fake, detection.detected)
+            .Precision();
+
+    t.AddRow({static_cast<std::int64_t>(edges), p_filter, p_ml, p_stale,
+              p_rejecto});
+  }
+  ctx.Emit("ext_ml_classifier",
+           "Extension: per-user signals vs the aggregate cut under"
+           " collusion (SII-B)",
+           t);
+  std::cout << "\nExpected: the acceptance filter collapses under collusion;"
+               " a classifier retrained per attack partly adapts (leaning on"
+               " degree features), but the stale model calibrated on the"
+               " honest workload degrades - the SII-B calibration liability."
+               " Rejecto needs no training and stays flat.\n";
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Figure 1: friends and pending requests on the 43 purchased fake accounts.
+//
+// Paper result: every well-maintained purchased account carries a large
+// pending-request backlog — the per-account pending fraction ranges from
+// 16.7% to 67.9% (totals: 2804 friends, 2065 pending). Reproduced from the
+// synthetic marketplace model (DESIGN.md substitution #2); the shape to
+// check is that *no* account escapes social rejections.
+#include <iostream>
+
+#include "harness.h"
+#include "study/marketplace.h"
+#include "util/table.h"
+
+int main() {
+  using namespace rejecto;
+  const auto ctx = bench::ExperimentContext::FromEnv();
+
+  study::MarketplaceConfig cfg;
+  cfg.seed = ctx.seed + 2015;
+  const auto s = study::GenerateStudy(cfg);
+
+  util::Table t({"account", "friends", "pending", "pending_fraction"});
+  t.set_precision(3);
+  double min_frac = 1.0, max_frac = 0.0;
+  for (std::size_t i = 0; i < s.accounts.size(); ++i) {
+    const auto& a = s.accounts[i];
+    min_frac = std::min(min_frac, a.PendingFraction());
+    max_frac = std::max(max_frac, a.PendingFraction());
+    t.AddRow({static_cast<std::int64_t>(i),
+              static_cast<std::int64_t>(a.friends),
+              static_cast<std::int64_t>(a.pending_requests),
+              a.PendingFraction()});
+  }
+  ctx.Emit("fig01", "Figure 1: purchased accounts, friends vs pending requests",
+           t);
+
+  util::Table summary({"metric", "paper", "measured"});
+  summary.AddRow({std::string("accounts"), std::int64_t{43},
+                  static_cast<std::int64_t>(s.accounts.size())});
+  summary.AddRow({std::string("total friends"), std::int64_t{2804},
+                  static_cast<std::int64_t>(s.TotalFriends())});
+  summary.AddRow({std::string("total pending"), std::int64_t{2065},
+                  static_cast<std::int64_t>(s.TotalPending())});
+  summary.AddRow({std::string("min pending fraction"), 0.167, min_frac});
+  summary.AddRow({std::string("max pending fraction"), 0.679, max_frac});
+  ctx.Emit("fig01_summary", "Figure 1 summary: paper vs measured", summary);
+
+  std::cout << "\nShape check: every account has a significant pending-request"
+               " backlog (min fraction "
+            << min_frac << " > 0).\n";
+  return 0;
+}

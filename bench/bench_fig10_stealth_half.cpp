@@ -1,0 +1,35 @@
+// Figure 10: precision/recall vs. number of requests per fake account when
+// only HALF the fakes send spam (stealth probing), Facebook graph.
+//
+// Paper shape: Rejecto keeps high accuracy — placing the silent fakes in
+// the legitimate region would raise the cut's acceptance ratio because
+// they are linked to the spamming fakes. VoteTrust collapses to ~0.5: its
+// per-user vote aggregation misses the fakes that never sent requests.
+#include <iostream>
+
+#include "harness.h"
+#include "util/table.h"
+
+int main() {
+  using namespace rejecto;
+  const auto ctx = bench::ExperimentContext::FromEnv();
+  const auto& legit = bench::Dataset("facebook", ctx);
+
+  util::Table t({"requests_per_fake", "rejecto", "votetrust"});
+  for (double req :
+       bench::Sweep({5, 10, 15, 20, 25, 30, 35, 40, 45, 50}, ctx)) {
+    auto cfg = bench::PaperAttackConfig(ctx);
+    cfg.requests_per_spammer = static_cast<std::uint32_t>(req);
+    cfg.spamming_fraction = 0.5;
+    const auto scenario = sim::BuildScenario(legit, cfg);
+    const auto r = bench::RunBothDetectors(scenario, ctx);
+    t.AddRow({static_cast<std::int64_t>(req), r.rejecto, r.votetrust});
+  }
+  ctx.Emit("fig10",
+           "Figure 10: precision/recall vs requests per fake (half of fakes"
+           " spam, facebook)",
+           t);
+  std::cout << "\nShape check: Rejecto high; VoteTrust pinned near 0.5"
+               " (misses the non-sending half).\n";
+  return 0;
+}

@@ -1,0 +1,111 @@
+// Figure 16: defense in depth with social-graph-based Sybil detection —
+// SybilRank's area under the ROC curve as a function of the number of
+// suspicious accounts removed by Rejecto, on the facebook and ca-AstroPh
+// graphs. The attack plants 10K Sybils of which 5K send 20 spam requests
+// each at 70% rejection.
+//
+// Paper shape: SybilRank's AUC climbs toward ~1 as Rejecto's removals
+// approach the 5K spamming accounts — removing the friend spammers strips
+// most attack edges, restoring the small-cut assumption social-graph
+// defenses need.
+#include <iostream>
+
+#include "baseline/sybilrank.h"
+#include "graph/subgraph.h"
+#include "harness.h"
+#include "metrics/ranking.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace rejecto;
+
+double SybilRankAuc(const sim::Scenario& scenario,
+                    const std::vector<graph::NodeId>& removed,
+                    const std::vector<graph::NodeId>& trust_seeds) {
+  std::vector<char> keep(scenario.NumNodes(), 1);
+  for (graph::NodeId v : removed) keep[v] = 0;
+  const auto residual = graph::InducedSubgraph(scenario.graph, keep);
+
+  std::vector<graph::NodeId> new_id(scenario.NumNodes(), graph::kInvalidNode);
+  for (graph::NodeId nid = 0;
+       nid < static_cast<graph::NodeId>(residual.parent_id.size()); ++nid) {
+    new_id[residual.parent_id[nid]] = nid;
+  }
+  baseline::SybilRankConfig cfg;
+  for (graph::NodeId s : trust_seeds) {
+    if (new_id[s] != graph::kInvalidNode) {
+      cfg.trust_seeds.push_back(new_id[s]);
+    }
+  }
+  const auto scores = baseline::RunSybilRank(residual.graph.Friendships(), cfg);
+  std::vector<char> residual_fake(residual.parent_id.size(), 0);
+  for (std::size_t nid = 0; nid < residual.parent_id.size(); ++nid) {
+    residual_fake[nid] = scenario.is_fake[residual.parent_id[nid]];
+  }
+  return metrics::AreaUnderRoc(scores, residual_fake);
+}
+
+}  // namespace
+
+int main() {
+  const auto ctx = bench::ExperimentContext::FromEnv();
+
+  util::Table t({"graph", "pollution", "removed_by_rejecto",
+                 "sybilrank_auc"});
+  t.set_precision(4);
+
+  // Two pollution levels: the paper's exact workload (20 requests per
+  // spammer), and a heavy variant (50). On our synthesized graphs the
+  // intra-fake arrival links inflate fake degrees enough that
+  // degree-normalized SybilRank already ranks well at the paper's level
+  // (AUC ~0.99 before removal); the heavy variant restores the paper's
+  // low starting point so the improvement curve is visible. Both rows show
+  // the same monotone AUC -> ~1 shape (see EXPERIMENTS.md).
+  for (const std::string name : {"facebook", "ca-AstroPh"}) {
+    if (ctx.fast && name == "ca-AstroPh") continue;
+    const auto& legit = bench::Dataset(name, ctx);
+
+    for (const std::uint32_t requests : {20u, 50u}) {
+    auto cfg = bench::PaperAttackConfig(ctx);
+    cfg.spamming_fraction = 0.5;           // 5K of the 10K Sybils spam
+    cfg.requests_per_spammer = requests;
+    const auto scenario = sim::BuildScenario(legit, cfg);
+
+    util::Rng seed_rng(ctx.seed ^ 0x16161616ULL);
+    const auto seeds =
+        scenario.SampleSeeds(ctx.fast ? 40 : 100, ctx.fast ? 10 : 30,
+                             seed_rng);
+
+    // One full Rejecto run up to the spamming-half target; removal prefixes
+    // give the x-axis points.
+    const std::uint64_t max_removed = scenario.num_fakes / 2;
+    auto dcfg = bench::PaperDetectorConfig(ctx, max_removed);
+    const auto detection =
+        detect::DetectFriendSpammers(scenario.graph, seeds, dcfg);
+
+    const std::vector<double> fractions =
+        ctx.fast ? std::vector<double>{0.0, 0.5, 1.0}
+                 : std::vector<double>{0.0, 0.2, 0.4, 0.6, 0.8, 1.0};
+    for (double f : fractions) {
+      const auto count = static_cast<std::size_t>(
+          f * static_cast<double>(detection.detected.size()));
+      std::vector<graph::NodeId> removed(detection.detected.begin(),
+                                         detection.detected.begin() +
+                                             static_cast<std::ptrdiff_t>(count));
+      t.AddRow({name,
+                requests == 20 ? std::string("paper(20req)")
+                               : std::string("heavy(50req)"),
+                static_cast<std::int64_t>(count),
+                SybilRankAuc(scenario, removed, seeds.legit)});
+    }
+    }
+  }
+  ctx.Emit("fig16",
+           "Figure 16: SybilRank ranking quality vs accounts removed by"
+           " Rejecto",
+           t);
+  std::cout << "\nShape check: AUC rises toward ~1 as removals approach the"
+               " spamming population.\n";
+  return 0;
+}

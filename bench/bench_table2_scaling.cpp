@@ -1,0 +1,93 @@
+// Table II: Rejecto's execution time with respect to the input graph size
+// on the cluster.
+//
+// The paper runs the Spark prototype on 5x 60GB EC2 machines over 0.5M-10M
+// user graphs (~16 edges/user) and reports near-linear scaling. We
+// reproduce the identical data layout in-process (DESIGN.md substitution
+// #4) — sharded worker storage, master-resident bucket list, batched
+// prefetch with LRU — at laptop scale (50K .. 1.6M users, x2 steps). The
+// shape to check is near-linear growth of both runtime and simulated
+// network traffic with graph size.
+#include <algorithm>
+#include <iostream>
+
+#include "detect/maar.h"
+#include "engine/cluster.h"
+#include "engine/dist_maar.h"
+#include "engine/shard_store.h"
+#include "gen/barabasi_albert.h"
+#include "harness.h"
+#include "sim/scenario.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+int main() {
+  using namespace rejecto;
+  const auto ctx = bench::ExperimentContext::FromEnv();
+
+  const std::vector<graph::NodeId> sizes =
+      ctx.fast ? std::vector<graph::NodeId>{50'000, 100'000}
+               : std::vector<graph::NodeId>{50'000, 100'000, 200'000,
+                                            400'000, 800'000};
+
+  util::Table t({"users", "edges", "arcs", "shards", "time_sec",
+                 "sim_net_sec", "fetch_requests", "mb_transferred",
+                 "prefetch_hit_rate"});
+  t.set_precision(3);
+
+  for (graph::NodeId n : sizes) {
+    // ~16 edges/user as in Table II; a 5% fake region sends spam.
+    util::Rng grng(ctx.seed + n);
+    const auto legit =
+        gen::BarabasiAlbert({.num_nodes = n, .edges_per_node = 8}, grng);
+    sim::ScenarioConfig scfg;
+    scfg.seed = ctx.seed + n;
+    scfg.num_fakes = n / 20;
+    scfg.careless_fraction = 0.05;
+    const auto scenario = sim::BuildScenario(legit, scfg);
+
+    // The master's prefetch buffer holds a fixed fraction of the node set,
+    // mirroring how the paper provisions the cluster so memory scales with
+    // the graph ("provided that the aggregate memory ... suffices").
+    engine::Cluster cluster(
+        {.num_workers = 4,
+         .prefetch_batch = 512,
+         .buffer_capacity = std::max<std::size_t>(8192, n / 2)});
+    const engine::ShardedGraphStore store(scenario.graph, 4, cluster.Pool());
+
+    // A full (reduced-sweep) MAAR solve on the cluster substrate: the k
+    // sweep, multi-init KL runs, and Dinkelbach refinement all pull
+    // adjacency through the workers — what the paper's Table II times.
+    detect::MaarConfig maar;
+    maar.k_min = 0.25;
+    maar.k_max = 4.0;
+    maar.k_scale = 4.0;  // 3 sweep points
+    maar.num_random_inits = 0;
+    maar.dinkelbach_rounds = 1;
+    maar.seed = ctx.seed;
+
+    util::WallTimer timer;
+    const auto result = engine::SolveMaarDistributed(scenario.graph, store,
+                                                     cluster, {}, maar);
+    const double secs = timer.Seconds();
+
+    t.AddRow({static_cast<std::int64_t>(n),
+              static_cast<std::int64_t>(
+                  scenario.graph.Friendships().NumEdges()),
+              static_cast<std::int64_t>(scenario.graph.Rejections().NumArcs()),
+              std::int64_t{4}, secs,
+              result.io.simulated_network_us / 1e6,
+              static_cast<std::int64_t>(result.io.fetch_requests),
+              static_cast<double>(result.io.bytes_transferred) / 1e6,
+              result.io.HitRate()});
+    (void)result.cut;
+  }
+  ctx.Emit("table2",
+           "Table II: distributed MAAR solve runtime vs graph size (4"
+           " simulated workers)",
+           t);
+  std::cout << "\nShape check: time and traffic grow near-linearly with"
+               " users (the paper's 0.5M->10M scaling claim at laptop"
+               " scale).\n";
+  return 0;
+}

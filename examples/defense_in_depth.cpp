@@ -1,0 +1,92 @@
+// Defense in depth (paper §II-C, §VI-D): Rejecto + SybilRank.
+//
+// Friend spam manufactures attack edges, which break the core assumption
+// of social-graph-based Sybil defenses (few edges between the Sybil and
+// honest regions). This example shows the two-layer defense: Rejecto
+// detects and removes the friend spammers, then SybilRank cleanly ranks
+// the remaining (quiet) Sybils to the bottom.
+//
+// Build & run:  cmake --build build && ./build/examples/defense_in_depth
+#include <cstdio>
+
+#include "baseline/sybilrank.h"
+#include "detect/iterative.h"
+#include "gen/holme_kim.h"
+#include "graph/subgraph.h"
+#include "metrics/ranking.h"
+#include "sim/scenario.h"
+
+namespace {
+
+using namespace rejecto;
+
+double RankingQuality(const graph::AugmentedGraph& g,
+                      const std::vector<char>& is_fake,
+                      const std::vector<graph::NodeId>& trust_seeds) {
+  baseline::SybilRankConfig cfg;
+  cfg.trust_seeds = trust_seeds;
+  const auto scores = baseline::RunSybilRank(g.Friendships(), cfg);
+  return metrics::AreaUnderRoc(scores, is_fake);
+}
+
+}  // namespace
+
+int main() {
+  util::Rng rng(42);
+  const auto legit_graph = gen::HolmeKim(
+      {.num_nodes = 4'000, .edges_per_node = 4, .triad_probability = 0.5},
+      rng);
+
+  // 1000 Sybils; only half spam (the other half lie low with few attack
+  // edges — classic SybilRank prey, but shielded by the spammers' edges).
+  sim::ScenarioConfig attack;
+  attack.seed = 9;
+  attack.num_fakes = 1'000;
+  attack.spamming_fraction = 0.5;
+  attack.requests_per_spammer = 50;
+  const auto scenario = sim::BuildScenario(legit_graph, attack);
+
+  util::Rng seed_rng(5);
+  const auto seeds = scenario.SampleSeeds(40, 12, seed_rng);
+
+  const double auc_before =
+      RankingQuality(scenario.graph, scenario.is_fake, seeds.legit);
+  std::printf("SybilRank alone, polluted graph:      AUC = %.4f\n",
+              auc_before);
+
+  // Layer 1: Rejecto removes the friend spammers and their edges.
+  detect::IterativeConfig cfg;
+  cfg.target_detections = attack.num_fakes / 2;
+  const auto detection =
+      detect::DetectFriendSpammers(scenario.graph, seeds, cfg);
+  std::printf("Rejecto removed %zu friend spammers in %zu round(s)\n",
+              detection.detected.size(), detection.rounds.size());
+
+  std::vector<char> keep(scenario.NumNodes(), 1);
+  for (graph::NodeId v : detection.detected) keep[v] = 0;
+  const auto residual = graph::InducedSubgraph(scenario.graph, keep);
+
+  // Remap ground truth and trust seeds onto the residual graph.
+  std::vector<char> residual_fake(residual.parent_id.size(), 0);
+  for (std::size_t nid = 0; nid < residual.parent_id.size(); ++nid) {
+    residual_fake[nid] = scenario.is_fake[residual.parent_id[nid]];
+  }
+  std::vector<graph::NodeId> new_id(scenario.NumNodes(), graph::kInvalidNode);
+  for (graph::NodeId nid = 0;
+       nid < static_cast<graph::NodeId>(residual.parent_id.size()); ++nid) {
+    new_id[residual.parent_id[nid]] = nid;
+  }
+  std::vector<graph::NodeId> residual_seeds;
+  for (graph::NodeId s : seeds.legit) {
+    if (new_id[s] != graph::kInvalidNode) residual_seeds.push_back(new_id[s]);
+  }
+
+  // Layer 2: SybilRank on the sterilized graph.
+  const double auc_after =
+      RankingQuality(residual.graph, residual_fake, residual_seeds);
+  std::printf("SybilRank after Rejecto sterilizes:   AUC = %.4f\n", auc_after);
+  std::printf("Improvement: +%.4f (paper Fig 16: AUC -> ~1 as spammers are"
+              " removed)\n",
+              auc_after - auc_before);
+  return auc_after > auc_before ? 0 : 1;
+}

@@ -1,0 +1,92 @@
+// Scenario exporter: produce a synthetic friend-spam workload as the three
+// text files the file-driven tooling consumes.
+//
+// Usage:
+//   generate_scenario <out_dir> [num_legit] [num_fakes] [seed]
+//
+// Writes into <out_dir>:
+//   friendships.txt  — undirected OSN links ("u v" per line)
+//   rejections.txt   — directed rejections ("rejector rejected" per line)
+//   requests.txt     — the full request log (RequestLog format)
+//   ground_truth.txt — the fake account ids, one per line
+//
+// Round trip:
+//   ./generate_scenario /tmp/demo 5000 500
+//   ./detect_from_files /tmp/demo/friendships.txt /tmp/demo/rejections.txt 500
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "gen/holme_kim.h"
+#include "sim/scenario.h"
+#include "util/rng.h"
+
+int main(int argc, char** argv) {
+  using namespace rejecto;
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: %s <out_dir> [num_legit] [num_fakes] [seed]\n",
+                 argv[0]);
+    return 2;
+  }
+  const std::string out_dir = argv[1];
+  const auto num_legit =
+      static_cast<graph::NodeId>(argc > 2 ? std::atoll(argv[2]) : 5'000);
+  const auto num_fakes =
+      static_cast<graph::NodeId>(argc > 3 ? std::atoll(argv[3]) : 500);
+  const auto seed =
+      static_cast<std::uint64_t>(argc > 4 ? std::atoll(argv[4]) : 42);
+
+  try {
+    std::filesystem::create_directories(out_dir);
+
+    util::Rng rng(seed);
+    const auto legit = gen::HolmeKim(
+        {.num_nodes = num_legit, .edges_per_node = 4, .triad_probability = 0.5},
+        rng);
+    sim::ScenarioConfig cfg;
+    cfg.seed = seed + 1;
+    cfg.num_fakes = num_fakes;
+    const auto scenario = sim::BuildScenario(legit, cfg);
+
+    // friendships / rejections in the LoadAugmentedGraph format.
+    {
+      std::ofstream fr(out_dir + "/friendships.txt");
+      fr << "# friendships: u v\n";
+      for (const auto& e : scenario.graph.Friendships().Edges()) {
+        fr << e.u << ' ' << e.v << '\n';
+      }
+      std::ofstream rej(out_dir + "/rejections.txt");
+      rej << "# rejections: rejector rejected_sender\n";
+      for (const auto& a : scenario.graph.Rejections().Arcs()) {
+        rej << a.from << ' ' << a.to << '\n';
+      }
+    }
+    scenario.log.Save(out_dir + "/requests.txt");
+    {
+      std::ofstream truth(out_dir + "/ground_truth.txt");
+      truth << "# fake account ids\n";
+      for (graph::NodeId v = 0; v < scenario.NumNodes(); ++v) {
+        if (scenario.IsFake(v)) truth << v << '\n';
+      }
+    }
+
+    std::printf(
+        "wrote %s/{friendships,rejections,requests,ground_truth}.txt\n"
+        "  %u users (%u legit + %u fake), %llu friendships, %llu rejections,"
+        " %zu requests\n",
+        out_dir.c_str(), scenario.NumNodes(), scenario.num_legit,
+        scenario.num_fakes,
+        static_cast<unsigned long long>(
+            scenario.graph.Friendships().NumEdges()),
+        static_cast<unsigned long long>(
+            scenario.graph.Rejections().NumArcs()),
+        scenario.log.NumRequests());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Compromised-account detection via time-sharded request logs (paper §VII).
+//
+// A compromised account behaves legitimately for a long time, then — once
+// hijacked — starts sending friend spam. Running Rejecto on the whole
+// history dilutes the post-compromise signal with years of organic
+// behaviour; the paper's deployment note suggests sharding requests and
+// rejections by time interval and running Rejecto on the augmented graph
+// of each interval. sim::BuildTemporalScenario models that: three
+// intervals of organic churn with a 200-account block compromised before
+// the last one.
+//
+// Build & run:  cmake --build build && ./build/examples/interval_detection
+#include <cstdio>
+
+#include "detect/iterative.h"
+#include "metrics/classification.h"
+#include "sim/temporal.h"
+#include "util/rng.h"
+
+int main() {
+  using namespace rejecto;
+
+  sim::TemporalConfig cfg;
+  cfg.seed = 42;
+  cfg.num_users = 4'000;
+  cfg.num_intervals = 3;
+  cfg.num_compromised = 200;
+  cfg.compromise_interval = 2;
+  const auto scenario = sim::BuildTemporalScenario(cfg);
+
+  std::printf("%u accounts; %u compromised before interval %d\n\n",
+              cfg.num_users, cfg.num_compromised, cfg.compromise_interval);
+
+  for (int interval = 0; interval < cfg.num_intervals; ++interval) {
+    const auto& log = scenario.intervals[static_cast<std::size_t>(interval)];
+    const auto g = log.BuildAugmentedGraph();
+
+    // A few known-good accounts pin the KL search away from legit-region
+    // cuts (SIV-F); termination is the acceptance-rate threshold (SIV-E) —
+    // there is no fake-population estimate for compromised accounts.
+    detect::Seeds seeds;
+    util::Rng s_rng(900 + static_cast<std::uint64_t>(interval));
+    for (std::uint64_t v : s_rng.SampleWithoutReplacement(cfg.num_users, 40)) {
+      if (!scenario.is_compromised[static_cast<std::size_t>(v)]) {
+        seeds.legit.push_back(static_cast<graph::NodeId>(v));
+      }
+    }
+    detect::IterativeConfig dcfg;
+    dcfg.target_detections = 0;
+    dcfg.acceptance_rate_threshold = 0.40;
+    // Compromised accounts are a small minority; the provider encodes that
+    // prior as a cap on the suspicious region, which rules out spurious
+    // wide cuts in otherwise-clean intervals.
+    dcfg.maar.max_region_fraction = 0.2;
+    dcfg.maar.seed = 31;
+    const auto result = detect::DetectFriendSpammers(g, seeds, dcfg);
+
+    const auto cm =
+        metrics::EvaluateDetection(scenario.is_compromised, result.detected);
+    std::printf(
+        "interval %d (%s): %llu requests, flagged %zu accounts, precision "
+        "%.3f, recall %.3f\n",
+        interval,
+        scenario.IntervalIsPostCompromise(interval, cfg)
+            ? "post-compromise"
+            : "pre-compromise ",
+        static_cast<unsigned long long>(log.NumRequests()),
+        result.detected.size(), cm.Precision(), cm.Recall());
+  }
+  std::printf(
+      "\nExpected: no accounts flagged in the clean intervals; the"
+      " compromised block surfaces in interval 2. False positives are"
+      " largely the careless users who accepted the spam - the soft"
+      " responses of SVII (CAPTCHA, rate limits) tolerate them.\n");
+  return 0;
+}

@@ -1,0 +1,23 @@
+#include "baseline/acceptance_filter.h"
+
+namespace rejecto::baseline {
+
+std::vector<double> AcceptanceRateScores(
+    const sim::RequestLog& log, const AcceptanceFilterConfig& config) {
+  const graph::NodeId n = log.NumNodes();
+  std::vector<std::uint64_t> sent(n, 0), accepted(n, 0);
+  for (const sim::FriendRequest& r : log.Requests()) {
+    ++sent[r.sender];
+    if (r.response == sim::Response::kAccepted) ++accepted[r.sender];
+  }
+  std::vector<double> scores(n, config.neutral_score);
+  for (graph::NodeId u = 0; u < n; ++u) {
+    if (sent[u] > 0) {
+      scores[u] = static_cast<double>(accepted[u]) /
+                  static_cast<double>(sent[u]);
+    }
+  }
+  return scores;
+}
+
+}  // namespace rejecto::baseline

@@ -1,0 +1,24 @@
+// Naive per-user acceptance-rate filter — the strawman individual-feature
+// classifier of §II-B / [16], [36].
+//
+// Scores each user by the acceptance rate of the requests they sent
+// (users who sent none get a neutral 1.0). Simple, and exactly what the
+// collusion strategy defeats: fakes accepting each other's requests lift
+// every individual's acceptance rate without touching the *aggregate* rate
+// toward legitimate users that Rejecto cuts on.
+#pragma once
+
+#include <vector>
+
+#include "sim/request_log.h"
+
+namespace rejecto::baseline {
+
+struct AcceptanceFilterConfig {
+  double neutral_score = 1.0;  // users with no sent requests
+};
+
+std::vector<double> AcceptanceRateScores(const sim::RequestLog& log,
+                                         const AcceptanceFilterConfig& config);
+
+}  // namespace rejecto::baseline

@@ -1,0 +1,117 @@
+#include "baseline/feature_classifier.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rejecto::baseline {
+
+std::vector<UserFeatures> ExtractUserFeatures(const sim::RequestLog& log) {
+  const graph::NodeId n = log.NumNodes();
+  std::vector<std::uint64_t> sent(n, 0), sent_accepted(n, 0), received(n, 0),
+      granted(n, 0), degree(n, 0);
+  for (const sim::FriendRequest& r : log.Requests()) {
+    ++sent[r.sender];
+    ++received[r.receiver];
+    if (r.response == sim::Response::kAccepted) {
+      ++sent_accepted[r.sender];
+      ++granted[r.receiver];
+      ++degree[r.sender];
+      ++degree[r.receiver];
+    }
+  }
+  std::vector<UserFeatures> features(n);
+  for (graph::NodeId u = 0; u < n; ++u) {
+    const double s = static_cast<double>(sent[u]);
+    const double rcv = static_cast<double>(received[u]);
+    features[u] = {
+        s,
+        sent[u] == 0 ? 1.0
+                     : static_cast<double>(sent_accepted[u]) / s,
+        static_cast<double>(sent[u] - sent_accepted[u]),
+        static_cast<double>(degree[u]),
+        rcv,
+        received[u] == 0 ? 1.0
+                         : static_cast<double>(granted[u]) / rcv,
+    };
+  }
+  return features;
+}
+
+FeatureClassifier::FeatureClassifier(
+    const std::vector<UserFeatures>& features, const detect::Seeds& seeds,
+    const FeatureClassifierConfig& config) {
+  if (seeds.legit.empty() || seeds.spammer.empty()) {
+    throw std::invalid_argument(
+        "FeatureClassifier: both seed classes required for training");
+  }
+  seeds.Validate(static_cast<graph::NodeId>(features.size()));
+
+  // Standardize over the training set.
+  std::vector<std::pair<graph::NodeId, double>> train;
+  for (graph::NodeId v : seeds.legit) train.emplace_back(v, 0.0);
+  for (graph::NodeId v : seeds.spammer) train.emplace_back(v, 1.0);
+  const double m = static_cast<double>(train.size());
+  for (std::size_t f = 0; f < kNumUserFeatures; ++f) {
+    double mu = 0;
+    for (const auto& [v, y] : train) mu += features[v][f];
+    mu /= m;
+    double var = 0;
+    for (const auto& [v, y] : train) {
+      const double d = features[v][f] - mu;
+      var += d * d;
+    }
+    mean_[f] = mu;
+    stdev_[f] = std::sqrt(var / m);
+    if (stdev_[f] < 1e-9) stdev_[f] = 1.0;  // constant feature
+  }
+
+  // Full-batch gradient descent on regularized logistic loss.
+  for (int it = 0; it < config.iterations; ++it) {
+    std::array<double, kNumUserFeatures> grad{};
+    double grad_bias = 0.0;
+    for (const auto& [v, y] : train) {
+      double z = bias_;
+      for (std::size_t f = 0; f < kNumUserFeatures; ++f) {
+        z += weights_[f] * (features[v][f] - mean_[f]) / stdev_[f];
+      }
+      const double p = 1.0 / (1.0 + std::exp(-z));
+      const double err = p - y;
+      grad_bias += err;
+      for (std::size_t f = 0; f < kNumUserFeatures; ++f) {
+        grad[f] += err * (features[v][f] - mean_[f]) / stdev_[f];
+      }
+    }
+    bias_ -= config.learning_rate * grad_bias / m;
+    for (std::size_t f = 0; f < kNumUserFeatures; ++f) {
+      weights_[f] -= config.learning_rate *
+                     (grad[f] / m + config.l2 * weights_[f]);
+    }
+  }
+}
+
+double FeatureClassifier::Logit(const UserFeatures& x) const {
+  double z = bias_;
+  for (std::size_t f = 0; f < kNumUserFeatures; ++f) {
+    z += weights_[f] * (x[f] - mean_[f]) / stdev_[f];
+  }
+  return z;
+}
+
+std::vector<double> FeatureClassifier::Predict(
+    const std::vector<UserFeatures>& features) const {
+  std::vector<double> p;
+  p.reserve(features.size());
+  for (const UserFeatures& x : features) {
+    p.push_back(1.0 / (1.0 + std::exp(-Logit(x))));
+  }
+  return p;
+}
+
+std::vector<double> FeatureClassifier::TrustScores(
+    const std::vector<UserFeatures>& features) const {
+  auto p = Predict(features);
+  for (double& x : p) x = -x;
+  return p;
+}
+
+}  // namespace rejecto::baseline

@@ -1,0 +1,74 @@
+// Per-user feature classifier (paper §II-B's "machine-learning classifiers
+// are insufficient" argument, after [36]).
+//
+// A logistic-regression classifier over individual request-behaviour
+// features — requests sent, per-user acceptance rate, rejections received,
+// friend count, requests received, acceptance rate granted — trained on
+// the OSN's labeled seeds. This is the calibrated-classifier approach of
+// Yang et al. [36]; Rejecto's §II-B critique is that every feature is
+// *individual*, so the collusion strategy (accepted intra-fake requests)
+// poisons the acceptance-rate features and the classifier degrades while
+// the aggregate cut does not — quantified in bench_ext_ml_classifier.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "detect/seeds.h"
+#include "sim/request_log.h"
+
+namespace rejecto::baseline {
+
+inline constexpr std::size_t kNumUserFeatures = 6;
+
+// Raw (unstandardized) per-user behaviour features.
+using UserFeatures = std::array<double, kNumUserFeatures>;
+
+// Extracts features for every user from the request log:
+//   [0] requests sent, [1] acceptance rate of sent requests (neutral 1 if
+//   none), [2] rejections received as a sender, [3] friendship degree,
+//   [4] requests received, [5] acceptance rate granted as a receiver
+//   (neutral 1 if none received).
+std::vector<UserFeatures> ExtractUserFeatures(const sim::RequestLog& log);
+
+struct FeatureClassifierConfig {
+  int iterations = 300;
+  double learning_rate = 0.1;
+  double l2 = 1e-3;
+};
+
+class FeatureClassifier {
+ public:
+  // Trains on the labeled seeds (legit = 0, spammer = 1) with full-batch
+  // gradient descent over standardized features. Throws
+  // std::invalid_argument when either seed class is empty.
+  FeatureClassifier(const std::vector<UserFeatures>& features,
+                    const detect::Seeds& seeds,
+                    const FeatureClassifierConfig& config);
+
+  // P(fake) per user, in [0, 1]. Higher = more suspicious. (Note the
+  // inverted polarity vs the trust scores elsewhere; use SuspicionScores
+  // with metrics::LowestScored via the negation below.)
+  std::vector<double> Predict(
+      const std::vector<UserFeatures>& features) const;
+
+  // Convenience: −P(fake), so metrics::LowestScored declares the most
+  // suspicious first like the other baselines.
+  std::vector<double> TrustScores(
+      const std::vector<UserFeatures>& features) const;
+
+  const std::array<double, kNumUserFeatures>& weights() const noexcept {
+    return weights_;
+  }
+
+ private:
+  double Logit(const UserFeatures& x) const;
+
+  std::array<double, kNumUserFeatures> weights_{};
+  double bias_ = 0.0;
+  std::array<double, kNumUserFeatures> mean_{};
+  std::array<double, kNumUserFeatures> stdev_{};
+};
+
+}  // namespace rejecto::baseline

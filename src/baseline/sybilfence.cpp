@@ -1,0 +1,72 @@
+#include "baseline/sybilfence.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace rejecto::baseline {
+
+std::vector<double> RunSybilFence(const graph::AugmentedGraph& g,
+                                  const SybilFenceConfig& config) {
+  const graph::NodeId n = g.NumNodes();
+  if (config.trust_seeds.empty()) {
+    throw std::invalid_argument("RunSybilFence: trust seeds required");
+  }
+  for (graph::NodeId s : config.trust_seeds) {
+    if (s >= n) {
+      throw std::invalid_argument("RunSybilFence: seed out of range");
+    }
+  }
+  if (config.discount_per_rejection < 0.0 || config.min_edge_weight <= 0.0 ||
+      config.min_edge_weight > 1.0) {
+    throw std::invalid_argument("RunSybilFence: bad discount parameters");
+  }
+
+  // Per-node penalty multiplier from received rejections; an edge carries
+  // the product of its endpoints' multipliers.
+  const auto& fr = g.Friendships();
+  const auto& rej = g.Rejections();
+  std::vector<double> penalty(n, 1.0);
+  for (graph::NodeId v = 0; v < n; ++v) {
+    penalty[v] = std::max(
+        config.min_edge_weight,
+        1.0 - config.discount_per_rejection *
+                  static_cast<double>(rej.InDegree(v)));
+  }
+  std::vector<double> weighted_degree(n, 0.0);
+  for (graph::NodeId v = 0; v < n; ++v) {
+    for (graph::NodeId w : fr.Neighbors(v)) {
+      weighted_degree[v] += penalty[v] * penalty[w];
+    }
+  }
+
+  int iterations = config.num_iterations;
+  if (iterations <= 0) {
+    iterations = std::max(
+        1, static_cast<int>(std::ceil(std::log2(std::max<double>(2.0, n)))));
+  }
+
+  std::vector<double> trust(n, 0.0), next(n, 0.0);
+  const double seed_share =
+      config.total_trust / static_cast<double>(config.trust_seeds.size());
+  for (graph::NodeId s : config.trust_seeds) trust[s] += seed_share;
+
+  for (int it = 0; it < iterations; ++it) {
+    std::fill(next.begin(), next.end(), 0.0);
+    for (graph::NodeId u = 0; u < n; ++u) {
+      if (weighted_degree[u] <= 0.0) continue;
+      const double unit = trust[u] / weighted_degree[u];
+      for (graph::NodeId v : fr.Neighbors(u)) {
+        next[v] += unit * penalty[u] * penalty[v];
+      }
+    }
+    trust.swap(next);
+  }
+
+  for (graph::NodeId v = 0; v < n; ++v) {
+    trust[v] = weighted_degree[v] <= 0.0 ? 0.0 : trust[v] / weighted_degree[v];
+  }
+  return trust;
+}
+
+}  // namespace rejecto::baseline

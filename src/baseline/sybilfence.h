@@ -1,0 +1,36 @@
+// SybilFence (Cao & Yang, Duke TR 2012 [16]): improving social-graph-based
+// Sybil defenses with user negative feedback.
+//
+// The paper's related-work predecessor to Rejecto: instead of cutting on
+// the aggregate acceptance rate, SybilFence discounts the trust capacity
+// of the social edges incident to users who accumulated negative feedback
+// (rejections/reports), then runs a SybilRank-style seeded power iteration
+// over the *weighted* graph. Rejecto's §VIII critique — which this
+// implementation lets the benches demonstrate — is that per-user discounts
+// are still an individual signal: collusion edges among fakes carry full
+// weight and keep feeding trust into the Sybil region.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/augmented_graph.h"
+
+namespace rejecto::baseline {
+
+struct SybilFenceConfig {
+  // 0 => ceil(log2(n)) iterations, as in SybilRank.
+  int num_iterations = 0;
+  double total_trust = 1000.0;
+  // Per received rejection, a node's incident-edge weight multiplier drops
+  // by this much, floored at min_edge_weight.
+  double discount_per_rejection = 0.2;
+  double min_edge_weight = 0.05;
+  std::vector<graph::NodeId> trust_seeds;  // must be non-empty
+};
+
+// Returns weighted-degree-normalized trust (higher = more trustworthy).
+std::vector<double> RunSybilFence(const graph::AugmentedGraph& g,
+                                  const SybilFenceConfig& config);
+
+}  // namespace rejecto::baseline

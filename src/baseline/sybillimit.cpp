@@ -1,0 +1,155 @@
+#include "baseline/sybillimit.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace rejecto::baseline {
+namespace {
+
+std::uint64_t Mix(std::uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+// Format-preserving pseudo-random permutation over [0, domain) via a
+// 4-round Feistel network with cycle walking — evaluates a single image of
+// the per-(instance, node) routing permutation in O(1) expected time
+// without materializing it.
+std::uint32_t PermuteIndex(std::uint64_t key, std::uint32_t domain,
+                           std::uint32_t j) {
+  if (domain <= 1) return 0;
+  // Balanced 4-round Feistel over the smallest even bit-width covering the
+  // domain, with cycle walking back into [0, domain).
+  std::uint32_t bits = 2;
+  while ((1u << bits) < domain) bits += 2;
+  const std::uint32_t half = bits / 2;
+  const std::uint32_t mask = (1u << half) - 1;
+  std::uint32_t x = j;
+  do {
+    std::uint32_t l = x >> half;
+    std::uint32_t r = x & mask;
+    for (std::uint32_t round = 0; round < 4; ++round) {
+      const std::uint32_t f =
+          static_cast<std::uint32_t>(
+              Mix(key ^ (static_cast<std::uint64_t>(round) << 40) ^ r)) &
+          mask;
+      const std::uint32_t next_r = l ^ f;
+      l = r;
+      r = next_r;
+    }
+    x = (l << half) | r;
+  } while (x >= domain);
+  return x;
+}
+
+// Directed-edge key for tail sets.
+std::uint64_t EdgeKey(graph::NodeId from, graph::NodeId to) {
+  return (static_cast<std::uint64_t>(from) << 32) | to;
+}
+
+}  // namespace
+
+SybilLimitResult RunSybilLimit(const graph::SocialGraph& g,
+                               const std::vector<graph::NodeId>& verifiers,
+                               const SybilLimitConfig& config) {
+  const graph::NodeId n = g.NumNodes();
+  if (verifiers.empty()) {
+    throw std::invalid_argument("RunSybilLimit: verifiers required");
+  }
+  for (graph::NodeId v : verifiers) {
+    if (v >= n) throw std::invalid_argument("RunSybilLimit: verifier range");
+  }
+
+  SybilLimitResult result;
+  result.route_length =
+      config.route_length != 0
+          ? config.route_length
+          : static_cast<std::uint32_t>(
+                std::ceil(std::log2(std::max<double>(2.0, n))));
+  result.num_routes =
+      config.num_routes != 0
+          ? config.num_routes
+          : static_cast<std::uint32_t>(std::ceil(
+                4.0 * std::sqrt(static_cast<double>(g.NumEdges()))));
+
+  // One route per instance per node; tail = the route's final directed
+  // edge. Routes follow per-(instance, node) routing permutations keyed by
+  // the entering-edge index, so two routes that merge stay merged — the
+  // convergence property the protocol's intersection argument needs.
+  const std::uint32_t w = result.route_length;
+  const std::uint32_t r = result.num_routes;
+  std::vector<std::vector<std::uint64_t>> tails(n);
+
+  for (graph::NodeId v = 0; v < n; ++v) {
+    const auto deg_v = g.Degree(v);
+    if (deg_v == 0) continue;
+    tails[v].reserve(r);
+    for (std::uint32_t inst = 0; inst < r; ++inst) {
+      const std::uint64_t inst_key = Mix(config.seed ^ (0x51b1ull << 32) ^
+                                         inst);
+      // First hop: a pseudo-random incident edge of v for this instance.
+      graph::NodeId prev = v;
+      graph::NodeId cur = g.Neighbors(
+          v)[static_cast<std::size_t>(Mix(inst_key ^ v) % deg_v)];
+      for (std::uint32_t step = 1; step < w; ++step) {
+        const auto nbrs = g.Neighbors(cur);
+        // Entering index of prev in cur's sorted adjacency.
+        const auto it = std::lower_bound(nbrs.begin(), nbrs.end(), prev);
+        const auto in_idx =
+            static_cast<std::uint32_t>(std::distance(nbrs.begin(), it));
+        const std::uint32_t out_idx = PermuteIndex(
+            Mix(inst_key ^ (static_cast<std::uint64_t>(cur) << 1)),
+            static_cast<std::uint32_t>(nbrs.size()), in_idx);
+        prev = cur;
+        cur = nbrs[out_idx];
+      }
+      tails[v].push_back(EdgeKey(prev, cur));
+    }
+  }
+
+  // Verification: suspect accepted by verifier V iff tail sets intersect,
+  // subject to the balance cap on how many suspects one verifier tail may
+  // vouch for.
+  result.accept_fraction.assign(n, 0.0);
+  for (graph::NodeId ver : verifiers) {
+    std::unordered_map<std::uint64_t, std::uint32_t> tail_load;
+    tail_load.reserve(tails[ver].size() * 2);
+    for (std::uint64_t t : tails[ver]) tail_load.emplace(t, 0);
+    std::uint64_t accepted = 0;
+    std::uint64_t processed = 0;
+    for (graph::NodeId s = 0; s < n; ++s) {
+      ++processed;
+      const double cap =
+          config.balance_factor *
+          (static_cast<double>(accepted) /
+               std::max<double>(1.0, static_cast<double>(tails[ver].size())) +
+           1.0);
+      bool ok = false;
+      for (std::uint64_t t : tails[s]) {
+        const auto it = tail_load.find(t);
+        if (it != tail_load.end() &&
+            static_cast<double>(it->second) < cap) {
+          ++it->second;
+          ok = true;
+          break;
+        }
+      }
+      if (ok) {
+        ++accepted;
+        result.accept_fraction[s] += 1.0;
+      }
+    }
+  }
+  const double num_verifiers = static_cast<double>(verifiers.size());
+  for (double& f : result.accept_fraction) f /= num_verifiers;
+  return result;
+}
+
+}  // namespace rejecto::baseline

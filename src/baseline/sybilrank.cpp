@@ -1,0 +1,49 @@
+#include "baseline/sybilrank.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rejecto::baseline {
+
+std::vector<double> RunSybilRank(const graph::SocialGraph& g,
+                                 const SybilRankConfig& config) {
+  const graph::NodeId n = g.NumNodes();
+  if (config.trust_seeds.empty()) {
+    throw std::invalid_argument("RunSybilRank: trust seeds required");
+  }
+  for (graph::NodeId s : config.trust_seeds) {
+    if (s >= n) {
+      throw std::invalid_argument("RunSybilRank: seed out of range");
+    }
+  }
+  int iterations = config.num_iterations;
+  if (iterations <= 0) {
+    iterations = std::max(
+        1, static_cast<int>(std::ceil(std::log2(std::max<double>(2.0, n)))));
+  }
+
+  std::vector<double> trust(n, 0.0), next(n, 0.0);
+  const double seed_share =
+      config.total_trust / static_cast<double>(config.trust_seeds.size());
+  for (graph::NodeId s : config.trust_seeds) trust[s] += seed_share;
+
+  for (int it = 0; it < iterations; ++it) {
+    std::fill(next.begin(), next.end(), 0.0);
+    for (graph::NodeId u = 0; u < n; ++u) {
+      const auto deg = g.Degree(u);
+      if (deg == 0) continue;  // isolated nodes keep (and leak) no trust
+      const double share = trust[u] / static_cast<double>(deg);
+      for (graph::NodeId v : g.Neighbors(u)) next[v] += share;
+    }
+    trust.swap(next);
+  }
+
+  // Degree normalization removes the bias toward high-degree honest hubs.
+  for (graph::NodeId u = 0; u < n; ++u) {
+    const auto deg = g.Degree(u);
+    trust[u] = deg == 0 ? 0.0 : trust[u] / static_cast<double>(deg);
+  }
+  return trust;
+}
+
+}  // namespace rejecto::baseline

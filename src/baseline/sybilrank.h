@@ -1,0 +1,32 @@
+// SybilRank (Cao et al., NSDI 2012 [15]; paper §VI-D).
+//
+// The social-graph-based Sybil detector Rejecto composes with for defense
+// in depth: O(log n) power iterations spread trust from verified seeds over
+// the undirected social graph, then ranks users by degree-normalized trust.
+// Sybil regions, being connected to the honest region through few attack
+// edges, receive little trust and sink to the bottom of the ranking —
+// *unless* friend spam has manufactured many attack edges, which is exactly
+// the gap Rejecto closes (Fig 16).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/social_graph.h"
+#include "graph/types.h"
+
+namespace rejecto::baseline {
+
+struct SybilRankConfig {
+  // 0 => ceil(log2(n)) iterations, the paper's early termination.
+  int num_iterations = 0;
+  double total_trust = 1000.0;
+  std::vector<graph::NodeId> trust_seeds;  // must be non-empty
+};
+
+// Returns the degree-normalized trust per node (higher = more trustworthy).
+// Isolated nodes score 0.
+std::vector<double> RunSybilRank(const graph::SocialGraph& g,
+                                 const SybilRankConfig& config);
+
+}  // namespace rejecto::baseline

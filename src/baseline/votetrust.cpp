@@ -1,0 +1,93 @@
+#include "baseline/votetrust.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rejecto::baseline {
+
+VoteTrustResult RunVoteTrust(const sim::RequestLog& log,
+                             const VoteTrustConfig& config) {
+  const graph::NodeId n = log.NumNodes();
+  if (config.trust_seeds.empty()) {
+    throw std::invalid_argument("RunVoteTrust: trust seeds required");
+  }
+  for (graph::NodeId s : config.trust_seeds) {
+    if (s >= n) throw std::invalid_argument("RunVoteTrust: seed out of range");
+  }
+
+  // Flatten the request log into per-sender CSR once; both steps scan it.
+  std::vector<std::uint32_t> out_deg(n, 0);
+  for (const sim::FriendRequest& r : log.Requests()) ++out_deg[r.sender];
+  std::vector<std::size_t> offsets(static_cast<std::size_t>(n) + 1, 0);
+  for (graph::NodeId v = 0; v < n; ++v) {
+    offsets[v + 1] = offsets[v] + out_deg[v];
+  }
+  struct Target {
+    graph::NodeId receiver;
+    bool accepted;
+  };
+  std::vector<Target> targets(log.NumRequests());
+  {
+    std::vector<std::size_t> cursor(offsets.begin(), offsets.end() - 1);
+    for (const sim::FriendRequest& r : log.Requests()) {
+      targets[cursor[r.sender]++] = {r.receiver,
+                                     r.response == sim::Response::kAccepted};
+    }
+  }
+
+  VoteTrustResult result;
+
+  // --- Step 1: vote assignment (personalized PageRank on request arcs) ---
+  const double d = config.damping;
+  std::vector<double> votes(n, 0.0), next(n, 0.0);
+  const double seed_share =
+      1.0 / static_cast<double>(config.trust_seeds.size());
+  for (graph::NodeId s : config.trust_seeds) votes[s] += seed_share;
+  for (int it = 0; it < config.vote_iterations; ++it) {
+    std::fill(next.begin(), next.end(), 0.0);
+    double dangling = 0.0;
+    for (graph::NodeId u = 0; u < n; ++u) {
+      if (out_deg[u] == 0) {
+        dangling += votes[u];
+        continue;
+      }
+      const double share = votes[u] / static_cast<double>(out_deg[u]);
+      for (std::size_t i = offsets[u]; i < offsets[u + 1]; ++i) {
+        next[targets[i].receiver] += share;
+      }
+    }
+    // Teleport (and dangling mass) back to the trust seeds.
+    for (graph::NodeId v = 0; v < n; ++v) next[v] *= d;
+    const double teleport = (1.0 - d) + d * dangling;
+    for (graph::NodeId s : config.trust_seeds) {
+      next[s] += teleport * seed_share;
+    }
+    votes.swap(next);
+  }
+  result.votes = votes;
+
+  // --- Step 2: iterative vote aggregation ---
+  std::vector<double> rating(n, config.neutral_rating), next_rating(n, 0.0);
+  for (int it = 0; it < config.rating_iterations; ++it) {
+    for (graph::NodeId u = 0; u < n; ++u) {
+      if (out_deg[u] == 0) {
+        next_rating[u] = config.neutral_rating;
+        continue;
+      }
+      double weighted_sum = 0.0, weight_total = 0.0;
+      for (std::size_t i = offsets[u]; i < offsets[u + 1]; ++i) {
+        const Target& t = targets[i];
+        const double w = votes[t.receiver] * rating[t.receiver];
+        weight_total += w;
+        if (t.accepted) weighted_sum += w;
+      }
+      next_rating[u] = weight_total == 0.0 ? config.neutral_rating
+                                           : weighted_sum / weight_total;
+    }
+    rating.swap(next_rating);
+  }
+  result.ratings = std::move(rating);
+  return result;
+}
+
+}  // namespace rejecto::baseline

@@ -1,0 +1,45 @@
+// VoteTrust baseline (Xue et al., INFOCOM 2013 [35]; paper §VI).
+//
+// The comparison scheme the paper evaluates against. Two cascaded steps on
+// the directed friend-request graph:
+//   1. *Vote assignment*: a trust-seeded PageRank over request arcs
+//      (sender→receiver) assigns each user a vote capacity.
+//   2. *Vote aggregation*: each user's rating is the weighted average of
+//      the responses to their requests — 1 for accepted, 0 for rejected —
+//      where a response's weight is the responder's votes times the
+//      responder's current rating; ratings are iterated to a fixpoint.
+// Users are ranked by rating; the lowest-rated are declared suspicious.
+//
+// Reproduced weaknesses (paper §VI): the per-user acceptance rate is
+// manipulable by collusion (Fig 13), non-spamming fakes keep the neutral
+// prior rating and are missed (Fig 10), and self-rejection *helps*
+// VoteTrust because extra rejections only hurt individual ratings (Fig 14).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/types.h"
+#include "sim/request_log.h"
+
+namespace rejecto::baseline {
+
+struct VoteTrustConfig {
+  double damping = 0.85;       // PageRank damping for vote assignment
+  int vote_iterations = 30;
+  int rating_iterations = 10;  // vote-aggregation fixpoint iterations
+  double neutral_rating = 1.0; // prior for users who sent no requests
+  // Trusted users the vote power iteration teleports to. Must be non-empty.
+  std::vector<graph::NodeId> trust_seeds;
+};
+
+struct VoteTrustResult {
+  std::vector<double> votes;    // per node, sums to ~1
+  std::vector<double> ratings;  // per node, in [0, 1]
+};
+
+// Throws std::invalid_argument on empty seeds or out-of-range seed ids.
+VoteTrustResult RunVoteTrust(const sim::RequestLog& log,
+                             const VoteTrustConfig& config);
+
+}  // namespace rejecto::baseline

@@ -1,0 +1,107 @@
+#include "detect/bucket_list.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rejecto::detect {
+
+BucketList::BucketList(graph::NodeId num_nodes, double max_abs_gain,
+                       double resolution)
+    : resolution_(resolution) {
+  if (resolution <= 0.0 || !std::isfinite(max_abs_gain) || max_abs_gain < 0) {
+    throw std::invalid_argument("BucketList: bad resolution or gain bound");
+  }
+  max_bucket_ = static_cast<std::int32_t>(
+      std::llround(std::ceil(max_abs_gain * resolution))) + 1;
+  heads_.assign(static_cast<std::size_t>(2 * max_bucket_) + 1, kNil);
+  next_.assign(num_nodes, kNil);
+  prev_.assign(num_nodes, kNil);
+  bucket_of_.assign(num_nodes, kAbsent);
+  cur_max_ = -max_bucket_;
+}
+
+std::int32_t BucketList::QuantizeClamped(double gain) const noexcept {
+  const double scaled = gain * resolution_;
+  if (scaled >= static_cast<double>(max_bucket_)) return max_bucket_;
+  if (scaled <= static_cast<double>(-max_bucket_)) return -max_bucket_;
+  return static_cast<std::int32_t>(std::llround(scaled));
+}
+
+void BucketList::Insert(graph::NodeId v, double gain) {
+  if (bucket_of_[v] != kAbsent) {
+    throw std::invalid_argument("BucketList::Insert: node already present");
+  }
+  const std::int32_t b = QuantizeClamped(gain);
+  bucket_of_[v] = b;
+  const std::size_t h = static_cast<std::size_t>(b + max_bucket_);
+  next_[v] = heads_[h];
+  prev_[v] = kNil;
+  if (heads_[h] != kNil) prev_[static_cast<std::size_t>(heads_[h])] = static_cast<std::int32_t>(v);
+  heads_[h] = static_cast<std::int32_t>(v);
+  if (b > cur_max_) cur_max_ = b;
+  ++size_;
+}
+
+void BucketList::Unlink(graph::NodeId v) {
+  const std::size_t h = static_cast<std::size_t>(bucket_of_[v] + max_bucket_);
+  if (prev_[v] != kNil) {
+    next_[static_cast<std::size_t>(prev_[v])] = next_[v];
+  } else {
+    heads_[h] = next_[v];
+  }
+  if (next_[v] != kNil) prev_[static_cast<std::size_t>(next_[v])] = prev_[v];
+  bucket_of_[v] = kAbsent;
+  --size_;
+}
+
+void BucketList::Remove(graph::NodeId v) {
+  if (bucket_of_[v] == kAbsent) {
+    throw std::invalid_argument("BucketList::Remove: node not present");
+  }
+  Unlink(v);
+}
+
+void BucketList::Update(graph::NodeId v, double new_gain) {
+  if (bucket_of_[v] == kAbsent) {
+    throw std::invalid_argument("BucketList::Update: node not present");
+  }
+  const std::int32_t b = QuantizeClamped(new_gain);
+  if (b == bucket_of_[v]) return;
+  Unlink(v);
+  Insert(v, new_gain);
+}
+
+graph::NodeId BucketList::MaxGainNode() const noexcept {
+  if (size_ == 0) return graph::kInvalidNode;
+  std::int32_t b = cur_max_;
+  while (heads_[static_cast<std::size_t>(b + max_bucket_)] == kNil) --b;
+  return static_cast<graph::NodeId>(
+      heads_[static_cast<std::size_t>(b + max_bucket_)]);
+}
+
+void BucketList::CollectTop(std::size_t k,
+                            std::vector<graph::NodeId>& out) const {
+  if (size_ == 0 || k == 0) return;
+  std::size_t collected = 0;
+  for (std::int32_t b = cur_max_; b >= -max_bucket_ && collected < k; --b) {
+    for (std::int32_t v = heads_[static_cast<std::size_t>(b + max_bucket_)];
+         v != kNil && collected < k;
+         v = next_[static_cast<std::size_t>(v)]) {
+      out.push_back(static_cast<graph::NodeId>(v));
+      ++collected;
+    }
+  }
+}
+
+graph::NodeId BucketList::PopMax() {
+  if (size_ == 0) return graph::kInvalidNode;
+  while (heads_[static_cast<std::size_t>(cur_max_ + max_bucket_)] == kNil) {
+    --cur_max_;  // lazily descend; raised again on Insert
+  }
+  const auto v = static_cast<graph::NodeId>(
+      heads_[static_cast<std::size_t>(cur_max_ + max_bucket_)]);
+  Unlink(v);
+  return v;
+}
+
+}  // namespace rejecto::detect

@@ -1,0 +1,64 @@
+// Fiduccia–Mattheyses gain bucket list (paper §IV-C, [21]).
+//
+// An array of intrusive doubly-linked lists indexed by *quantized* switch
+// gain, giving O(1) max-gain lookup, insert, delete, and update. Rejecto's
+// gains are ΔF − k·ΔR with integer ΔF/ΔR but real k, so gains are mapped to
+// buckets by round(gain × resolution) and clamped to the structure's range;
+// exact gains live with the caller (quantization only perturbs pick order
+// among near-equal gains, never the applied prefix accounting — see
+// DESIGN.md). Within a bucket order is LIFO, the classic FM policy.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace rejecto::detect {
+
+class BucketList {
+ public:
+  // `num_nodes` bounds the node-id universe; `max_abs_gain` is the largest
+  // |gain| that maps to a distinct bucket (larger gains clamp to the end
+  // buckets); `resolution` is buckets per unit gain.
+  BucketList(graph::NodeId num_nodes, double max_abs_gain, double resolution);
+
+  bool Empty() const noexcept { return size_ == 0; }
+  graph::NodeId Size() const noexcept { return size_; }
+  bool Contains(graph::NodeId v) const { return bucket_of_[v] != kAbsent; }
+
+  // Precondition for Insert: !Contains(v). For Remove/Update: Contains(v).
+  void Insert(graph::NodeId v, double gain);
+  void Remove(graph::NodeId v);
+  void Update(graph::NodeId v, double new_gain);
+
+  // Returns a node with the maximal quantized gain without removing it, or
+  // graph::kInvalidNode when empty.
+  graph::NodeId MaxGainNode() const noexcept;
+
+  // Removes and returns a max-gain node (kInvalidNode when empty).
+  graph::NodeId PopMax();
+
+  // Appends up to `k` currently-present nodes in descending bucket order
+  // (LIFO within a bucket) — the prefetch candidates of the distributed
+  // engine (§V): the nodes most likely to be switched soonest.
+  void CollectTop(std::size_t k, std::vector<graph::NodeId>& out) const;
+
+ private:
+  static constexpr std::int32_t kAbsent = INT32_MIN;
+  static constexpr std::int32_t kNil = -1;
+
+  std::int32_t QuantizeClamped(double gain) const noexcept;
+  void Unlink(graph::NodeId v);
+
+  double resolution_;
+  std::int32_t max_bucket_;               // buckets span [-max_bucket_, +max_bucket_]
+  std::vector<std::int32_t> heads_;       // per-bucket head node (kNil if empty)
+  std::vector<std::int32_t> next_;        // intrusive links (kNil terminated)
+  std::vector<std::int32_t> prev_;
+  std::vector<std::int32_t> bucket_of_;   // kAbsent when not in the structure
+  std::int32_t cur_max_;                  // highest possibly-non-empty bucket
+  graph::NodeId size_ = 0;
+};
+
+}  // namespace rejecto::detect

@@ -1,0 +1,42 @@
+// Classic Kernighan–Lin graph bisection (paper §IV-C, [25]).
+//
+// The textbook algorithm Rejecto extends: bipartition an *undirected*
+// graph into parts of fixed sizes (|U|/|V| ≈ r) minimizing cross-part
+// edges, by repeated passes of greedy node-PAIR interchanges — each pass
+// builds a sequence of best-gain swaps (executed tentatively even at
+// negative gain to climb out of local minima) and commits the prefix with
+// the largest cumulative reduction.
+//
+// Included for completeness and for the ablation that motivates §IV-D's
+// extension: pair interchange preserves part sizes, but the
+// spammer/legitimate split has *unknown* region sizes and two edge types
+// with opposite weights — which is why Rejecto replaces pair swaps with
+// single-node switching over the weighted augmented graph (ExtendedKl).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/social_graph.h"
+#include "util/rng.h"
+
+namespace rejecto::detect {
+
+struct ClassicKlConfig {
+  double balance = 0.5;  // target |U| / |V|, in (0, 1)
+  int max_passes = 16;
+  std::uint64_t seed = 1;  // initial random balanced partition
+};
+
+struct ClassicKlResult {
+  std::vector<char> in_u;
+  std::uint64_t cross_edges = 0;
+  int passes = 0;
+};
+
+// Bisects g per the config. The returned |U| is round(balance * n) exactly
+// (pair interchange preserves it).
+ClassicKlResult ClassicKl(const graph::SocialGraph& g,
+                          const ClassicKlConfig& config);
+
+}  // namespace rejecto::detect

@@ -1,0 +1,145 @@
+#include "detect/exact_maar.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+namespace rejecto::detect {
+namespace {
+
+struct SearchState {
+  const graph::AugmentedGraph* g = nullptr;
+  std::vector<graph::NodeId> order;       // decision order
+  std::vector<std::uint8_t> decided;      // 0 = undecided, 1 = W, 2 = U
+  std::uint64_t committed_f = 0;          // cross friendships, both decided
+  std::uint64_t committed_r = 0;          // rejections Ū→U, both decided
+  std::uint64_t open_r = 0;               // arcs with an undecided endpoint
+  graph::NodeId size_u = 0;
+  graph::NodeId min_region = 0;
+  graph::NodeId max_u = 0;
+
+  double best_ratio = std::numeric_limits<double>::infinity();
+  std::vector<char> best_mask;
+  std::uint64_t explored = 0;
+};
+
+void Search(SearchState& st, std::size_t depth) {
+  ++st.explored;
+  const graph::NodeId n = st.g->NumNodes();
+
+  if (depth == st.order.size()) {
+    const graph::NodeId size_w = n - st.size_u;
+    if (st.size_u < st.min_region || size_w < st.min_region ||
+        st.size_u > st.max_u || st.committed_r == 0) {
+      return;
+    }
+    const double ratio = static_cast<double>(st.committed_f) /
+                         static_cast<double>(st.committed_r);
+    if (ratio < st.best_ratio) {
+      st.best_ratio = ratio;
+      st.best_mask.assign(n, 0);
+      for (graph::NodeId v = 0; v < n; ++v) {
+        st.best_mask[v] = st.decided[v] == 2 ? 1 : 0;
+      }
+    }
+    return;
+  }
+
+  // Optimistic bound: F can only grow, R can gain at most every still-open
+  // arc. Prune when even the rosiest completion cannot beat the incumbent.
+  if (st.committed_r + st.open_r > 0) {
+    const double bound = static_cast<double>(st.committed_f) /
+                         static_cast<double>(st.committed_r + st.open_r);
+    if (bound >= st.best_ratio) return;
+  } else if (st.committed_f > 0) {
+    return;  // no rejections can ever enter U on this branch
+  }
+
+  const graph::NodeId v = st.order[depth];
+  const auto& fr = st.g->Friendships();
+  const auto& rej = st.g->Rejections();
+
+  for (std::uint8_t side : {std::uint8_t{1}, std::uint8_t{2}}) {  // W then U
+    if (side == 2 && st.size_u + 1 > st.max_u) continue;
+    st.decided[v] = side;
+    if (side == 2) ++st.size_u;
+
+    std::uint64_t df = 0, dr = 0, dopen = 0;
+    for (graph::NodeId w : fr.Neighbors(v)) {
+      if (st.decided[w] != 0 && st.decided[w] != side) ++df;
+    }
+    // Arcs x→v (x rejected v): count when x ∈ W and v ∈ U.
+    for (graph::NodeId x : rej.Rejectors(v)) {
+      if (st.decided[x] == 0) continue;
+      ++dopen;  // arc becomes fully decided
+      if (side == 2 && st.decided[x] == 1) ++dr;
+    }
+    // Arcs v→y (v rejected y): count when v ∈ W and y ∈ U.
+    for (graph::NodeId y : rej.Rejectees(v)) {
+      if (st.decided[y] == 0) continue;
+      ++dopen;
+      if (side == 1 && st.decided[y] == 2) ++dr;
+    }
+
+    st.committed_f += df;
+    st.committed_r += dr;
+    st.open_r -= dopen;
+
+    Search(st, depth + 1);
+
+    st.committed_f -= df;
+    st.committed_r -= dr;
+    st.open_r += dopen;
+    if (side == 2) --st.size_u;
+    st.decided[v] = 0;
+  }
+}
+
+}  // namespace
+
+ExactMaarCut SolveMaarExact(const graph::AugmentedGraph& g,
+                            const ExactMaarConfig& config) {
+  const graph::NodeId n = g.NumNodes();
+  if (n > config.max_nodes) {
+    throw std::invalid_argument(
+        "SolveMaarExact: graph exceeds the exponential-search cap");
+  }
+  if (config.max_region_fraction <= 0.0 || config.max_region_fraction > 1.0) {
+    throw std::invalid_argument("SolveMaarExact: max_region_fraction");
+  }
+
+  SearchState st;
+  st.g = &g;
+  st.decided.assign(n, 0);
+  st.min_region = config.min_region_size;
+  st.max_u = static_cast<graph::NodeId>(
+      config.max_region_fraction * static_cast<double>(n));
+  st.open_r = g.Rejections().NumArcs();
+
+  // Decide high-rejection-traffic nodes first: their arcs commit early,
+  // tightening the bound near the root.
+  st.order.resize(n);
+  std::iota(st.order.begin(), st.order.end(), 0);
+  std::stable_sort(st.order.begin(), st.order.end(),
+                   [&](graph::NodeId a, graph::NodeId b) {
+                     const auto ta = g.Rejections().InDegree(a) +
+                                     g.Rejections().OutDegree(a);
+                     const auto tb = g.Rejections().InDegree(b) +
+                                     g.Rejections().OutDegree(b);
+                     return ta > tb;
+                   });
+
+  Search(st, 0);
+
+  ExactMaarCut out;
+  out.nodes_explored = st.explored;
+  if (st.best_mask.empty()) return out;
+  out.valid = true;
+  out.in_u = std::move(st.best_mask);
+  out.cut = g.ComputeCut(out.in_u);
+  out.ratio = st.best_ratio;
+  return out;
+}
+
+}  // namespace rejecto::detect

@@ -1,0 +1,40 @@
+// Exact MAAR solver for small graphs, by branch-and-bound enumeration.
+//
+// MAAR is NP-hard (§IV-B), so this is exponential by nature — usable to
+// ~30 nodes — and exists to (a) validate the extended-KL heuristic's
+// quality in tests and the ablation bench, and (b) make the hardness
+// discussion concrete. The search enumerates suspicious sets U by deciding
+// node membership in a DFS, pruning with an optimistic bound: fixing the
+// remaining nodes can never decrease |R⃗(Ū,U)| below the rejections already
+// committed into U, nor remove committed cross friendships whose both
+// endpoints are decided.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/augmented_graph.h"
+
+namespace rejecto::detect {
+
+struct ExactMaarConfig {
+  graph::NodeId min_region_size = 1;
+  double max_region_fraction = 1.0;
+  // Hard safety cap; Solve throws std::invalid_argument beyond it.
+  graph::NodeId max_nodes = 30;
+};
+
+struct ExactMaarCut {
+  bool valid = false;
+  std::vector<char> in_u;
+  graph::CutQuantities cut;
+  double ratio = 0.0;
+  std::uint64_t nodes_explored = 0;  // search-tree accounting
+};
+
+// Finds the exact minimum friends-to-rejections ratio cut subject to the
+// config's validity constraints (same semantics as MaarSolver's).
+ExactMaarCut SolveMaarExact(const graph::AugmentedGraph& g,
+                            const ExactMaarConfig& config);
+
+}  // namespace rejecto::detect

@@ -1,0 +1,44 @@
+// Extended Kernighan–Lin for rejection-augmented social graphs
+// (paper §IV-D, Algorithm 1).
+//
+// For a fixed k > 0, minimizes W(U) = |F(Ū,U)| − k·|R⃗(Ū,U)| by FM-style
+// single-node switching (no balance constraint — region sizes are unknown a
+// priori): each pass greedily pops the max-gain node from a bucket list,
+// tentatively switches it (even at negative gain, to climb out of local
+// minima), then applies the switch-sequence prefix with the largest positive
+// cumulative gain. Passes repeat until no improving prefix exists. Locked
+// nodes (seeds, §IV-F) never enter the bucket list.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/augmented_graph.h"
+
+namespace rejecto::detect {
+
+struct KlConfig {
+  double k = 1.0;                 // rejection weight (> 0)
+  int max_passes = 16;            // safety bound; convergence is typical in <6
+  double gain_resolution = 64.0;  // bucket quantization (buckets per unit)
+};
+
+struct KlStats {
+  int passes = 0;
+  std::uint64_t switches_applied = 0;  // sum of applied prefix lengths
+  double final_objective = 0.0;        // W(U) at termination
+};
+
+struct KlResult {
+  std::vector<char> in_u;
+  graph::CutQuantities cut;
+  KlStats stats;
+};
+
+// `locked` may be empty (nothing pinned); otherwise size must equal
+// g.NumNodes(). init_in_u must already respect the lock placement.
+KlResult ExtendedKl(const graph::AugmentedGraph& g,
+                    std::vector<char> init_in_u,
+                    const std::vector<char>& locked, const KlConfig& config);
+
+}  // namespace rejecto::detect

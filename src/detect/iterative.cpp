@@ -1,0 +1,145 @@
+#include "detect/iterative.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "graph/subgraph.h"
+
+namespace rejecto::detect {
+namespace {
+
+// Per-node suspicion on the residual graph: the fraction of a node's
+// incoming requests that were rejections. Used only to trim the final
+// round's overshoot to the detection target.
+double Suspicion(const graph::AugmentedGraph& g, graph::NodeId v) {
+  const double rej = g.Rejections().InDegree(v);
+  const double fr = g.Friendships().Degree(v);
+  return (rej + fr) == 0 ? 0.0 : rej / (rej + fr);
+}
+
+}  // namespace
+
+DetectionResult DetectFriendSpammers(const graph::AugmentedGraph& g,
+                                     const Seeds& seeds,
+                                     const IterativeConfig& config) {
+  return DetectFriendSpammers(
+      g, seeds, config,
+      [](const graph::AugmentedGraph& residual, const Seeds& s,
+         const MaarConfig& maar) {
+        MaarSolver solver(residual, s, maar);
+        return solver.Solve();
+      });
+}
+
+DetectionResult DetectFriendSpammers(const graph::AugmentedGraph& g,
+                                     const Seeds& seeds,
+                                     const IterativeConfig& config,
+                                     const MaarRunner& solve) {
+  seeds.Validate(g.NumNodes());
+  DetectionResult result;
+
+  // Residual graph plus the mapping of its dense ids back to g's ids.
+  graph::AugmentedGraph residual = g;
+  std::vector<graph::NodeId> to_original(g.NumNodes());
+  std::iota(to_original.begin(), to_original.end(), 0);
+  Seeds cur_seeds = seeds;
+
+  for (int round = 0; round < config.max_rounds; ++round) {
+    if (config.target_detections != 0 &&
+        result.detected.size() >= config.target_detections) {
+      result.hit_target = true;
+      break;
+    }
+    // Mirror MaarSolver's clamp of the minimum region size.
+    const graph::NodeId min_region = std::max<graph::NodeId>(
+        1, std::min<graph::NodeId>(config.maar.min_region_size,
+                                   residual.NumNodes() / 2));
+    if (residual.NumNodes() < 2 * min_region) break;
+
+    MaarConfig maar = config.maar;
+    maar.seed = config.maar.seed + static_cast<std::uint64_t>(round) * 0x9e37ULL;
+    const MaarCut cut = solve(residual, cur_seeds, maar);
+    if (!cut.valid) break;
+
+    const double acceptance = cut.cut.AcceptanceRate();
+    if (config.acceptance_rate_threshold >= 0.0 &&
+        acceptance > config.acceptance_rate_threshold) {
+      break;  // remaining cuts no longer look like friend spam
+    }
+
+    RoundInfo info;
+    info.cut = cut.cut;
+    info.ratio = cut.ratio;
+    info.acceptance_rate = acceptance;
+    info.k = cut.k;
+
+    // Collect this round's suspicious nodes (residual ids).
+    std::vector<graph::NodeId> flagged;
+    for (graph::NodeId v = 0; v < residual.NumNodes(); ++v) {
+      if (cut.in_u[v]) flagged.push_back(v);
+    }
+
+    // Trim a final-round overshoot to the exact target, most suspicious
+    // first, so precision@target is well defined.
+    const bool overshoots =
+        config.target_detections != 0 && config.trim_to_target &&
+        result.detected.size() + flagged.size() > config.target_detections;
+    if (overshoots) {
+      const std::size_t room =
+          static_cast<std::size_t>(config.target_detections) -
+          result.detected.size();
+      std::stable_sort(flagged.begin(), flagged.end(),
+                       [&](graph::NodeId a, graph::NodeId b) {
+                         return Suspicion(residual, a) > Suspicion(residual, b);
+                       });
+      flagged.resize(room);
+    }
+
+    info.detected.reserve(flagged.size());
+    for (graph::NodeId v : flagged) {
+      info.detected.push_back(to_original[v]);
+      result.detected.push_back(to_original[v]);
+    }
+    result.rounds.push_back(std::move(info));
+
+    // Prune the *entire* U region (not the trimmed set) with its links and
+    // rejections, then remap the surviving seeds.
+    std::vector<char> keep(residual.NumNodes(), 1);
+    for (graph::NodeId v = 0; v < residual.NumNodes(); ++v) {
+      if (cut.in_u[v]) keep[v] = 0;
+    }
+    graph::CompactedGraph compacted = graph::InducedSubgraph(residual, keep);
+
+    std::vector<graph::NodeId> new_id(residual.NumNodes(), graph::kInvalidNode);
+    for (graph::NodeId nid = 0;
+         nid < static_cast<graph::NodeId>(compacted.parent_id.size()); ++nid) {
+      new_id[compacted.parent_id[nid]] = nid;
+    }
+    Seeds next_seeds;
+    for (graph::NodeId v : cur_seeds.legit) {
+      if (new_id[v] != graph::kInvalidNode) next_seeds.legit.push_back(new_id[v]);
+    }
+    for (graph::NodeId v : cur_seeds.spammer) {
+      if (new_id[v] != graph::kInvalidNode) {
+        next_seeds.spammer.push_back(new_id[v]);
+      }
+    }
+    std::vector<graph::NodeId> next_to_original(compacted.parent_id.size());
+    for (graph::NodeId nid = 0;
+         nid < static_cast<graph::NodeId>(compacted.parent_id.size()); ++nid) {
+      next_to_original[nid] = to_original[compacted.parent_id[nid]];
+    }
+    residual = std::move(compacted.graph);
+    to_original = std::move(next_to_original);
+    cur_seeds = std::move(next_seeds);
+  }
+
+  if (config.target_detections != 0 &&
+      result.detected.size() >= config.target_detections) {
+    result.hit_target = true;
+  }
+  return result;
+}
+
+}  // namespace rejecto::detect

@@ -1,0 +1,77 @@
+// Iterative friend-spammer detection (paper §IV-E).
+//
+// A single MAAR cut misses disjoint fake-account groups and can be gamed by
+// the self-rejection strategy (attackers craft an even-lower-ratio cut
+// *inside* their own accounts to whitewash the rejecting half). Rejecto
+// therefore repeats: solve MAAR on the residual graph, declare the U region
+// suspicious, prune it with all its links and rejections, and continue. The
+// crafted internal cuts surface first (they have the lowest ratio), so
+// self-rejection only exposes the rejected accounts earlier; the
+// whitewashed accounts are caught in a later round once their rejectors are
+// gone. Rounds yield suspicious groups in non-decreasing aggregate
+// acceptance rate, enabling threshold-based termination.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "detect/maar.h"
+#include "detect/seeds.h"
+#include "graph/augmented_graph.h"
+
+namespace rejecto::detect {
+
+struct IterativeConfig {
+  MaarConfig maar;
+
+  // Stop once at least this many accounts are flagged (the paper uses the
+  // OSN's estimate of the fake population). 0 disables the count condition.
+  std::uint64_t target_detections = 0;
+
+  // When the final round overshoots target_detections, keep only the most
+  // suspicious nodes of that round (ranked by per-node incoming-rejection
+  // ratio on the residual graph) so exactly `target_detections` accounts
+  // are declared.
+  bool trim_to_target = true;
+
+  // Stop *before* flagging a cut whose aggregate acceptance rate exceeds
+  // this (§IV-E "other termination conditions"). Negative disables.
+  double acceptance_rate_threshold = -1.0;
+
+  int max_rounds = 64;
+};
+
+struct RoundInfo {
+  std::vector<graph::NodeId> detected;  // original-graph ids (pre-trim)
+  graph::CutQuantities cut;
+  double ratio = 0.0;
+  double acceptance_rate = 0.0;
+  double k = 0.0;
+};
+
+struct DetectionResult {
+  std::vector<graph::NodeId> detected;  // all flagged accounts, original ids
+  std::vector<RoundInfo> rounds;
+  bool hit_target = false;
+};
+
+// Runs the full Rejecto pipeline on an augmented social graph.
+DetectionResult DetectFriendSpammers(const graph::AugmentedGraph& g,
+                                     const Seeds& seeds,
+                                     const IterativeConfig& config);
+
+// Pluggable-MAAR variant: `solve` is invoked once per round on the residual
+// graph (the serial overload passes MaarSolver::Solve). The distributed
+// engine injects engine::SolveMaarDistributed so the entire iterative
+// pipeline — sweep, refinement, pruning rounds — runs against the cluster
+// substrate with identical results.
+using MaarRunner = std::function<MaarCut(
+    const graph::AugmentedGraph& residual, const Seeds& seeds,
+    const MaarConfig& config)>;
+DetectionResult DetectFriendSpammers(const graph::AugmentedGraph& g,
+                                     const Seeds& seeds,
+                                     const IterativeConfig& config,
+                                     const MaarRunner& solve);
+
+}  // namespace rejecto::detect

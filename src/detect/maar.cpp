@@ -1,0 +1,131 @@
+#include "detect/maar.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace rejecto::detect {
+
+MaarSolver::MaarSolver(const graph::AugmentedGraph& g, Seeds seeds,
+                       MaarConfig config)
+    : MaarSolver(g, std::move(seeds), config,
+                 [](const graph::AugmentedGraph& graph,
+                    std::vector<char> init, const std::vector<char>& locked,
+                    const KlConfig& kl) {
+                   return ExtendedKl(graph, std::move(init), locked, kl);
+                 }) {}
+
+MaarSolver::MaarSolver(const graph::AugmentedGraph& g, Seeds seeds,
+                       MaarConfig config, KlRunner kl_runner)
+    : g_(g),
+      seeds_(std::move(seeds)),
+      config_(config),
+      kl_runner_(std::move(kl_runner)) {
+  seeds_.Validate(g.NumNodes());
+  if (config_.k_min <= 0 || config_.k_max < config_.k_min ||
+      config_.k_scale <= 1.0) {
+    throw std::invalid_argument("MaarSolver: invalid k sweep");
+  }
+  if (!kl_runner_) {
+    throw std::invalid_argument("MaarSolver: null KL runner");
+  }
+  locked_ = BuildLockedMask(g.NumNodes(), seeds_);
+}
+
+std::vector<std::vector<char>> MaarSolver::InitialPartitions(
+    util::Rng& rng) const {
+  const graph::NodeId n = g_.NumNodes();
+  std::vector<std::vector<char>> inits;
+
+  // Rejection heuristic: any node that ever got rejected starts in U. The
+  // sweep's KL runs pull sporadically-rejected legitimate users back out.
+  std::vector<char> heur(n, 0);
+  for (graph::NodeId v = 0; v < n; ++v) {
+    if (g_.Rejections().InDegree(v) > 0) heur[v] = 1;
+  }
+  ApplySeedPlacement(heur, seeds_);
+  inits.push_back(std::move(heur));
+
+  for (int i = 0; i < config_.num_random_inits; ++i) {
+    std::vector<char> mask(n, 0);
+    for (graph::NodeId v = 0; v < n; ++v) {
+      mask[v] = rng.NextBool(config_.random_init_fraction) ? 1 : 0;
+    }
+    ApplySeedPlacement(mask, seeds_);
+    inits.push_back(std::move(mask));
+  }
+  return inits;
+}
+
+bool MaarSolver::IsValid(const std::vector<char>& in_u,
+                         const graph::CutQuantities& cut) const {
+  graph::NodeId size_u = 0;
+  for (char c : in_u) size_u += (c != 0);
+  const graph::NodeId size_w = g_.NumNodes() - size_u;
+  // Clamp the minimum region size only when infeasible: no cut of an
+  // n-node graph can put min_region_size nodes on both sides once
+  // n < 2*min_region_size, so cap it at n/2 (small graphs and late residual
+  // graphs stay solvable); the configured value is honored otherwise.
+  const graph::NodeId min_region = std::max<graph::NodeId>(
+      1, std::min<graph::NodeId>(config_.min_region_size,
+                                 g_.NumNodes() / 2));
+  return size_u >= min_region && size_w >= min_region &&
+         static_cast<double>(size_u) <=
+             config_.max_region_fraction *
+                 static_cast<double>(g_.NumNodes()) &&
+         cut.rejections_into_u > 0;
+}
+
+MaarCut MaarSolver::Solve() {
+  util::Rng rng(config_.seed);
+  const auto inits = InitialPartitions(rng);
+
+  MaarCut best;
+  best.ratio = std::numeric_limits<double>::infinity();
+  int kl_runs = 0;
+
+  auto consider = [&](KlResult&& r, double k) {
+    ++kl_runs;
+    if (!IsValid(r.in_u, r.cut)) return false;
+    const double ratio = r.cut.FriendsToRejectionsRatio();
+    const bool better =
+        ratio < best.ratio - 1e-12 ||
+        (std::abs(ratio - best.ratio) <= 1e-12 &&
+         r.cut.rejections_into_u > best.cut.rejections_into_u);
+    if (better) {
+      best.valid = true;
+      best.in_u = std::move(r.in_u);
+      best.cut = r.cut;
+      best.ratio = ratio;
+      best.k = k;
+      return true;
+    }
+    return false;
+  };
+
+  KlConfig kl = config_.kl;
+  for (double k = config_.k_min; k <= config_.k_max * (1.0 + 1e-9);
+       k *= config_.k_scale) {
+    kl.k = k;
+    for (const auto& init : inits) {
+      consider(kl_runner_(g_, init, locked_, kl), k);
+    }
+  }
+
+  // Dinkelbach refinement: with k set to the best cut's own ratio, the cut's
+  // objective is exactly 0, so any strictly-negative-objective cut found by
+  // KL has a strictly smaller ratio.
+  for (int round = 0; round < config_.dinkelbach_rounds && best.valid;
+       ++round) {
+    const double k = best.ratio;
+    if (!(k > 0) || !std::isfinite(k)) break;  // perfect cut; cannot improve
+    kl.k = k;
+    if (!consider(kl_runner_(g_, best.in_u, locked_, kl), k)) break;
+  }
+
+  best.kl_runs = kl_runs;
+  return best;
+}
+
+}  // namespace rejecto::detect

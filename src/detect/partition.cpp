@@ -1,0 +1,94 @@
+#include "detect/partition.h"
+
+#include <stdexcept>
+
+namespace rejecto::detect {
+
+Partition::Partition(const graph::AugmentedGraph& g, std::vector<char> in_u)
+    : g_(&g), in_u_(std::move(in_u)) {
+  const graph::NodeId n = g.NumNodes();
+  if (in_u_.size() != n) {
+    throw std::invalid_argument("Partition: mask size mismatch");
+  }
+  cross_friends_.assign(n, 0);
+  in_from_w_.assign(n, 0);
+  out_to_u_.assign(n, 0);
+
+  const auto& fr = g.Friendships();
+  const auto& rej = g.Rejections();
+  for (graph::NodeId v = 0; v < n; ++v) {
+    if (in_u_[v]) ++size_u_;
+    for (graph::NodeId w : fr.Neighbors(v)) {
+      if (in_u_[v] != in_u_[w]) ++cross_friends_[v];
+    }
+    for (graph::NodeId x : rej.Rejectors(v)) {
+      if (!in_u_[x]) ++in_from_w_[v];
+    }
+    for (graph::NodeId y : rej.Rejectees(v)) {
+      if (in_u_[y]) ++out_to_u_[v];
+    }
+  }
+  for (graph::NodeId v = 0; v < n; ++v) {
+    if (in_u_[v]) {
+      cross_friendships_ += cross_friends_[v];
+      rejections_into_u_ += in_from_w_[v];
+    }
+  }
+}
+
+void Partition::Switch(graph::NodeId v) {
+  if (v >= NumNodes()) throw std::out_of_range("Partition::Switch: node id");
+  // Update the global totals with the pre-switch deltas.
+  cross_friendships_ = static_cast<std::uint64_t>(
+      static_cast<std::int64_t>(cross_friendships_) + DeltaFriends(v));
+  rejections_into_u_ = static_cast<std::uint64_t>(
+      static_cast<std::int64_t>(rejections_into_u_) + DeltaRejections(v));
+
+  const bool was_in_u = InU(v);
+  in_u_[v] = was_in_u ? 0 : 1;
+  size_u_ += was_in_u ? -1 : 1;
+
+  const auto& fr = g_->Friendships();
+  const auto& rej = g_->Rejections();
+
+  // v's own cross-friend count flips; partners' counts shift by one.
+  cross_friends_[v] = fr.Degree(v) - cross_friends_[v];
+  for (graph::NodeId w : fr.Neighbors(v)) {
+    if (in_u_[v] != in_u_[w]) {
+      ++cross_friends_[w];
+    } else {
+      --cross_friends_[w];
+    }
+  }
+  // v entering U (resp. leaving) makes each rejector x of v gain (lose) an
+  // out-arc into U; each rejectee y of v gains (loses) an in-arc from Ū when
+  // v leaves U (resp. enters).
+  const std::int32_t into_u = was_in_u ? -1 : 1;
+  for (graph::NodeId x : rej.Rejectors(v)) {
+    out_to_u_[x] = static_cast<std::uint32_t>(
+        static_cast<std::int32_t>(out_to_u_[x]) + into_u);
+  }
+  for (graph::NodeId y : rej.Rejectees(v)) {
+    in_from_w_[y] = static_cast<std::uint32_t>(
+        static_cast<std::int32_t>(in_from_w_[y]) - into_u);
+  }
+}
+
+graph::CutQuantities Partition::Quantities() const noexcept {
+  graph::CutQuantities q;
+  q.cross_friendships = cross_friendships_;
+  q.rejections_into_u = rejections_into_u_;
+  // rejections_from_u is not part of the objective, so it is not tracked
+  // incrementally; derive it: for v ∈ Ū, arcs into v from U equal
+  // InDegree(v) − in_from_w(v).
+  std::uint64_t from_u = 0;
+  for (graph::NodeId v = 0; v < NumNodes(); ++v) {
+    if (!in_u_[v]) {
+      from_u += g_->Rejections().InDegree(v) - in_from_w_[v];
+    }
+  }
+  q.rejections_from_u = from_u;
+  return q;
+}
+
+}  // namespace rejecto::detect

@@ -1,0 +1,83 @@
+// Incrementally-maintained bipartition state for the extended KL heuristic.
+//
+// Rejecto minimizes, for a fixed weight k > 0, the linear objective
+//     W(U) = |F(Ū,U)| − k · |R⃗(Ū,U)|                     (paper §IV-D)
+// where U is the suspicious region and R⃗(Ū,U) are rejections cast from
+// outside U onto U. Partition tracks, per node v:
+//     cross_friends_[v] — v's friends on the other side
+//     in_from_w_[v]     — rejections v received from nodes currently in Ū
+//     out_to_u_[v]      — rejections v cast onto nodes currently in U
+// which make both the switch gain of any node and the global cut totals
+// O(1) to read, and a node switch O(deg + rejdeg) to apply. The exact
+// O(E+R) recomputation in AugmentedGraph::ComputeCut is the test oracle.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/augmented_graph.h"
+#include "graph/types.h"
+
+namespace rejecto::detect {
+
+class Partition {
+ public:
+  // in_u[v] != 0 places v in the suspicious region U.
+  // The graph must outlive the partition.
+  Partition(const graph::AugmentedGraph& g, std::vector<char> in_u);
+
+  graph::NodeId NumNodes() const noexcept {
+    return static_cast<graph::NodeId>(in_u_.size());
+  }
+  bool InU(graph::NodeId v) const { return in_u_[v] != 0; }
+  graph::NodeId SizeU() const noexcept { return size_u_; }
+
+  // Moves v to the other side, updating all aggregates.
+  void Switch(graph::NodeId v);
+
+  // Change of W(U) if v switched now: ΔW(v) = ΔF(v) − k·ΔR(v) with
+  //   ΔF(v) = deg(v) − 2·cross_friends(v)
+  //   ΔR(v) = s(v)·(out_to_u(v) − in_from_w(v)),  s(v) = +1 if v∈U else −1.
+  // The switch *gain* (reduction of W) is −DeltaObjective.
+  double DeltaObjective(graph::NodeId v, double k) const {
+    return static_cast<double>(DeltaFriends(v)) -
+           k * static_cast<double>(DeltaRejections(v));
+  }
+
+  std::int64_t DeltaFriends(graph::NodeId v) const {
+    return static_cast<std::int64_t>(g_->Friendships().Degree(v)) -
+           2 * static_cast<std::int64_t>(cross_friends_[v]);
+  }
+
+  std::int64_t DeltaRejections(graph::NodeId v) const {
+    const std::int64_t d = static_cast<std::int64_t>(out_to_u_[v]) -
+                           static_cast<std::int64_t>(in_from_w_[v]);
+    return InU(v) ? d : -d;
+  }
+
+  // Current cut totals (kept in lockstep with switches).
+  graph::CutQuantities Quantities() const noexcept;
+
+  // W(U) under weight k.
+  double Objective(double k) const noexcept {
+    return static_cast<double>(cross_friendships_) -
+           k * static_cast<double>(rejections_into_u_);
+  }
+
+  // Extracts the membership mask.
+  const std::vector<char>& Mask() const noexcept { return in_u_; }
+
+ private:
+  const graph::AugmentedGraph* g_;
+  std::vector<char> in_u_;
+  graph::NodeId size_u_ = 0;
+
+  std::vector<std::uint32_t> cross_friends_;
+  std::vector<std::uint32_t> in_from_w_;
+  std::vector<std::uint32_t> out_to_u_;
+
+  std::uint64_t cross_friendships_ = 0;  // |F(Ū,U)|
+  std::uint64_t rejections_into_u_ = 0;  // |R⃗(Ū,U)|
+};
+
+}  // namespace rejecto::detect

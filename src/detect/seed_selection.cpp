@@ -1,0 +1,57 @@
+#include "detect/seed_selection.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace rejecto::detect {
+
+SeedCandidates SelectSeedCandidates(const graph::SocialGraph& g,
+                                    const SeedSelectionConfig& config) {
+  if (config.total_candidates == 0) {
+    throw std::invalid_argument("SelectSeedCandidates: zero budget");
+  }
+  if (config.max_community_fraction <= 0.0 ||
+      config.max_community_fraction > 1.0) {
+    throw std::invalid_argument(
+        "SelectSeedCandidates: max_community_fraction in (0, 1]");
+  }
+  util::Rng rng(config.seed);
+  const auto communities = graph::LabelPropagation(g, rng);
+  auto members = communities.Members();
+
+  // Largest communities first; they anchor the legitimate region.
+  std::sort(members.begin(), members.end(),
+            [](const auto& a, const auto& b) { return a.size() > b.size(); });
+
+  SeedCandidates out;
+  out.num_communities = communities.num_communities;
+  const double total_nodes = static_cast<double>(g.NumNodes());
+  graph::NodeId budget = std::min<graph::NodeId>(
+      config.total_candidates, g.NumNodes());
+
+  // Proportional allocation with a per-community cap, in rounds so budget
+  // left by capped communities flows to the next ones.
+  for (const auto& community : members) {
+    if (budget == 0) break;
+    if (community.empty()) continue;
+    const double share =
+        static_cast<double>(community.size()) / total_nodes;
+    auto want = static_cast<graph::NodeId>(std::llround(
+        std::ceil(share * static_cast<double>(config.total_candidates))));
+    const auto cap = static_cast<graph::NodeId>(std::max<double>(
+        1.0, config.max_community_fraction *
+                 static_cast<double>(community.size())));
+    want = std::min({want, cap, budget});
+    if (want == 0) continue;
+    for (std::uint64_t idx :
+         rng.SampleWithoutReplacement(community.size(), want)) {
+      out.nodes.push_back(community[static_cast<std::size_t>(idx)]);
+    }
+    budget -= want;
+    ++out.communities_covered;
+  }
+  return out;
+}
+
+}  // namespace rejecto::detect

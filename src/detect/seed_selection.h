@@ -1,0 +1,41 @@
+// Community-based seed candidate selection (paper §IV-F, following
+// SybilRank [15]).
+//
+// Random seeds can leave whole regions of the graph unpinned, letting the
+// KL search carve spurious cuts inside an uncovered legitimate community.
+// The SybilRank-style remedy: detect communities, then nominate inspection
+// candidates spread across them (largest communities first, proportionally
+// to size). The OSN manually verifies the candidates and feeds the
+// confirmed labels back as detect::Seeds.
+#pragma once
+
+#include <vector>
+
+#include "graph/communities.h"
+#include "graph/social_graph.h"
+#include "util/rng.h"
+
+namespace rejecto::detect {
+
+struct SeedSelectionConfig {
+  graph::NodeId total_candidates = 100;
+  // At most this fraction of any single community is nominated (prevents a
+  // tiny community from being fully consumed).
+  double max_community_fraction = 0.5;
+  std::uint64_t seed = 1;
+};
+
+struct SeedCandidates {
+  std::vector<graph::NodeId> nodes;       // inspection candidates
+  std::uint32_t communities_covered = 0;  // distinct communities hit
+  std::uint32_t num_communities = 0;      // total detected communities
+};
+
+// Runs label propagation on `g` and spreads candidates across the detected
+// communities proportionally to community size (every community with
+// >= 1/num_communities share of nodes gets at least one candidate while
+// budget remains).
+SeedCandidates SelectSeedCandidates(const graph::SocialGraph& g,
+                                    const SeedSelectionConfig& config);
+
+}  // namespace rejecto::detect

@@ -1,0 +1,54 @@
+// Known legitimate / spammer seeds (paper §III-B, §IV-F).
+//
+// OSN providers manually verify a small random set of users; Rejecto pins
+// each seed into its region (legit seeds in Ū, spammer seeds in U) and never
+// switches it during the KL search, ruling out spurious small-ratio cuts
+// inside the legitimate region.
+#pragma once
+
+#include <stdexcept>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace rejecto::detect {
+
+struct Seeds {
+  std::vector<graph::NodeId> legit;
+  std::vector<graph::NodeId> spammer;
+
+  // Throws std::invalid_argument on out-of-range ids or overlap between the
+  // two sets.
+  void Validate(graph::NodeId num_nodes) const {
+    std::vector<char> mark(num_nodes, 0);
+    for (graph::NodeId v : legit) {
+      if (v >= num_nodes) throw std::invalid_argument("Seeds: legit id range");
+      mark[v] = 1;
+    }
+    for (graph::NodeId v : spammer) {
+      if (v >= num_nodes) {
+        throw std::invalid_argument("Seeds: spammer id range");
+      }
+      if (mark[v]) {
+        throw std::invalid_argument("Seeds: a node is both legit and spammer");
+      }
+    }
+  }
+};
+
+// Mask of nodes the KL search must never switch.
+inline std::vector<char> BuildLockedMask(graph::NodeId num_nodes,
+                                         const Seeds& seeds) {
+  std::vector<char> locked(num_nodes, 0);
+  for (graph::NodeId v : seeds.legit) locked[v] = 1;
+  for (graph::NodeId v : seeds.spammer) locked[v] = 1;
+  return locked;
+}
+
+// Forces seed membership onto an initial partition mask.
+inline void ApplySeedPlacement(std::vector<char>& in_u, const Seeds& seeds) {
+  for (graph::NodeId v : seeds.legit) in_u[v] = 0;
+  for (graph::NodeId v : seeds.spammer) in_u[v] = 1;
+}
+
+}  // namespace rejecto::detect

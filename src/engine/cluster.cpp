@@ -1,0 +1,16 @@
+#include "engine/cluster.h"
+
+#include <stdexcept>
+
+namespace rejecto::engine {
+
+Cluster::Cluster(const ClusterConfig& config)
+    : config_(config), pool_(config.num_workers) {
+  if (config.prefetch_batch == 0 ||
+      config.prefetch_batch > config.buffer_capacity) {
+    throw std::invalid_argument(
+        "Cluster: prefetch_batch must be in [1, buffer_capacity]");
+  }
+}
+
+}  // namespace rejecto::engine

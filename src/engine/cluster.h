@@ -1,0 +1,34 @@
+// In-process cluster model (paper §V).
+//
+// Wraps a worker thread pool plus the knobs of the prototype's deployment:
+// worker count, prefetch batch size, and master-side buffer capacity. The
+// "network" between master and workers is the metered FetchBatch path of
+// ShardedGraphStore.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "util/thread_pool.h"
+
+namespace rejecto::engine {
+
+struct ClusterConfig {
+  std::uint32_t num_workers = 4;
+  std::size_t prefetch_batch = 64;      // nodes pulled per cache miss
+  std::size_t buffer_capacity = 4096;   // adjacencies cached on the master
+};
+
+class Cluster {
+ public:
+  explicit Cluster(const ClusterConfig& config);
+
+  const ClusterConfig& Config() const noexcept { return config_; }
+  util::ThreadPool& Pool() noexcept { return pool_; }
+
+ private:
+  ClusterConfig config_;
+  util::ThreadPool pool_;
+};
+
+}  // namespace rejecto::engine

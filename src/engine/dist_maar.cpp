@@ -1,0 +1,31 @@
+#include "engine/dist_maar.h"
+
+#include "engine/dist_kl.h"
+
+namespace rejecto::engine {
+
+DistMaarResult SolveMaarDistributed(const graph::AugmentedGraph& g,
+                                    const ShardedGraphStore& store,
+                                    Cluster& cluster,
+                                    const detect::Seeds& seeds,
+                                    const detect::MaarConfig& config) {
+  DistMaarResult result;
+  auto runner = [&](const graph::AugmentedGraph& /*graph*/,
+                    std::vector<char> init, const std::vector<char>& locked,
+                    const detect::KlConfig& kl) {
+    DistKlResult r =
+        DistributedKl(store, std::move(init), locked, kl, cluster);
+    result.io.fetch_requests += r.io.fetch_requests;
+    result.io.nodes_fetched += r.io.nodes_fetched;
+    result.io.bytes_transferred += r.io.bytes_transferred;
+    result.io.cache_hits += r.io.cache_hits;
+    result.io.cache_misses += r.io.cache_misses;
+    result.io.simulated_network_us += r.io.simulated_network_us;
+    return std::move(r.kl);
+  };
+  detect::MaarSolver solver(g, seeds, config, runner);
+  result.cut = solver.Solve();
+  return result;
+}
+
+}  // namespace rejecto::engine

@@ -1,0 +1,75 @@
+#include "engine/prefetch.h"
+
+#include <stdexcept>
+
+namespace rejecto::engine {
+
+PrefetchBuffer::PrefetchBuffer(const ShardedGraphStore& store,
+                               std::size_t capacity, std::size_t batch_size)
+    : store_(&store), capacity_(capacity), batch_size_(batch_size) {
+  if (capacity == 0 || batch_size == 0) {
+    throw std::invalid_argument("PrefetchBuffer: capacity and batch > 0");
+  }
+  if (batch_size > capacity) {
+    throw std::invalid_argument("PrefetchBuffer: batch exceeds capacity");
+  }
+  cache_.reserve(capacity * 2);
+}
+
+void PrefetchBuffer::InsertEvicting(graph::NodeId v, NodeAdjacency adj) {
+  if (auto it = cache_.find(v); it != cache_.end()) {
+    lru_.erase(it->second);
+    cache_.erase(it);
+  }
+  while (cache_.size() >= capacity_) {
+    cache_.erase(lru_.back().first);
+    lru_.pop_back();
+  }
+  lru_.emplace_front(v, std::move(adj));
+  cache_.emplace(v, lru_.begin());
+}
+
+const NodeAdjacency& PrefetchBuffer::Get(graph::NodeId v,
+                                         const CandidateSupplier& candidates) {
+  if (auto it = cache_.find(v); it != cache_.end()) {
+    ++stats_.cache_hits;
+    lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+    return it->second->second;
+  }
+  ++stats_.cache_misses;
+
+  scratch_.clear();
+  scratch_.push_back(v);
+  if (candidates && batch_size_ > 1) {
+    candidates(batch_size_ - 1, scratch_);
+    // Drop duplicates and already-cached ids (beyond the leading v).
+    std::size_t kept = 1;
+    for (std::size_t i = 1;
+         i < scratch_.size() && kept < batch_size_; ++i) {
+      const graph::NodeId c = scratch_[i];
+      if (c == v || cache_.contains(c)) continue;
+      bool dup = false;
+      for (std::size_t j = 1; j < kept; ++j) {
+        if (scratch_[j] == c) {
+          dup = true;
+          break;
+        }
+      }
+      if (!dup) scratch_[kept++] = c;
+    }
+    scratch_.resize(kept);
+  }
+
+  auto fetched = store_->FetchBatch(scratch_, stats_);
+  // Insert prefetched candidates first so v ends up most recent.
+  for (std::size_t i = scratch_.size(); i > 0; --i) {
+    InsertEvicting(scratch_[i - 1], std::move(fetched[i - 1]));
+  }
+  return cache_.find(v)->second->second;
+}
+
+const NodeAdjacency& PrefetchBuffer::Get(graph::NodeId v) {
+  return Get(v, CandidateSupplier{});
+}
+
+}  // namespace rejecto::engine

@@ -1,0 +1,83 @@
+#include "engine/shard_store.h"
+
+#include <stdexcept>
+
+namespace rejecto::engine {
+
+ShardedGraphStore::ShardedGraphStore(const graph::AugmentedGraph& g,
+                                     std::uint32_t num_shards,
+                                     util::ThreadPool& pool,
+                                     const NetworkModel& network)
+    : num_nodes_(g.NumNodes()), pool_(&pool), network_(network) {
+  if (num_shards == 0) {
+    throw std::invalid_argument("ShardedGraphStore: num_shards must be > 0");
+  }
+  shards_.resize(num_shards);
+  for (std::uint32_t s = 0; s < num_shards; ++s) {
+    shards_[s].nodes.resize((num_nodes_ + num_shards - 1 - s) / num_shards);
+  }
+  // Shard loading is embarrassingly parallel across shards.
+  pool_->ParallelFor(num_shards, [&](std::size_t s) {
+    Shard& shard = shards_[s];
+    for (graph::NodeId v = static_cast<graph::NodeId>(s); v < num_nodes_;
+         v += num_shards) {
+      NodeAdjacency& a = shard.nodes[v / num_shards];
+      const auto fr = g.Friendships().Neighbors(v);
+      const auto rin = g.Rejections().Rejectors(v);
+      const auto rout = g.Rejections().Rejectees(v);
+      a.friends.assign(fr.begin(), fr.end());
+      a.rejectors.assign(rin.begin(), rin.end());
+      a.rejectees.assign(rout.begin(), rout.end());
+    }
+  });
+}
+
+std::vector<NodeAdjacency> ShardedGraphStore::FetchBatch(
+    std::span<const graph::NodeId> nodes, IoStats& stats) const {
+  const std::uint32_t num_shards = NumShards();
+  std::vector<std::vector<std::size_t>> by_shard(num_shards);
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (nodes[i] >= num_nodes_) {
+      throw std::out_of_range("ShardedGraphStore::FetchBatch: node id");
+    }
+    by_shard[ShardOf(nodes[i])].push_back(i);
+  }
+
+  std::vector<NodeAdjacency> out(nodes.size());
+  std::vector<std::future<std::uint64_t>> futs;
+  for (std::uint32_t s = 0; s < num_shards; ++s) {
+    if (by_shard[s].empty()) continue;
+    futs.push_back(pool_->Submit([this, s, &by_shard, &nodes, &out]() {
+      std::uint64_t bytes = 0;
+      for (std::size_t i : by_shard[s]) {
+        out[i] = shards_[s].nodes[nodes[i] / NumShards()];
+        bytes += out[i].WireBytes();
+      }
+      return bytes;
+    }));
+  }
+  std::uint64_t batch_bytes = 0;
+  std::uint64_t batch_rpcs = 0;
+  for (auto& f : futs) {
+    batch_bytes += f.get();
+    ++batch_rpcs;
+  }
+  stats.bytes_transferred += batch_bytes;
+  stats.fetch_requests += batch_rpcs;
+  stats.nodes_fetched += nodes.size();
+  // Shard RPCs of one batch fly in parallel: the batch pays one latency
+  // plus the full payload over the shared master link.
+  if (batch_rpcs > 0) {
+    stats.simulated_network_us +=
+        network_.MicrosFor(1, batch_bytes);
+  }
+  return out;
+}
+
+void ShardedGraphStore::ForEachShard(
+    const std::function<void(std::uint32_t)>& fn) const {
+  pool_->ParallelFor(NumShards(),
+                     [&](std::size_t s) { fn(static_cast<std::uint32_t>(s)); });
+}
+
+}  // namespace rejecto::engine

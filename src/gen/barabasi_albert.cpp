@@ -1,0 +1,59 @@
+#include "gen/barabasi_albert.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "graph/builder.h"
+
+namespace rejecto::gen {
+
+graph::SocialGraph BarabasiAlbert(const BarabasiAlbertParams& params,
+                                  util::Rng& rng) {
+  const graph::NodeId n = params.num_nodes;
+  const double m = params.edges_per_node;
+  if (m < 1.0) {
+    throw std::invalid_argument("BarabasiAlbert: edges_per_node must be >= 1");
+  }
+  const auto m_hi = static_cast<std::uint32_t>(std::ceil(m));
+  if (n < m_hi + 1) {
+    throw std::invalid_argument("BarabasiAlbert: too few nodes for m");
+  }
+  const auto m_lo = static_cast<std::uint32_t>(std::floor(m));
+  const double frac = m - static_cast<double>(m_lo);
+
+  graph::GraphBuilder builder(n);
+  // endpoints[i] appears once per incident edge -> uniform sampling from it
+  // is degree-proportional.
+  std::vector<graph::NodeId> endpoints;
+  endpoints.reserve(static_cast<std::size_t>(2.0 * m * n) + 16);
+
+  // Seed clique over the first m_hi + 1 nodes so early arrivals have enough
+  // distinct attachment targets.
+  const graph::NodeId seed_n = m_hi + 1;
+  for (graph::NodeId u = 0; u < seed_n; ++u) {
+    for (graph::NodeId v = u + 1; v < seed_n; ++v) {
+      builder.AddFriendship(u, v);
+      endpoints.push_back(u);
+      endpoints.push_back(v);
+    }
+  }
+
+  std::unordered_set<graph::NodeId> targets;
+  for (graph::NodeId u = seed_n; u < n; ++u) {
+    const std::uint32_t mu =
+        m_lo + ((frac > 0.0 && rng.NextBool(frac)) ? 1u : 0u);
+    targets.clear();
+    while (targets.size() < mu) {
+      targets.insert(endpoints[rng.NextUInt(endpoints.size())]);
+    }
+    for (graph::NodeId v : targets) {
+      builder.AddFriendship(u, v);
+      endpoints.push_back(u);
+      endpoints.push_back(v);
+    }
+  }
+  return builder.BuildSocial();
+}
+
+}  // namespace rejecto::gen

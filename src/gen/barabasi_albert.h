@@ -1,0 +1,25 @@
+// Barabási–Albert preferential-attachment generator [14].
+//
+// Grows a graph one node at a time; each arrival attaches to `m` distinct
+// existing nodes chosen proportionally to degree (implemented with the
+// standard repeated-endpoint trick: sampling uniformly from the flattened
+// edge-endpoint list is exactly degree-proportional). Supports fractional m
+// (each node draws floor(m) or ceil(m) edges with the matching probability)
+// so the dataset registry can hit Table I edge counts.
+#pragma once
+
+#include "graph/social_graph.h"
+#include "util/rng.h"
+
+namespace rejecto::gen {
+
+struct BarabasiAlbertParams {
+  graph::NodeId num_nodes = 0;
+  double edges_per_node = 2.0;  // m; may be fractional, must be >= 1
+};
+
+// Precondition: num_nodes >= ceil(edges_per_node) + 1, edges_per_node >= 1.
+graph::SocialGraph BarabasiAlbert(const BarabasiAlbertParams& params,
+                                  util::Rng& rng);
+
+}  // namespace rejecto::gen

@@ -1,0 +1,118 @@
+#include "gen/datasets.h"
+
+#include <stdexcept>
+
+#include "gen/barabasi_albert.h"
+#include "gen/forest_fire.h"
+#include "gen/holme_kim.h"
+#include "util/rng.h"
+
+namespace rejecto::gen {
+
+const std::vector<DatasetSpec>& TableOneDatasets() {
+  // Calibration notes: edges_per_node targets the published edge count
+  // (edges ≈ edges_per_node × nodes for the growth models);
+  // triad_probability / burn_probability were tuned empirically (see
+  // tests/gen_datasets_test.cpp tolerances) to land in the published
+  // clustering regime.
+  static const std::vector<DatasetSpec> kDatasets = {
+      // The paper's Facebook graph is a forest-fire *sample of real
+      // Facebook*; synthesizing with the forest-fire growth model cannot hit
+      // 40K edges and C=0.23 simultaneously (its clustering saturates near
+      // 0.4), so facebook is calibrated with Holme-Kim like the SNAP graphs.
+      {.name = "facebook",
+       .kind = GeneratorKind::kHolmeKim,
+       .nodes = 10'000,
+       .edges_per_node = 4.01,
+       .triad_probability = 0.55,
+       .paper_edges = 40'013,
+       .paper_clustering = 0.2332,
+       .paper_diameter = 17},
+      {.name = "ca-HepTh",
+       .kind = GeneratorKind::kHolmeKim,
+       .nodes = 9'877,
+       .edges_per_node = 2.64,
+       .triad_probability = 0.44,
+       .paper_edges = 25'985,
+       .paper_clustering = 0.2734,
+       .paper_diameter = 18},
+      {.name = "ca-AstroPh",
+       .kind = GeneratorKind::kHolmeKim,
+       .nodes = 18'772,
+       .edges_per_node = 10.56,
+       // Saturated: HK tops out near C=0.26 at this density; the paper's
+       // 0.3158 is unreachable, this is the closest achievable regime.
+       .triad_probability = 1.0,
+       .paper_edges = 198'080,
+       .paper_clustering = 0.3158,
+       .paper_diameter = 14},
+      {.name = "email-Enron",
+       .kind = GeneratorKind::kHolmeKim,
+       .nodes = 33'696,
+       .edges_per_node = 5.37,
+       .triad_probability = 0.27,
+       .paper_edges = 180'811,
+       .paper_clustering = 0.0848,
+       .paper_diameter = 13},
+      {.name = "soc-Epinions",
+       .kind = GeneratorKind::kHolmeKim,
+       .nodes = 75'877,
+       .edges_per_node = 5.35,
+       .triad_probability = 0.21,
+       .paper_edges = 405'739,
+       .paper_clustering = 0.0655,
+       .paper_diameter = 15},
+      {.name = "soc-Slashdot",
+       .kind = GeneratorKind::kHolmeKim,
+       .nodes = 82'168,
+       .edges_per_node = 6.14,
+       .triad_probability = 0.088,
+       .paper_edges = 504'230,
+       .paper_clustering = 0.0240,
+       .paper_diameter = 13},
+      {.name = "synthetic",
+       .kind = GeneratorKind::kBarabasiAlbert,
+       .nodes = 10'000,
+       .edges_per_node = 3.94,
+       .paper_edges = 39'399,
+       .paper_clustering = 0.0018,
+       .paper_diameter = 7},
+  };
+  return kDatasets;
+}
+
+const DatasetSpec& DatasetByName(std::string_view name) {
+  for (const DatasetSpec& d : TableOneDatasets()) {
+    if (d.name == name) return d;
+  }
+  throw std::invalid_argument("DatasetByName: unknown dataset '" +
+                              std::string(name) + "'");
+}
+
+graph::SocialGraph MakeDataset(const DatasetSpec& spec, std::uint64_t seed) {
+  util::Rng rng(seed);
+  switch (spec.kind) {
+    case GeneratorKind::kForestFire:
+      return ForestFire(
+          {.num_nodes = spec.nodes,
+           .burn_probability = spec.burn_probability,
+           .max_burn_per_node = 300},
+          rng);
+    case GeneratorKind::kHolmeKim:
+      return HolmeKim({.num_nodes = spec.nodes,
+                       .edges_per_node = spec.edges_per_node,
+                       .triad_probability = spec.triad_probability},
+                      rng);
+    case GeneratorKind::kBarabasiAlbert:
+      return BarabasiAlbert(
+          {.num_nodes = spec.nodes, .edges_per_node = spec.edges_per_node},
+          rng);
+  }
+  throw std::logic_error("MakeDataset: unhandled generator kind");
+}
+
+graph::SocialGraph MakeDataset(std::string_view name, std::uint64_t seed) {
+  return MakeDataset(DatasetByName(name), seed);
+}
+
+}  // namespace rejecto::gen

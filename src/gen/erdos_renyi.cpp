@@ -1,0 +1,35 @@
+#include "gen/erdos_renyi.h"
+
+#include <stdexcept>
+#include <unordered_set>
+
+#include "graph/builder.h"
+
+namespace rejecto::gen {
+
+graph::SocialGraph ErdosRenyi(const ErdosRenyiParams& params, util::Rng& rng) {
+  const graph::NodeId n = params.num_nodes;
+  const graph::EdgeId m = params.num_edges;
+  if (n < 2 && m > 0) {
+    throw std::invalid_argument("ErdosRenyi: need >= 2 nodes for edges");
+  }
+  const auto max_edges =
+      static_cast<graph::EdgeId>(n) * (n - 1) / 2;
+  if (m > max_edges) {
+    throw std::invalid_argument("ErdosRenyi: num_edges exceeds n*(n-1)/2");
+  }
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(static_cast<std::size_t>(m) * 2);
+  graph::GraphBuilder builder(n);
+  while (seen.size() < m) {
+    auto u = static_cast<graph::NodeId>(rng.NextUInt(n));
+    auto v = static_cast<graph::NodeId>(rng.NextUInt(n));
+    if (u == v) continue;
+    if (u > v) std::swap(u, v);
+    const std::uint64_t k = (static_cast<std::uint64_t>(u) << 32) | v;
+    if (seen.insert(k).second) builder.AddFriendship(u, v);
+  }
+  return builder.BuildSocial();
+}
+
+}  // namespace rejecto::gen

@@ -1,0 +1,17 @@
+// Erdős–Rényi G(n, m): exactly m distinct uniform random edges. Used for
+// tests and null-model ablations.
+#pragma once
+
+#include "graph/social_graph.h"
+#include "util/rng.h"
+
+namespace rejecto::gen {
+
+struct ErdosRenyiParams {
+  graph::NodeId num_nodes = 0;
+  graph::EdgeId num_edges = 0;  // must be <= n*(n-1)/2
+};
+
+graph::SocialGraph ErdosRenyi(const ErdosRenyiParams& params, util::Rng& rng);
+
+}  // namespace rejecto::gen

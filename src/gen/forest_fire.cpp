@@ -1,0 +1,69 @@
+#include "gen/forest_fire.h"
+
+#include <deque>
+#include <stdexcept>
+#include <vector>
+
+#include "graph/builder.h"
+
+namespace rejecto::gen {
+
+graph::SocialGraph ForestFire(const ForestFireParams& params, util::Rng& rng) {
+  const graph::NodeId n = params.num_nodes;
+  const double p = params.burn_probability;
+  if (n == 0) throw std::invalid_argument("ForestFire: num_nodes must be > 0");
+  if (!(p > 0.0) || p >= 1.0) {
+    throw std::invalid_argument("ForestFire: burn_probability must be in (0,1)");
+  }
+
+  graph::GraphBuilder builder(n);
+  std::vector<std::vector<graph::NodeId>> adj(n);
+  // burned[v] == generation of the node whose fire last touched v; avoids a
+  // per-arrival clear of an n-sized bitmap.
+  std::vector<graph::NodeId> burned(n, graph::kInvalidNode);
+
+  auto link = [&](graph::NodeId u, graph::NodeId v) {
+    builder.AddFriendship(u, v);
+    adj[u].push_back(v);
+    adj[v].push_back(u);
+  };
+
+  std::deque<graph::NodeId> frontier;
+  std::vector<graph::NodeId> picks;
+  for (graph::NodeId u = 1; u < n; ++u) {
+    const graph::NodeId ambassador = static_cast<graph::NodeId>(rng.NextUInt(u));
+    burned[u] = u;  // never burn self
+    burned[ambassador] = u;
+    link(u, ambassador);
+    std::uint32_t links_made = 1;
+    frontier.clear();
+    frontier.push_back(ambassador);
+    while (!frontier.empty()) {
+      const graph::NodeId w = frontier.front();
+      frontier.pop_front();
+      // Burn Geometric(1-p) (mean p/(1-p)) distinct unburned neighbors of w.
+      std::uint64_t to_burn = rng.NextGeometric(1.0 - p);
+      if (to_burn == 0) continue;
+      picks.clear();
+      for (graph::NodeId x : adj[w]) {
+        if (burned[x] != u) picks.push_back(x);
+      }
+      rng.Shuffle(picks);
+      if (picks.size() > to_burn) picks.resize(static_cast<std::size_t>(to_burn));
+      for (graph::NodeId x : picks) {
+        if (params.max_burn_per_node != 0 &&
+            links_made >= params.max_burn_per_node) {
+          frontier.clear();
+          break;
+        }
+        burned[x] = u;
+        link(u, x);
+        ++links_made;
+        frontier.push_back(x);
+      }
+    }
+  }
+  return builder.BuildSocial();
+}
+
+}  // namespace rejecto::gen

@@ -1,0 +1,26 @@
+// Forest-fire graph model (Leskovec, Kleinberg & Faloutsos, KDD 2005) in its
+// undirected form, matching the "forest fire sampling" used for the paper's
+// Facebook sample (§VI-A, [28]).
+//
+// Each arriving node picks a random ambassador, links to it, then "burns"
+// outward: from every newly burned node it selects Geometric(1 - p) of its
+// unburned neighbors, links to all of them, and recurses. Produces heavy
+// community structure, high clustering, and densification — Facebook-like.
+#pragma once
+
+#include "graph/social_graph.h"
+#include "util/rng.h"
+
+namespace rejecto::gen {
+
+struct ForestFireParams {
+  graph::NodeId num_nodes = 0;
+  double burn_probability = 0.5;  // p in (0, 1); higher -> denser graph
+  // Safety valve: cap on links a single arrival may create (keeps the rare
+  // supercritical fire from going quadratic). 0 disables the cap.
+  std::uint32_t max_burn_per_node = 0;
+};
+
+graph::SocialGraph ForestFire(const ForestFireParams& params, util::Rng& rng);
+
+}  // namespace rejecto::gen

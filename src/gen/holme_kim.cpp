@@ -1,0 +1,82 @@
+#include "gen/holme_kim.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <unordered_set>
+#include <vector>
+
+#include "graph/builder.h"
+
+namespace rejecto::gen {
+
+graph::SocialGraph HolmeKim(const HolmeKimParams& params, util::Rng& rng) {
+  const graph::NodeId n = params.num_nodes;
+  const double m = params.edges_per_node;
+  const double pt = params.triad_probability;
+  if (m < 1.0) {
+    throw std::invalid_argument("HolmeKim: edges_per_node must be >= 1");
+  }
+  if (pt < 0.0 || pt > 1.0) {
+    throw std::invalid_argument("HolmeKim: triad_probability must be in [0,1]");
+  }
+  const auto m_hi = static_cast<std::uint32_t>(std::ceil(m));
+  if (n < m_hi + 1) {
+    throw std::invalid_argument("HolmeKim: too few nodes for m");
+  }
+  const auto m_lo = static_cast<std::uint32_t>(std::floor(m));
+  const double frac = m - static_cast<double>(m_lo);
+
+  graph::GraphBuilder builder(n);
+  std::vector<graph::NodeId> endpoints;
+  endpoints.reserve(static_cast<std::size_t>(2.0 * m * n) + 16);
+  // Growing adjacency kept locally for the triad step (builder is write-only).
+  std::vector<std::vector<graph::NodeId>> adj(n);
+
+  auto link = [&](graph::NodeId u, graph::NodeId v) {
+    builder.AddFriendship(u, v);
+    endpoints.push_back(u);
+    endpoints.push_back(v);
+    adj[u].push_back(v);
+    adj[v].push_back(u);
+  };
+
+  const graph::NodeId seed_n = m_hi + 1;
+  for (graph::NodeId u = 0; u < seed_n; ++u) {
+    for (graph::NodeId v = u + 1; v < seed_n; ++v) link(u, v);
+  }
+
+  std::unordered_set<graph::NodeId> chosen;
+  for (graph::NodeId u = seed_n; u < n; ++u) {
+    const std::uint32_t mu =
+        m_lo + ((frac > 0.0 && rng.NextBool(frac)) ? 1u : 0u);
+    chosen.clear();
+    graph::NodeId last_pa = graph::kInvalidNode;  // last preferential target
+    while (chosen.size() < mu) {
+      graph::NodeId v = graph::kInvalidNode;
+      if (last_pa != graph::kInvalidNode && rng.NextBool(pt)) {
+        // Triad formation: a random neighbor of the last PA target that is
+        // not yet linked to u. Give up after a few tries and fall back to PA
+        // (the Holme–Kim prescription).
+        for (int attempt = 0; attempt < 4; ++attempt) {
+          const auto& nb = adj[last_pa];
+          const graph::NodeId cand = nb[rng.NextUInt(nb.size())];
+          if (cand != u && !chosen.contains(cand)) {
+            v = cand;
+            break;
+          }
+        }
+      }
+      if (v == graph::kInvalidNode) {
+        do {
+          v = endpoints[rng.NextUInt(endpoints.size())];
+        } while (v == u || chosen.contains(v));
+        last_pa = v;
+      }
+      chosen.insert(v);
+      link(u, v);
+    }
+  }
+  return builder.BuildSocial();
+}
+
+}  // namespace rejecto::gen

@@ -1,0 +1,25 @@
+// Holme–Kim "powerlaw cluster" generator: Barabási–Albert growth with a
+// triad-formation step, giving scale-free degree distributions with tunable
+// clustering (Holme & Kim, Phys. Rev. E 65, 2002).
+//
+// After each preferential attachment to node w, with probability
+// `triad_probability` the next edge instead connects to a random neighbor of
+// w (closing a triangle); otherwise it is another preferential attachment.
+// The dataset registry (Table I) uses this to match SNAP graphs' clustering
+// coefficients.
+#pragma once
+
+#include "graph/social_graph.h"
+#include "util/rng.h"
+
+namespace rejecto::gen {
+
+struct HolmeKimParams {
+  graph::NodeId num_nodes = 0;
+  double edges_per_node = 2.0;   // may be fractional, must be >= 1
+  double triad_probability = 0;  // in [0, 1]
+};
+
+graph::SocialGraph HolmeKim(const HolmeKimParams& params, util::Rng& rng);
+
+}  // namespace rejecto::gen

@@ -1,0 +1,82 @@
+#include "gen/planted_partition.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "graph/builder.h"
+
+namespace rejecto::gen {
+namespace {
+
+// Visits each pair (i, j), i < j, that is selected by an independent
+// Bernoulli(p) via geometric skipping — O(edges) instead of O(pairs).
+template <typename Visit>
+void SampleBernoulliPairs(std::uint64_t num_pairs, double p, util::Rng& rng,
+                          const Visit& visit) {
+  if (p <= 0.0 || num_pairs == 0) return;
+  if (p >= 1.0) {
+    for (std::uint64_t i = 0; i < num_pairs; ++i) visit(i);
+    return;
+  }
+  std::uint64_t idx = rng.NextGeometric(p);
+  while (idx < num_pairs) {
+    visit(idx);
+    idx += 1 + rng.NextGeometric(p);
+  }
+}
+
+}  // namespace
+
+PlantedPartitionResult PlantedPartition(const PlantedPartitionParams& params,
+                                        util::Rng& rng) {
+  const graph::NodeId n = params.num_nodes;
+  const std::uint32_t c = params.num_communities;
+  if (c == 0 || n < c) {
+    throw std::invalid_argument("PlantedPartition: invalid community count");
+  }
+  if (params.p_in < 0 || params.p_in > 1 || params.p_out < 0 ||
+      params.p_out > 1) {
+    throw std::invalid_argument("PlantedPartition: probabilities in [0,1]");
+  }
+
+  PlantedPartitionResult out;
+  out.community_of.resize(n);
+  std::vector<std::vector<graph::NodeId>> members(c);
+  for (graph::NodeId u = 0; u < n; ++u) {
+    const std::uint32_t g = u % c;  // round-robin gives equal-size groups
+    out.community_of[u] = g;
+    members[g].push_back(u);
+  }
+
+  graph::GraphBuilder builder(n);
+  // Intra-community pairs.
+  for (const auto& grp : members) {
+    const std::uint64_t sz = grp.size();
+    if (sz < 2) continue;
+    SampleBernoulliPairs(sz * (sz - 1) / 2, params.p_in, rng,
+                         [&](std::uint64_t k) {
+                           // Unrank pair index k -> (i, j), i < j.
+                           const auto i = static_cast<std::uint64_t>(
+                               (std::sqrt(8.0 * static_cast<double>(k) + 1) - 1) / 2);
+                           std::uint64_t row = i;
+                           // Guard against floating-point unranking drift.
+                           while ((row + 1) * (row + 2) / 2 <= k) ++row;
+                           while (row * (row + 1) / 2 > k) --row;
+                           const std::uint64_t j = k - row * (row + 1) / 2;
+                           builder.AddFriendship(grp[row + 1], grp[j]);
+                         });
+  }
+  // Inter-community pairs, per community pair (a, b).
+  for (std::uint32_t a = 0; a < c; ++a) {
+    for (std::uint32_t b = a + 1; b < c; ++b) {
+      const std::uint64_t na = members[a].size(), nb = members[b].size();
+      SampleBernoulliPairs(na * nb, params.p_out, rng, [&](std::uint64_t k) {
+        builder.AddFriendship(members[a][k / nb], members[b][k % nb]);
+      });
+    }
+  }
+  out.graph = builder.BuildSocial();
+  return out;
+}
+
+}  // namespace rejecto::gen

@@ -1,0 +1,27 @@
+// Planted-partition (stochastic block) model: `num_communities` equal-size
+// groups, intra-community edge probability p_in, inter-community p_out.
+// Used for community-structure ablations and for seeding-strategy tests
+// (§IV-F mentions community-based seed selection).
+#pragma once
+
+#include "graph/social_graph.h"
+#include "util/rng.h"
+
+namespace rejecto::gen {
+
+struct PlantedPartitionParams {
+  graph::NodeId num_nodes = 0;
+  std::uint32_t num_communities = 2;
+  double p_in = 0.1;
+  double p_out = 0.01;
+};
+
+struct PlantedPartitionResult {
+  graph::SocialGraph graph;
+  std::vector<std::uint32_t> community_of;  // per node
+};
+
+PlantedPartitionResult PlantedPartition(const PlantedPartitionParams& params,
+                                        util::Rng& rng);
+
+}  // namespace rejecto::gen

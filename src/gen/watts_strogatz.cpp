@@ -1,0 +1,66 @@
+#include "gen/watts_strogatz.h"
+
+#include <stdexcept>
+#include <unordered_set>
+
+#include "graph/builder.h"
+
+namespace rejecto::gen {
+
+graph::SocialGraph WattsStrogatz(const WattsStrogatzParams& params,
+                                 util::Rng& rng) {
+  const graph::NodeId n = params.num_nodes;
+  const std::uint32_t k = params.lattice_degree;
+  const double beta = params.rewire_probability;
+  if (k % 2 != 0) {
+    throw std::invalid_argument("WattsStrogatz: lattice_degree must be even");
+  }
+  if (n <= k) {
+    throw std::invalid_argument("WattsStrogatz: need num_nodes > lattice_degree");
+  }
+  if (beta < 0.0 || beta > 1.0) {
+    throw std::invalid_argument("WattsStrogatz: rewire_probability in [0,1]");
+  }
+
+  // Edge set maintained as normalized 64-bit keys so rewiring can test
+  // duplicates in O(1).
+  auto key = [](graph::NodeId a, graph::NodeId b) {
+    if (a > b) std::swap(a, b);
+    return (static_cast<std::uint64_t>(a) << 32) | b;
+  };
+  std::unordered_set<std::uint64_t> edges;
+  edges.reserve(static_cast<std::size_t>(n) * k / 2 * 2);
+  for (graph::NodeId u = 0; u < n; ++u) {
+    for (std::uint32_t j = 1; j <= k / 2; ++j) {
+      edges.insert(key(u, (u + j) % n));
+    }
+  }
+
+  // Rewire: for each original lattice edge (u, u+j), with prob beta replace
+  // it by (u, random) avoiding self-loops and duplicates.
+  for (graph::NodeId u = 0; u < n; ++u) {
+    for (std::uint32_t j = 1; j <= k / 2; ++j) {
+      const graph::NodeId v = (u + j) % n;
+      if (!rng.NextBool(beta)) continue;
+      if (!edges.contains(key(u, v))) continue;  // already rewired away
+      // Try a handful of random targets; give up (keep edge) if the node is
+      // saturated.
+      for (int attempt = 0; attempt < 16; ++attempt) {
+        const auto w = static_cast<graph::NodeId>(rng.NextUInt(n));
+        if (w == u || edges.contains(key(u, w))) continue;
+        edges.erase(key(u, v));
+        edges.insert(key(u, w));
+        break;
+      }
+    }
+  }
+
+  graph::GraphBuilder builder(n);
+  for (std::uint64_t e : edges) {
+    builder.AddFriendship(static_cast<graph::NodeId>(e >> 32),
+                          static_cast<graph::NodeId>(e & 0xffffffffULL));
+  }
+  return builder.BuildSocial();
+}
+
+}  // namespace rejecto::gen

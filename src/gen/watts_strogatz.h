@@ -1,0 +1,20 @@
+// Watts–Strogatz small-world generator: ring lattice with k neighbors per
+// node, each lattice edge rewired with probability beta. High clustering at
+// low beta with logarithmic path lengths — used for ablations and tests.
+#pragma once
+
+#include "graph/social_graph.h"
+#include "util/rng.h"
+
+namespace rejecto::gen {
+
+struct WattsStrogatzParams {
+  graph::NodeId num_nodes = 0;
+  std::uint32_t lattice_degree = 4;  // k, must be even and < num_nodes
+  double rewire_probability = 0.1;   // beta in [0, 1]
+};
+
+graph::SocialGraph WattsStrogatz(const WattsStrogatzParams& params,
+                                 util::Rng& rng);
+
+}  // namespace rejecto::gen

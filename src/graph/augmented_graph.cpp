@@ -1,0 +1,46 @@
+#include "graph/augmented_graph.h"
+
+#include <limits>
+#include <stdexcept>
+
+namespace rejecto::graph {
+
+double CutQuantities::FriendsToRejectionsRatio() const noexcept {
+  if (rejections_into_u == 0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return static_cast<double>(cross_friendships) /
+         static_cast<double>(rejections_into_u);
+}
+
+AugmentedGraph::AugmentedGraph(SocialGraph friendships,
+                               RejectionGraph rejections)
+    : friendships_(std::move(friendships)), rejections_(std::move(rejections)) {
+  if (friendships_.NumNodes() != rejections_.NumNodes()) {
+    throw std::invalid_argument(
+        "AugmentedGraph: friendship and rejection graphs must share the node "
+        "set");
+  }
+}
+
+CutQuantities AugmentedGraph::ComputeCut(const std::vector<char>& in_u) const {
+  if (in_u.size() != NumNodes()) {
+    throw std::invalid_argument("AugmentedGraph::ComputeCut: mask size");
+  }
+  CutQuantities q;
+  for (NodeId u = 0; u < NumNodes(); ++u) {
+    if (!in_u[u]) continue;
+    for (NodeId v : friendships_.Neighbors(u)) {
+      if (!in_u[v]) ++q.cross_friendships;
+    }
+    for (NodeId v : rejections_.Rejectors(u)) {
+      if (!in_u[v]) ++q.rejections_into_u;
+    }
+    for (NodeId v : rejections_.Rejectees(u)) {
+      if (!in_u[v]) ++q.rejections_from_u;
+    }
+  }
+  return q;
+}
+
+}  // namespace rejecto::graph

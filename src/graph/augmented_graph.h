@@ -1,0 +1,63 @@
+// The rejection-augmented social graph G = (V, F, R⃗) (paper §III-A), plus
+// the cut quantities Rejecto's objective is defined over.
+//
+// For a "suspicious" node set U (represented as a boolean membership mask):
+//   F(Ū,U)   — friendships straddling the cut (attack edges, if U = Sybils)
+//   R⃗(Ū,U)  — rejections cast from outside U onto members of U
+//   AC⟨U,Ū⟩ — aggregate acceptance rate of requests from U to Ū:
+//              |F(Ū,U)| / (|F(Ū,U)| + |R⃗(Ū,U)|)
+// These reference implementations are O(E); the detector maintains them
+// incrementally, and the tests check it against these.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/rejection_graph.h"
+#include "graph/social_graph.h"
+#include "graph/types.h"
+
+namespace rejecto::graph {
+
+struct CutQuantities {
+  std::uint64_t cross_friendships = 0;   // |F(Ū,U)|
+  std::uint64_t rejections_into_u = 0;   // |R⃗(Ū,U)|
+  std::uint64_t rejections_from_u = 0;   // |R⃗(U,Ū)|
+
+  // Aggregate acceptance rate AC⟨U,Ū⟩ of the requests from U to Ū.
+  // Returns 1.0 for the degenerate 0/0 cut (no cross requests at all).
+  double AcceptanceRate() const noexcept {
+    const std::uint64_t denom = cross_friendships + rejections_into_u;
+    return denom == 0 ? 1.0
+                      : static_cast<double>(cross_friendships) /
+                            static_cast<double>(denom);
+  }
+
+  // Friends-to-rejections ratio |F(Ū,U)| / |R⃗(Ū,U)| — the quantity the
+  // MAAR cut minimizes (§IV-B). Infinity when there are no incoming
+  // rejections (such cuts are invalid MAAR candidates).
+  double FriendsToRejectionsRatio() const noexcept;
+};
+
+class AugmentedGraph {
+ public:
+  AugmentedGraph() = default;
+
+  // Precondition: both graphs have the same node count.
+  AugmentedGraph(SocialGraph friendships, RejectionGraph rejections);
+
+  NodeId NumNodes() const noexcept { return friendships_.NumNodes(); }
+
+  const SocialGraph& Friendships() const noexcept { return friendships_; }
+  const RejectionGraph& Rejections() const noexcept { return rejections_; }
+
+  // O(E+R) reference computation of the cut quantities for suspicious set
+  // U = { u : in_u[u] }. Precondition: in_u.size() == NumNodes().
+  CutQuantities ComputeCut(const std::vector<char>& in_u) const;
+
+ private:
+  SocialGraph friendships_;
+  RejectionGraph rejections_;
+};
+
+}  // namespace rejecto::graph

@@ -1,0 +1,94 @@
+#include "graph/builder.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace rejecto::graph {
+namespace {
+
+// Sorts, dedups, and converts a directed arc list into CSR arrays.
+struct Csr {
+  std::vector<std::size_t> offsets;
+  std::vector<NodeId> adj;
+};
+
+Csr ToCsr(NodeId num_nodes, std::vector<std::pair<NodeId, NodeId>> pairs) {
+  std::sort(pairs.begin(), pairs.end());
+  pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
+  Csr csr;
+  csr.offsets.assign(static_cast<std::size_t>(num_nodes) + 1, 0);
+  for (const auto& [from, to] : pairs) ++csr.offsets[from + 1];
+  for (std::size_t i = 1; i < csr.offsets.size(); ++i) {
+    csr.offsets[i] += csr.offsets[i - 1];
+  }
+  csr.adj.reserve(pairs.size());
+  for (const auto& [from, to] : pairs) csr.adj.push_back(to);
+  return csr;
+}
+
+}  // namespace
+
+NodeId GraphBuilder::AddNode() { return AddNodes(1); }
+
+NodeId GraphBuilder::AddNodes(NodeId count) {
+  const NodeId first = num_nodes_;
+  num_nodes_ += count;
+  return first;
+}
+
+void GraphBuilder::AddFriendship(NodeId u, NodeId v) {
+  if (u == v) {
+    throw std::invalid_argument("GraphBuilder: self-friendship is not allowed");
+  }
+  Touch(u);
+  Touch(v);
+  edges_.push_back({std::min(u, v), std::max(u, v)});
+}
+
+void GraphBuilder::AddRejection(NodeId from, NodeId to) {
+  if (from == to) {
+    throw std::invalid_argument("GraphBuilder: self-rejection arc <u,u>");
+  }
+  Touch(from);
+  Touch(to);
+  arcs_.push_back({from, to});
+}
+
+SocialGraph GraphBuilder::BuildSocial() const {
+  std::vector<std::pair<NodeId, NodeId>> pairs;
+  pairs.reserve(edges_.size() * 2);
+  for (const Edge& e : edges_) {
+    pairs.emplace_back(e.u, e.v);
+    pairs.emplace_back(e.v, e.u);
+  }
+  Csr csr = ToCsr(num_nodes_, std::move(pairs));
+  return SocialGraph(num_nodes_, std::move(csr.offsets), std::move(csr.adj));
+}
+
+RejectionGraph GraphBuilder::BuildRejection() const {
+  std::vector<std::pair<NodeId, NodeId>> out;
+  out.reserve(arcs_.size());
+  for (const Arc& a : arcs_) out.emplace_back(a.from, a.to);
+  Csr out_csr = ToCsr(num_nodes_, std::move(out));
+
+  // The in-adjacency must mirror the deduplicated out-adjacency exactly.
+  std::vector<std::pair<NodeId, NodeId>> in;
+  in.reserve(out_csr.adj.size());
+  for (NodeId u = 0; u < num_nodes_; ++u) {
+    for (std::size_t i = out_csr.offsets[u]; i < out_csr.offsets[u + 1]; ++i) {
+      in.emplace_back(out_csr.adj[i], u);
+    }
+  }
+  Csr in_csr = ToCsr(num_nodes_, std::move(in));
+
+  return RejectionGraph(num_nodes_, std::move(out_csr.offsets),
+                        std::move(out_csr.adj), std::move(in_csr.offsets),
+                        std::move(in_csr.adj));
+}
+
+AugmentedGraph GraphBuilder::BuildAugmented() const {
+  return AugmentedGraph(BuildSocial(), BuildRejection());
+}
+
+}  // namespace rejecto::graph

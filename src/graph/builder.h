@@ -1,0 +1,56 @@
+// Mutable accumulator producing immutable CSR graphs.
+//
+// GraphBuilder collects undirected friendship edges and directed rejection
+// arcs, then freezes them into SocialGraph / RejectionGraph / AugmentedGraph.
+// Duplicates and self-loops are dropped at build time (a duplicate friend
+// edge cannot exist in a symmetric OSN; repeated rejections between the same
+// ordered pair collapse to one arc, §III-A).
+#pragma once
+
+#include <vector>
+
+#include "graph/augmented_graph.h"
+#include "graph/rejection_graph.h"
+#include "graph/social_graph.h"
+#include "graph/types.h"
+
+namespace rejecto::graph {
+
+class GraphBuilder {
+ public:
+  // num_nodes may grow implicitly: adding an edge touching node u extends
+  // the node range to u+1.
+  explicit GraphBuilder(NodeId num_nodes = 0) : num_nodes_(num_nodes) {}
+
+  NodeId NumNodes() const noexcept { return num_nodes_; }
+
+  // Reserves and returns the id of a fresh node.
+  NodeId AddNode();
+
+  // Adds `count` fresh nodes, returning the first new id.
+  NodeId AddNodes(NodeId count);
+
+  // Undirected friendship. Self-loops are rejected.
+  void AddFriendship(NodeId u, NodeId v);
+
+  // Directed rejection: `from` rejected a request sent by `to`.
+  void AddRejection(NodeId from, NodeId to);
+
+  std::size_t NumPendingEdges() const noexcept { return edges_.size(); }
+  std::size_t NumPendingArcs() const noexcept { return arcs_.size(); }
+
+  // Freeze. Builders remain reusable (building does not consume state), so a
+  // scenario can snapshot the friendship graph before and after an attack.
+  SocialGraph BuildSocial() const;
+  RejectionGraph BuildRejection() const;
+  AugmentedGraph BuildAugmented() const;
+
+ private:
+  void Touch(NodeId u) { num_nodes_ = std::max(num_nodes_, u + 1); }
+
+  NodeId num_nodes_ = 0;
+  std::vector<Edge> edges_;
+  std::vector<Arc> arcs_;
+};
+
+}  // namespace rejecto::graph

@@ -1,0 +1,113 @@
+#include "graph/communities.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace rejecto::graph {
+
+std::vector<std::vector<NodeId>> CommunityResult::Members() const {
+  std::vector<std::vector<NodeId>> members(num_communities);
+  for (NodeId v = 0; v < community_of.size(); ++v) {
+    members[community_of[v]].push_back(v);
+  }
+  return members;
+}
+
+CommunityResult LabelPropagation(const SocialGraph& g, util::Rng& rng,
+                                 int max_iterations) {
+  const NodeId n = g.NumNodes();
+  CommunityResult result;
+  std::vector<NodeId> label(n);
+  std::iota(label.begin(), label.end(), 0);
+
+  std::vector<NodeId> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::unordered_map<NodeId, std::uint32_t> counts;
+
+  for (int it = 0; it < max_iterations; ++it) {
+    ++result.iterations;
+    rng.Shuffle(order);
+    bool changed = false;
+    for (NodeId v : order) {
+      const auto nbrs = g.Neighbors(v);
+      if (nbrs.empty()) continue;
+      counts.clear();
+      for (NodeId w : nbrs) ++counts[label[w]];
+      // Most frequent neighbor label; ties -> smallest label id, which
+      // keeps the sweep deterministic given the shuffled order.
+      NodeId best = label[v];
+      std::uint32_t best_count = 0;
+      for (const auto& [lab, cnt] : counts) {
+        if (cnt > best_count || (cnt == best_count && lab < best)) {
+          best = lab;
+          best_count = cnt;
+        }
+      }
+      if (best != label[v]) {
+        label[v] = best;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+
+  // Compact label ids to dense [0, k).
+  std::unordered_map<NodeId, std::uint32_t> dense;
+  result.community_of.resize(n);
+  for (NodeId v = 0; v < n; ++v) {
+    auto [it, inserted] =
+        dense.try_emplace(label[v], static_cast<std::uint32_t>(dense.size()));
+    result.community_of[v] = it->second;
+  }
+  result.num_communities = static_cast<std::uint32_t>(dense.size());
+  return result;
+}
+
+double Modularity(const SocialGraph& g,
+                  const std::vector<std::uint32_t>& labels) {
+  if (labels.size() != g.NumNodes()) {
+    throw std::invalid_argument("Modularity: label vector size mismatch");
+  }
+  const double two_m = 2.0 * static_cast<double>(g.NumEdges());
+  if (two_m == 0.0) return 0.0;
+  // Q = Σ_c [ e_c / m − (vol_c / 2m)² ] with e_c intra-community edges.
+  std::unordered_map<std::uint32_t, double> intra, vol;
+  for (NodeId u = 0; u < g.NumNodes(); ++u) {
+    vol[labels[u]] += g.Degree(u);
+    for (NodeId v : g.Neighbors(u)) {
+      if (u < v && labels[u] == labels[v]) intra[labels[u]] += 1.0;
+    }
+  }
+  double q = 0.0;
+  for (const auto& [label, volume] : vol) {
+    const auto it = intra.find(label);
+    const double e_c = it == intra.end() ? 0.0 : it->second;
+    q += e_c / (two_m / 2.0) - (volume / two_m) * (volume / two_m);
+  }
+  return q;
+}
+
+double Conductance(const SocialGraph& g, const std::vector<char>& in_set) {
+  if (in_set.size() != g.NumNodes()) {
+    throw std::invalid_argument("Conductance: mask size mismatch");
+  }
+  std::uint64_t cut = 0, vol_in = 0, vol_out = 0;
+  for (NodeId u = 0; u < g.NumNodes(); ++u) {
+    if (in_set[u]) {
+      vol_in += g.Degree(u);
+    } else {
+      vol_out += g.Degree(u);
+    }
+    if (!in_set[u]) continue;
+    for (NodeId v : g.Neighbors(u)) {
+      if (!in_set[v]) ++cut;
+    }
+  }
+  const std::uint64_t denom = std::min(vol_in, vol_out);
+  if (denom == 0) return 1.0;
+  return static_cast<double>(cut) / static_cast<double>(denom);
+}
+
+}  // namespace rejecto::graph

@@ -1,0 +1,47 @@
+// Community detection via label propagation (Raghavan et al. 2007).
+//
+// Used for the community-based seed selection of §IV-F: SybilRank [15]
+// distributes manually-verified seeds across communities so the trust (or
+// here, the pinned KL placement) covers the whole legitimate region rather
+// than one neighborhood. Label propagation is near-linear and needs no
+// parameters: every node repeatedly adopts the most frequent label among
+// its neighbors (ties broken by smallest label for determinism) until a
+// fixpoint or the iteration cap.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/social_graph.h"
+#include "util/rng.h"
+
+namespace rejecto::graph {
+
+struct CommunityResult {
+  // Dense community id per node (isolated nodes form singleton communities).
+  std::vector<std::uint32_t> community_of;
+  std::uint32_t num_communities = 0;
+  int iterations = 0;  // sweeps until fixpoint (or the cap)
+
+  std::vector<std::vector<NodeId>> Members() const;
+};
+
+// `rng` randomizes the node visiting order per sweep (the algorithm's
+// standard symmetry breaker); results are deterministic given the seed.
+CommunityResult LabelPropagation(const SocialGraph& g, util::Rng& rng,
+                                 int max_iterations = 32);
+
+// Newman modularity Q of a node labeling: the fraction of edges inside
+// communities minus the expectation under the configuration null model.
+// Q in [-1/2, 1); higher = stronger community structure. Precondition:
+// labels.size() == g.NumNodes(); returns 0 for edgeless graphs.
+double Modularity(const SocialGraph& g,
+                  const std::vector<std::uint32_t>& labels);
+
+// Conductance of a node set S: cut(S, S̄) / min(vol(S), vol(S̄)) where vol
+// is the sum of degrees. Low conductance = a well-separated region — the
+// structural property Sybil regions violate only via attack edges.
+// Returns 1.0 when either side has zero volume.
+double Conductance(const SocialGraph& g, const std::vector<char>& in_set);
+
+}  // namespace rejecto::graph

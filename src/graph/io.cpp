@@ -1,0 +1,107 @@
+#include "graph/io.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "graph/builder.h"
+
+namespace rejecto::graph {
+
+LoadedGraph LoadEdgeList(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("LoadEdgeList: cannot open " + path);
+  }
+  GraphBuilder builder;
+  std::unordered_map<std::uint64_t, NodeId> dense;
+  std::vector<std::uint64_t> original;
+  auto intern = [&](std::uint64_t raw) -> NodeId {
+    auto [it, inserted] = dense.try_emplace(raw, builder.NumNodes());
+    if (inserted) {
+      builder.AddNode();
+      original.push_back(raw);
+    }
+    return it->second;
+  };
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::uint64_t a = 0, b = 0;
+    if (!(ls >> a >> b)) {
+      throw std::runtime_error("LoadEdgeList: malformed line " +
+                               std::to_string(lineno) + " in " + path);
+    }
+    if (a == b) continue;  // drop self-loops, as SNAP consumers do
+    // Intern in reading order (function-argument evaluation order would be
+    // unspecified) so original_id is ordered by first appearance.
+    const NodeId ua = intern(a);
+    const NodeId ub = intern(b);
+    builder.AddFriendship(ua, ub);
+  }
+  return {builder.BuildSocial(), std::move(original)};
+}
+
+LoadedAugmentedGraph LoadAugmentedGraph(const std::string& friendships_path,
+                                        const std::string& rejections_path) {
+  GraphBuilder builder;
+  LoadedAugmentedGraph out;
+  auto intern = [&](std::uint64_t raw) -> NodeId {
+    auto [it, inserted] = out.dense_id.try_emplace(raw, builder.NumNodes());
+    if (inserted) {
+      builder.AddNode();
+      out.original_id.push_back(raw);
+    }
+    return it->second;
+  };
+  auto parse = [&](const std::string& path, bool friendships) {
+    std::ifstream in(path);
+    if (!in) {
+      throw std::runtime_error("LoadAugmentedGraph: cannot open " + path);
+    }
+    std::string line;
+    std::size_t lineno = 0;
+    while (std::getline(in, line)) {
+      ++lineno;
+      if (line.empty() || line[0] == '#') continue;
+      std::istringstream ls(line);
+      std::uint64_t a = 0, b = 0;
+      if (!(ls >> a >> b)) {
+        throw std::runtime_error("LoadAugmentedGraph: malformed line " +
+                                 std::to_string(lineno) + " in " + path);
+      }
+      if (a == b) continue;
+      const NodeId ua = intern(a);
+      const NodeId ub = intern(b);
+      if (friendships) {
+        builder.AddFriendship(ua, ub);
+      } else {
+        builder.AddRejection(ua, ub);
+      }
+    }
+  };
+  parse(friendships_path, /*friendships=*/true);
+  parse(rejections_path, /*friendships=*/false);
+  out.graph = builder.BuildAugmented();
+  return out;
+}
+
+void SaveEdgeList(const SocialGraph& g, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("SaveEdgeList: cannot open " + path);
+  }
+  out << "# Undirected edge list: " << g.NumNodes() << " nodes, "
+      << g.NumEdges() << " edges\n";
+  for (const Edge& e : g.Edges()) {
+    out << e.u << ' ' << e.v << '\n';
+  }
+  if (!out) {
+    throw std::runtime_error("SaveEdgeList: write failure on " + path);
+  }
+}
+
+}  // namespace rejecto::graph

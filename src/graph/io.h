@@ -1,0 +1,43 @@
+// Edge-list I/O in the SNAP text format: one whitespace-separated node pair
+// per line, '#' comment lines ignored. Node ids in files may be sparse;
+// loading remaps them to dense [0, n) ids and returns the mapping so results
+// can be reported in original ids.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/augmented_graph.h"
+#include "graph/social_graph.h"
+#include "graph/types.h"
+
+namespace rejecto::graph {
+
+struct LoadedGraph {
+  SocialGraph graph;
+  // dense id -> original file id
+  std::vector<std::uint64_t> original_id;
+};
+
+// Throws std::runtime_error on unreadable files or malformed lines.
+LoadedGraph LoadEdgeList(const std::string& path);
+
+// Writes "u v" per edge (dense ids), preceded by a comment header.
+void SaveEdgeList(const SocialGraph& g, const std::string& path);
+
+struct LoadedAugmentedGraph {
+  AugmentedGraph graph;
+  // dense id -> original file id (shared by both input files)
+  std::vector<std::uint64_t> original_id;
+  std::unordered_map<std::uint64_t, NodeId> dense_id;
+};
+
+// Loads a friendship edge list plus a rejection arc list ("rejector
+// rejected_sender" per line, same comment syntax) into one augmented graph
+// over a shared id space. Nodes appearing in either file are included.
+LoadedAugmentedGraph LoadAugmentedGraph(const std::string& friendships_path,
+                                        const std::string& rejections_path);
+
+}  // namespace rejecto::graph

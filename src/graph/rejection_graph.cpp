@@ -1,0 +1,42 @@
+#include "graph/rejection_graph.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rejecto::graph {
+
+RejectionGraph::RejectionGraph(NodeId num_nodes,
+                               std::vector<std::size_t> out_offsets,
+                               std::vector<NodeId> out_adj,
+                               std::vector<std::size_t> in_offsets,
+                               std::vector<NodeId> in_adj)
+    : num_nodes_(num_nodes),
+      num_arcs_(out_adj.size()),
+      out_offsets_(std::move(out_offsets)),
+      out_adj_(std::move(out_adj)),
+      in_offsets_(std::move(in_offsets)),
+      in_adj_(std::move(in_adj)) {}
+
+void RejectionGraph::CheckNode(NodeId u) const {
+  if (u >= num_nodes_) {
+    throw std::out_of_range("RejectionGraph: node id out of range");
+  }
+}
+
+bool RejectionGraph::HasArc(NodeId from, NodeId to) const {
+  CheckNode(from);
+  CheckNode(to);
+  const auto out = Rejectees(from);
+  return std::binary_search(out.begin(), out.end(), to);
+}
+
+std::vector<Arc> RejectionGraph::Arcs() const {
+  std::vector<Arc> arcs;
+  arcs.reserve(static_cast<std::size_t>(num_arcs_));
+  for (NodeId u = 0; u < num_nodes_; ++u) {
+    for (NodeId v : Rejectees(u)) arcs.push_back({u, v});
+  }
+  return arcs;
+}
+
+}  // namespace rejecto::graph

@@ -1,0 +1,74 @@
+// Immutable directed rejection graph with both out- and in-adjacency in CSR
+// form.
+//
+// An arc <u, v> records that u rejected (or reported) a friend request from
+// v (paper §III-A). Multiple rejections between the same ordered pair are
+// collapsed to a single arc, as in the paper. Both adjacency directions are
+// materialized because the extended-KL gain computation needs a node's
+// rejectors *and* rejectees (§IV-D), and VoteTrust needs the request graph
+// in both directions.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace rejecto::graph {
+
+class RejectionGraph {
+ public:
+  RejectionGraph() = default;
+
+  NodeId NumNodes() const noexcept { return num_nodes_; }
+  EdgeId NumArcs() const noexcept { return num_arcs_; }
+
+  // Users that u rejected requests from (sorted).
+  std::span<const NodeId> Rejectees(NodeId u) const {
+    CheckNode(u);
+    return {out_adj_.data() + out_offsets_[u],
+            out_adj_.data() + out_offsets_[u + 1]};
+  }
+
+  // Users that rejected u's requests (sorted).
+  std::span<const NodeId> Rejectors(NodeId u) const {
+    CheckNode(u);
+    return {in_adj_.data() + in_offsets_[u],
+            in_adj_.data() + in_offsets_[u + 1]};
+  }
+
+  std::uint32_t OutDegree(NodeId u) const {
+    CheckNode(u);
+    return static_cast<std::uint32_t>(out_offsets_[u + 1] - out_offsets_[u]);
+  }
+
+  std::uint32_t InDegree(NodeId u) const {
+    CheckNode(u);
+    return static_cast<std::uint32_t>(in_offsets_[u + 1] - in_offsets_[u]);
+  }
+
+  // O(log outdeg(from)) membership test for arc <from, to>.
+  bool HasArc(NodeId from, NodeId to) const;
+
+  // All arcs in (from, to) lexicographic order.
+  std::vector<Arc> Arcs() const;
+
+ private:
+  friend class GraphBuilder;
+  RejectionGraph(NodeId num_nodes, std::vector<std::size_t> out_offsets,
+                 std::vector<NodeId> out_adj,
+                 std::vector<std::size_t> in_offsets,
+                 std::vector<NodeId> in_adj);
+
+  void CheckNode(NodeId u) const;
+
+  NodeId num_nodes_ = 0;
+  EdgeId num_arcs_ = 0;
+  std::vector<std::size_t> out_offsets_;
+  std::vector<NodeId> out_adj_;
+  std::vector<std::size_t> in_offsets_;
+  std::vector<NodeId> in_adj_;
+};
+
+}  // namespace rejecto::graph

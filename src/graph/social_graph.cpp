@@ -1,0 +1,44 @@
+#include "graph/social_graph.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rejecto::graph {
+
+SocialGraph::SocialGraph(NodeId num_nodes, std::vector<std::size_t> offsets,
+                         std::vector<NodeId> adjacency)
+    : num_nodes_(num_nodes),
+      num_edges_(adjacency.size() / 2),
+      offsets_(std::move(offsets)),
+      adjacency_(std::move(adjacency)) {
+  for (NodeId u = 0; u < num_nodes_; ++u) {
+    max_degree_ = std::max(
+        max_degree_, static_cast<std::uint32_t>(offsets_[u + 1] - offsets_[u]));
+  }
+}
+
+void SocialGraph::CheckNode(NodeId u) const {
+  if (u >= num_nodes_) {
+    throw std::out_of_range("SocialGraph: node id out of range");
+  }
+}
+
+bool SocialGraph::HasEdge(NodeId u, NodeId v) const {
+  CheckNode(u);
+  CheckNode(v);
+  const auto nbrs = Neighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+std::vector<Edge> SocialGraph::Edges() const {
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(num_edges_));
+  for (NodeId u = 0; u < num_nodes_; ++u) {
+    for (NodeId v : Neighbors(u)) {
+      if (u < v) edges.push_back({u, v});
+    }
+  }
+  return edges;
+}
+
+}  // namespace rejecto::graph

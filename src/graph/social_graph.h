@@ -1,0 +1,58 @@
+// Immutable undirected social graph in CSR (compressed sparse row) form.
+//
+// Nodes are dense ids [0, NumNodes()). Neighbor lists are sorted, enabling
+// O(log deg) membership tests and cache-friendly scans. Construction goes
+// through graph::GraphBuilder, which deduplicates edges and removes
+// self-loops.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace rejecto::graph {
+
+class SocialGraph {
+ public:
+  SocialGraph() = default;
+
+  NodeId NumNodes() const noexcept { return num_nodes_; }
+  EdgeId NumEdges() const noexcept { return num_edges_; }
+
+  std::uint32_t Degree(NodeId u) const {
+    CheckNode(u);
+    return static_cast<std::uint32_t>(offsets_[u + 1] - offsets_[u]);
+  }
+
+  // Sorted neighbor list of u.
+  std::span<const NodeId> Neighbors(NodeId u) const {
+    CheckNode(u);
+    return {adjacency_.data() + offsets_[u],
+            adjacency_.data() + offsets_[u + 1]};
+  }
+
+  // O(log deg(u)) membership test.
+  bool HasEdge(NodeId u, NodeId v) const;
+
+  // All edges, each reported once with e.u < e.v.
+  std::vector<Edge> Edges() const;
+
+  std::uint32_t MaxDegree() const noexcept { return max_degree_; }
+
+ private:
+  friend class GraphBuilder;
+  SocialGraph(NodeId num_nodes, std::vector<std::size_t> offsets,
+              std::vector<NodeId> adjacency);
+
+  void CheckNode(NodeId u) const;
+
+  NodeId num_nodes_ = 0;
+  EdgeId num_edges_ = 0;
+  std::uint32_t max_degree_ = 0;
+  std::vector<std::size_t> offsets_;  // size num_nodes_ + 1
+  std::vector<NodeId> adjacency_;     // size 2 * num_edges_
+};
+
+}  // namespace rejecto::graph

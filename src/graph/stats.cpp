@@ -1,0 +1,174 @@
+#include "graph/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+
+namespace rejecto::graph {
+
+double AverageClusteringCoefficient(const SocialGraph& g) {
+  const NodeId n = g.NumNodes();
+  if (n == 0) return 0.0;
+  double sum = 0.0;
+  for (NodeId u = 0; u < n; ++u) {
+    const auto nbrs = g.Neighbors(u);
+    const std::size_t d = nbrs.size();
+    if (d < 2) continue;
+    // Count links among u's neighbors by merging each neighbor's (sorted)
+    // adjacency with nbrs. Cost O(Σ_v∈N(u) deg(v)) per node.
+    std::uint64_t links = 0;
+    for (NodeId v : nbrs) {
+      const auto vn = g.Neighbors(v);
+      // Intersect vn with nbrs via two-pointer merge.
+      std::size_t i = 0, j = 0;
+      while (i < vn.size() && j < nbrs.size()) {
+        if (vn[i] < nbrs[j]) {
+          ++i;
+        } else if (vn[i] > nbrs[j]) {
+          ++j;
+        } else {
+          ++links;
+          ++i;
+          ++j;
+        }
+      }
+    }
+    // Every triangle edge was counted twice (once from each endpoint).
+    sum += static_cast<double>(links) / static_cast<double>(d * (d - 1));
+  }
+  return sum / static_cast<double>(n);
+}
+
+std::vector<std::uint32_t> BfsDistances(const SocialGraph& g, NodeId src) {
+  constexpr std::uint32_t kUnreached = std::numeric_limits<std::uint32_t>::max();
+  std::vector<std::uint32_t> dist(g.NumNodes(), kUnreached);
+  std::queue<NodeId> q;
+  dist[src] = 0;
+  q.push(src);
+  while (!q.empty()) {
+    const NodeId u = q.front();
+    q.pop();
+    for (NodeId v : g.Neighbors(u)) {
+      if (dist[v] == kUnreached) {
+        dist[v] = dist[u] + 1;
+        q.push(v);
+      }
+    }
+  }
+  return dist;
+}
+
+Components ConnectedComponents(const SocialGraph& g) {
+  Components c;
+  c.component_of.assign(g.NumNodes(), kInvalidNode);
+  std::vector<NodeId> sizes;
+  std::queue<NodeId> q;
+  for (NodeId s = 0; s < g.NumNodes(); ++s) {
+    if (c.component_of[s] != kInvalidNode) continue;
+    const NodeId id = c.count++;
+    sizes.push_back(0);
+    c.component_of[s] = id;
+    q.push(s);
+    while (!q.empty()) {
+      const NodeId u = q.front();
+      q.pop();
+      ++sizes[id];
+      for (NodeId v : g.Neighbors(u)) {
+        if (c.component_of[v] == kInvalidNode) {
+          c.component_of[v] = id;
+          q.push(v);
+        }
+      }
+    }
+  }
+  for (NodeId id = 0; id < c.count; ++id) {
+    if (sizes[id] > c.largest_size) {
+      c.largest_size = sizes[id];
+      c.largest = id;
+    }
+  }
+  return c;
+}
+
+std::uint32_t EstimateDiameter(const SocialGraph& g, int num_samples,
+                               util::Rng& rng) {
+  if (g.NumNodes() == 0) return 0;
+  const Components comps = ConnectedComponents(g);
+  std::vector<NodeId> lcc;
+  for (NodeId u = 0; u < g.NumNodes(); ++u) {
+    if (comps.component_of[u] == comps.largest) lcc.push_back(u);
+  }
+  if (lcc.size() <= 1) return 0;
+
+  std::uint32_t best = 0;
+  NodeId start = lcc[rng.NextUInt(lcc.size())];
+  for (int s = 0; s < num_samples; ++s) {
+    const auto dist = BfsDistances(g, start);
+    NodeId farthest = start;
+    std::uint32_t ecc = 0;
+    for (NodeId u : lcc) {
+      if (dist[u] != std::numeric_limits<std::uint32_t>::max() &&
+          dist[u] > ecc) {
+        ecc = dist[u];
+        farthest = u;
+      }
+    }
+    best = std::max(best, ecc);
+    // Double-sweep: continue from the farthest node; occasionally restart
+    // randomly to escape a non-peripheral basin.
+    start = (s % 4 == 3) ? lcc[rng.NextUInt(lcc.size())] : farthest;
+  }
+  return best;
+}
+
+std::vector<std::uint64_t> DegreeHistogram(const SocialGraph& g) {
+  std::vector<std::uint64_t> counts(g.MaxDegree() + 1, 0);
+  for (NodeId u = 0; u < g.NumNodes(); ++u) ++counts[g.Degree(u)];
+  return counts;
+}
+
+double EstimatePowerLawExponent(const SocialGraph& g, std::uint32_t d_min) {
+  if (d_min == 0) {
+    throw std::invalid_argument("EstimatePowerLawExponent: d_min must be > 0");
+  }
+  std::uint64_t n_tail = 0;
+  double log_sum = 0.0;
+  const double shift = static_cast<double>(d_min) - 0.5;
+  for (NodeId u = 0; u < g.NumNodes(); ++u) {
+    const std::uint32_t d = g.Degree(u);
+    if (d >= d_min) {
+      ++n_tail;
+      log_sum += std::log(static_cast<double>(d) / shift);
+    }
+  }
+  if (n_tail < 10 || log_sum <= 0.0) return 0.0;
+  return 1.0 + static_cast<double>(n_tail) / log_sum;
+}
+
+DegreeStats ComputeDegreeStats(const SocialGraph& g) {
+  DegreeStats s;
+  const NodeId n = g.NumNodes();
+  if (n == 0) return s;
+  std::vector<std::uint32_t> degs(n);
+  std::uint64_t total = 0;
+  s.min = std::numeric_limits<std::uint32_t>::max();
+  for (NodeId u = 0; u < n; ++u) {
+    degs[u] = g.Degree(u);
+    total += degs[u];
+    s.min = std::min(s.min, degs[u]);
+    s.max = std::max(s.max, degs[u]);
+  }
+  s.mean = static_cast<double>(total) / static_cast<double>(n);
+  auto mid = degs.begin() + n / 2;
+  std::nth_element(degs.begin(), mid, degs.end());
+  s.median = static_cast<double>(*mid);
+  if (n % 2 == 0) {
+    const auto lower = std::max_element(degs.begin(), mid);
+    s.median = (s.median + static_cast<double>(*lower)) / 2.0;
+  }
+  return s;
+}
+
+}  // namespace rejecto::graph

@@ -1,0 +1,59 @@
+// Graph statistics used to calibrate the Table I dataset registry and to
+// sanity-check generated graphs: average local clustering coefficient,
+// BFS-based diameter estimation, degree distribution, and connected
+// components.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/social_graph.h"
+#include "util/rng.h"
+
+namespace rejecto::graph {
+
+// Average local clustering coefficient over all nodes (nodes of degree < 2
+// contribute 0), the definition used by SNAP for Table I.
+double AverageClusteringCoefficient(const SocialGraph& g);
+
+// Lower-bound diameter estimate: max eccentricity observed across BFS sweeps
+// from `num_samples` start nodes chosen by the double-sweep heuristic (each
+// sweep restarts from the farthest node found, which converges on peripheral
+// nodes quickly). Exact on graphs whose true diameter is realized from a
+// sampled node. Only the largest connected component is considered.
+std::uint32_t EstimateDiameter(const SocialGraph& g, int num_samples,
+                               util::Rng& rng);
+
+// Connected component id per node (ids are dense, 0-based, ordered by first
+// appearance) plus the component count.
+struct Components {
+  std::vector<NodeId> component_of;
+  NodeId count = 0;
+  NodeId largest = 0;        // id of the largest component
+  NodeId largest_size = 0;
+};
+Components ConnectedComponents(const SocialGraph& g);
+
+// BFS distances from `src` (kInvalidNode-distance encoded as UINT32_MAX).
+std::vector<std::uint32_t> BfsDistances(const SocialGraph& g, NodeId src);
+
+struct DegreeStats {
+  std::uint32_t min = 0;
+  std::uint32_t max = 0;
+  double mean = 0.0;
+  double median = 0.0;
+};
+DegreeStats ComputeDegreeStats(const SocialGraph& g);
+
+// Degree histogram: counts[d] = number of nodes with degree d.
+std::vector<std::uint64_t> DegreeHistogram(const SocialGraph& g);
+
+// Maximum-likelihood estimate of the power-law exponent alpha of the
+// degree distribution's tail (degrees >= d_min), via the discrete
+// approximation of Clauset–Shalizi–Newman:
+//   alpha ≈ 1 + n_tail / Σ ln(d / (d_min − 0.5)).
+// Returns 0 when fewer than 10 nodes reach d_min. Used to verify the
+// scale-free property of the BA/HK generators (alpha ≈ 3 for pure BA).
+double EstimatePowerLawExponent(const SocialGraph& g, std::uint32_t d_min);
+
+}  // namespace rejecto::graph

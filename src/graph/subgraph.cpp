@@ -1,0 +1,41 @@
+#include "graph/subgraph.h"
+
+#include <stdexcept>
+
+#include "graph/builder.h"
+
+namespace rejecto::graph {
+
+CompactedGraph InducedSubgraph(const AugmentedGraph& g,
+                               const std::vector<char>& keep) {
+  if (keep.size() != g.NumNodes()) {
+    throw std::invalid_argument("InducedSubgraph: mask size mismatch");
+  }
+  std::vector<NodeId> new_id(g.NumNodes(), kInvalidNode);
+  CompactedGraph out;
+  for (NodeId u = 0; u < g.NumNodes(); ++u) {
+    if (keep[u]) {
+      new_id[u] = static_cast<NodeId>(out.parent_id.size());
+      out.parent_id.push_back(u);
+    }
+  }
+  GraphBuilder builder(static_cast<NodeId>(out.parent_id.size()));
+  const auto& fr = g.Friendships();
+  for (NodeId u = 0; u < g.NumNodes(); ++u) {
+    if (!keep[u]) continue;
+    for (NodeId v : fr.Neighbors(u)) {
+      if (u < v && keep[v]) builder.AddFriendship(new_id[u], new_id[v]);
+    }
+  }
+  const auto& rej = g.Rejections();
+  for (NodeId u = 0; u < g.NumNodes(); ++u) {
+    if (!keep[u]) continue;
+    for (NodeId v : rej.Rejectees(u)) {
+      if (keep[v]) builder.AddRejection(new_id[u], new_id[v]);
+    }
+  }
+  out.graph = builder.BuildAugmented();
+  return out;
+}
+
+}  // namespace rejecto::graph

@@ -1,0 +1,27 @@
+// Node-induced subgraph compaction.
+//
+// The iterative detector (§IV-E) prunes each detected spammer group — with
+// all its friendships and rejections — and re-solves MAAR on the residual
+// graph. Compaction produces a fresh dense-id AugmentedGraph plus the
+// mapping back to the parent graph's ids.
+#pragma once
+
+#include <vector>
+
+#include "graph/augmented_graph.h"
+#include "graph/types.h"
+
+namespace rejecto::graph {
+
+struct CompactedGraph {
+  AugmentedGraph graph;
+  // new dense id -> id in the parent graph
+  std::vector<NodeId> parent_id;
+};
+
+// Keeps exactly the nodes with keep[u] != 0 and the edges/arcs with both
+// endpoints kept. Precondition: keep.size() == g.NumNodes().
+CompactedGraph InducedSubgraph(const AugmentedGraph& g,
+                               const std::vector<char>& keep);
+
+}  // namespace rejecto::graph

@@ -1,0 +1,35 @@
+// Fundamental graph types shared across the repository.
+//
+// Model (paper §III-A): an augmented social graph G = (V, F, R⃗) where V is
+// the user set, F the undirected OSN friendship links (mutual agreement),
+// and R⃗ the *directed* social rejections: an arc <u, v> means user u
+// rejected / ignored / reported a friend request sent by user v.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace rejecto::graph {
+
+using NodeId = std::uint32_t;
+using EdgeId = std::uint64_t;
+
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+
+// Undirected friendship edge.
+struct Edge {
+  NodeId u = kInvalidNode;
+  NodeId v = kInvalidNode;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+// Directed rejection arc: `from` rejected a request sent by `to`.
+struct Arc {
+  NodeId from = kInvalidNode;
+  NodeId to = kInvalidNode;
+
+  friend bool operator==(const Arc&, const Arc&) = default;
+};
+
+}  // namespace rejecto::graph

@@ -1,0 +1,35 @@
+#include "metrics/classification.h"
+
+#include <stdexcept>
+
+namespace rejecto::metrics {
+
+ConfusionCounts EvaluateDetection(const std::vector<char>& is_fake,
+                                  std::span<const graph::NodeId> declared) {
+  std::vector<char> flagged(is_fake.size(), 0);
+  for (graph::NodeId v : declared) {
+    if (v >= is_fake.size()) {
+      throw std::out_of_range("EvaluateDetection: declared id out of range");
+    }
+    flagged[v] = 1;
+  }
+  ConfusionCounts c;
+  for (std::size_t v = 0; v < is_fake.size(); ++v) {
+    if (flagged[v]) {
+      if (is_fake[v]) {
+        ++c.true_positives;
+      } else {
+        ++c.false_positives;
+      }
+    } else {
+      if (is_fake[v]) {
+        ++c.false_negatives;
+      } else {
+        ++c.true_negatives;
+      }
+    }
+  }
+  return c;
+}
+
+}  // namespace rejecto::metrics

@@ -1,0 +1,52 @@
+// Detection-quality metrics (paper §VI-A).
+//
+// The paper's headline metric: both schemes declare exactly as many
+// suspicious accounts as fakes were injected, making precision == recall
+// ("precision/recall" on every figure's y-axis).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace rejecto::metrics {
+
+struct ConfusionCounts {
+  std::uint64_t true_positives = 0;
+  std::uint64_t false_positives = 0;
+  std::uint64_t true_negatives = 0;
+  std::uint64_t false_negatives = 0;
+
+  double Precision() const noexcept {
+    const auto declared = true_positives + false_positives;
+    return declared == 0 ? 0.0
+                         : static_cast<double>(true_positives) /
+                               static_cast<double>(declared);
+  }
+  double Recall() const noexcept {
+    const auto actual = true_positives + false_negatives;
+    return actual == 0 ? 0.0
+                       : static_cast<double>(true_positives) /
+                             static_cast<double>(actual);
+  }
+  double F1() const noexcept {
+    const double p = Precision(), r = Recall();
+    return (p + r) == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+  }
+  double Accuracy() const noexcept {
+    const auto total = true_positives + false_positives + true_negatives +
+                       false_negatives;
+    return total == 0 ? 0.0
+                      : static_cast<double>(true_positives + true_negatives) /
+                            static_cast<double>(total);
+  }
+};
+
+// Scores `declared` against ground truth is_fake (one flag per node).
+// Duplicate ids in `declared` are counted once. Throws on out-of-range ids.
+ConfusionCounts EvaluateDetection(const std::vector<char>& is_fake,
+                                  std::span<const graph::NodeId> declared);
+
+}  // namespace rejecto::metrics

@@ -1,0 +1,114 @@
+#include "metrics/ranking.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace rejecto::metrics {
+
+double AreaUnderRoc(std::span<const double> scores,
+                    const std::vector<char>& is_fake,
+                    const std::vector<char>& mask) {
+  if (scores.size() != is_fake.size()) {
+    throw std::invalid_argument("AreaUnderRoc: size mismatch");
+  }
+  if (!mask.empty() && mask.size() != scores.size()) {
+    throw std::invalid_argument("AreaUnderRoc: mask size mismatch");
+  }
+  std::vector<std::size_t> idx;
+  idx.reserve(scores.size());
+  for (std::size_t v = 0; v < scores.size(); ++v) {
+    if (mask.empty() || mask[v]) idx.push_back(v);
+  }
+  std::sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
+    return scores[a] < scores[b];
+  });
+
+  // Rank-sum with average ranks over tie groups.
+  std::uint64_t num_fake = 0, num_legit = 0;
+  double fake_rank_sum = 0.0;
+  std::size_t i = 0;
+  while (i < idx.size()) {
+    std::size_t j = i;
+    while (j < idx.size() && scores[idx[j]] == scores[idx[i]]) ++j;
+    const double avg_rank = (static_cast<double>(i) + static_cast<double>(j) +
+                             1.0) / 2.0;  // 1-based average rank of the group
+    for (std::size_t t = i; t < j; ++t) {
+      if (is_fake[idx[t]]) {
+        fake_rank_sum += avg_rank;
+        ++num_fake;
+      } else {
+        ++num_legit;
+      }
+    }
+    i = j;
+  }
+  if (num_fake == 0 || num_legit == 0) return 1.0;  // degenerate: undefined
+  const double u = fake_rank_sum - static_cast<double>(num_fake) *
+                                       (static_cast<double>(num_fake) + 1.0) /
+                                       2.0;
+  // u counts legit nodes ranked below fakes (ties half); AUC of "fakes at
+  // the bottom" is the complement.
+  return 1.0 - u / (static_cast<double>(num_fake) *
+                    static_cast<double>(num_legit));
+}
+
+std::vector<RocPoint> RocCurve(std::span<const double> scores,
+                               const std::vector<char>& is_fake) {
+  if (scores.size() != is_fake.size()) {
+    throw std::invalid_argument("RocCurve: size mismatch");
+  }
+  std::vector<std::size_t> idx(scores.size());
+  std::iota(idx.begin(), idx.end(), 0);
+  std::sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
+    return scores[a] < scores[b];
+  });
+  std::uint64_t total_fake = 0, total_legit = 0;
+  for (std::size_t v = 0; v < is_fake.size(); ++v) {
+    if (is_fake[v]) {
+      ++total_fake;
+    } else {
+      ++total_legit;
+    }
+  }
+  std::vector<RocPoint> curve;
+  curve.push_back({0.0, 0.0});
+  std::uint64_t fake_seen = 0, legit_seen = 0;
+  std::size_t i = 0;
+  while (i < idx.size()) {
+    std::size_t j = i;
+    while (j < idx.size() && scores[idx[j]] == scores[idx[i]]) ++j;
+    for (std::size_t t = i; t < j; ++t) {
+      if (is_fake[idx[t]]) {
+        ++fake_seen;
+      } else {
+        ++legit_seen;
+      }
+    }
+    curve.push_back(
+        {total_legit == 0 ? 1.0
+                          : static_cast<double>(legit_seen) /
+                                static_cast<double>(total_legit),
+         total_fake == 0 ? 1.0
+                         : static_cast<double>(fake_seen) /
+                               static_cast<double>(total_fake)});
+    i = j;
+  }
+  return curve;
+}
+
+std::vector<graph::NodeId> LowestScored(std::span<const double> scores,
+                                        std::size_t k) {
+  std::vector<graph::NodeId> idx(scores.size());
+  std::iota(idx.begin(), idx.end(), 0);
+  k = std::min(k, idx.size());
+  std::partial_sort(idx.begin(), idx.begin() + static_cast<std::ptrdiff_t>(k),
+                    idx.end(), [&](graph::NodeId a, graph::NodeId b) {
+                      if (scores[a] != scores[b]) return scores[a] < scores[b];
+                      return a < b;
+                    });
+  idx.resize(k);
+  return idx;
+}
+
+}  // namespace rejecto::metrics

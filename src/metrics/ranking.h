@@ -1,0 +1,40 @@
+// Ranking metrics: ROC / AUC for trust rankings (paper Fig 16 measures
+// SybilRank's ranking quality as area under the ROC curve), plus helpers to
+// turn a score vector into a declared-suspicious set.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace rejecto::metrics {
+
+// Area under the ROC curve of a *trust* ranking: the probability that a
+// uniformly random fake scores strictly below a uniformly random legitimate
+// node, counting ties as 1/2 (the Mann–Whitney U statistic). 1.0 means all
+// fakes rank at the bottom; 0.5 is random. Nodes with mask[v] == 0 are
+// excluded entirely (used to score only the residual graph in Fig 16);
+// pass an empty mask to include everyone.
+// Precondition: scores.size() == is_fake.size().
+double AreaUnderRoc(std::span<const double> scores,
+                    const std::vector<char>& is_fake,
+                    const std::vector<char>& mask = {});
+
+struct RocPoint {
+  double false_positive_rate = 0.0;
+  double true_positive_rate = 0.0;
+};
+
+// ROC curve of the "low score => declared fake" classifier swept over all
+// thresholds. Points are ordered by increasing FPR, starting at (0,0) and
+// ending at (1,1).
+std::vector<RocPoint> RocCurve(std::span<const double> scores,
+                               const std::vector<char>& is_fake);
+
+// Ids of the k lowest-scored nodes (ties broken by id for determinism).
+std::vector<graph::NodeId> LowestScored(std::span<const double> scores,
+                                        std::size_t k);
+
+}  // namespace rejecto::metrics

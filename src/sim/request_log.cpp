@@ -1,0 +1,98 @@
+#include "sim/request_log.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "graph/builder.h"
+
+namespace rejecto::sim {
+
+void RequestLog::GrowTo(graph::NodeId num_nodes) {
+  if (num_nodes < num_nodes_) {
+    throw std::invalid_argument("RequestLog::GrowTo: cannot shrink");
+  }
+  num_nodes_ = num_nodes;
+}
+
+void RequestLog::Add(graph::NodeId sender, graph::NodeId receiver,
+                     Response response) {
+  if (sender == receiver) {
+    throw std::invalid_argument("RequestLog::Add: self-request");
+  }
+  if (sender >= num_nodes_ || receiver >= num_nodes_) {
+    throw std::out_of_range("RequestLog::Add: node id out of range");
+  }
+  requests_.push_back({sender, receiver, response});
+  if (response == Response::kAccepted) {
+    ++num_accepted_;
+  } else {
+    ++num_rejected_;
+  }
+}
+
+void RequestLog::Save(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("RequestLog::Save: cannot open " + path);
+  }
+  out << "# rejecto request log: nodes=" << num_nodes_
+      << " requests=" << requests_.size() << '\n';
+  for (const FriendRequest& r : requests_) {
+    out << r.sender << ' ' << r.receiver << ' '
+        << (r.response == Response::kAccepted ? 'A' : 'R') << '\n';
+  }
+  if (!out) {
+    throw std::runtime_error("RequestLog::Save: write failure on " + path);
+  }
+}
+
+RequestLog RequestLog::Load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("RequestLog::Load: cannot open " + path);
+  }
+  RequestLog log;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      // Honor the node-count header so isolated trailing nodes survive a
+      // round trip.
+      const auto pos = line.find("nodes=");
+      if (pos != std::string::npos) {
+        log.GrowTo(static_cast<graph::NodeId>(
+            std::stoull(line.substr(pos + 6))));
+      }
+      continue;
+    }
+    std::istringstream ls(line);
+    graph::NodeId sender = 0, receiver = 0;
+    char resp = 0;
+    if (!(ls >> sender >> receiver >> resp) || (resp != 'A' && resp != 'R')) {
+      throw std::runtime_error("RequestLog::Load: malformed line " +
+                               std::to_string(lineno) + " in " + path);
+    }
+    log.GrowTo(std::max({log.NumNodes(), sender + 1, receiver + 1}));
+    log.Add(sender, receiver,
+            resp == 'A' ? Response::kAccepted : Response::kRejected);
+  }
+  return log;
+}
+
+graph::AugmentedGraph RequestLog::BuildAugmentedGraph() const {
+  graph::GraphBuilder builder(num_nodes_);
+  for (const FriendRequest& r : requests_) {
+    if (r.response == Response::kAccepted) {
+      builder.AddFriendship(r.sender, r.receiver);
+    } else {
+      builder.AddRejection(r.receiver, r.sender);
+    }
+  }
+  return builder.BuildAugmented();
+}
+
+}  // namespace rejecto::sim

@@ -1,0 +1,70 @@
+// Friend-request history: the single source of truth a scenario generates.
+//
+// Every friendship and rejection in a simulated OSN originates from a
+// directed friend request that was either accepted (creating an undirected
+// OSN link) or rejected (creating a rejection arc receiver→sender). Rejecto
+// consumes the derived AugmentedGraph; VoteTrust consumes the raw directed
+// request log.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/augmented_graph.h"
+#include "graph/types.h"
+
+namespace rejecto::sim {
+
+enum class Response : std::uint8_t {
+  kAccepted,
+  kRejected,
+};
+
+struct FriendRequest {
+  graph::NodeId sender = graph::kInvalidNode;
+  graph::NodeId receiver = graph::kInvalidNode;
+  Response response = Response::kRejected;
+
+  friend bool operator==(const FriendRequest&, const FriendRequest&) = default;
+};
+
+class RequestLog {
+ public:
+  explicit RequestLog(graph::NodeId num_nodes = 0) : num_nodes_(num_nodes) {}
+
+  graph::NodeId NumNodes() const noexcept { return num_nodes_; }
+  void GrowTo(graph::NodeId num_nodes);
+
+  // Precondition: sender != receiver, both < NumNodes().
+  void Add(graph::NodeId sender, graph::NodeId receiver, Response response);
+
+  std::span<const FriendRequest> Requests() const noexcept {
+    return requests_;
+  }
+  std::size_t NumRequests() const noexcept { return requests_.size(); }
+
+  std::uint64_t NumAccepted() const noexcept { return num_accepted_; }
+  std::uint64_t NumRejected() const noexcept { return num_rejected_; }
+
+  // Accepted requests become undirected friendships; rejected requests
+  // become rejection arcs receiver→sender (the receiver rejected the
+  // sender's request, paper §III-A).
+  graph::AugmentedGraph BuildAugmentedGraph() const;
+
+  // Text persistence: "<sender> <receiver> <A|R>" per line with a header
+  // comment carrying the node count; '#' comments ignored on load. Lets
+  // simulated workloads feed the file-driven tooling and external logs
+  // enter the pipeline. Throws std::runtime_error on I/O or parse errors.
+  void Save(const std::string& path) const;
+  static RequestLog Load(const std::string& path);
+
+ private:
+  graph::NodeId num_nodes_ = 0;
+  std::vector<FriendRequest> requests_;
+  std::uint64_t num_accepted_ = 0;
+  std::uint64_t num_rejected_ = 0;
+};
+
+}  // namespace rejecto::sim

@@ -1,0 +1,114 @@
+#include "sim/scenario.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "sim/spam_simulator.h"
+
+namespace rejecto::sim {
+
+detect::Seeds Scenario::SampleSeeds(graph::NodeId num_legit_seeds,
+                                    graph::NodeId num_spammer_seeds,
+                                    util::Rng& rng) const {
+  detect::Seeds seeds;
+  if (num_legit_seeds > num_legit) {
+    throw std::invalid_argument("SampleSeeds: too many legit seeds");
+  }
+  const auto& spam_pool =
+      spamming_fakes.empty()
+          ? std::vector<graph::NodeId>{}  // no spammers: no spammer seeds
+          : spamming_fakes;
+  if (num_spammer_seeds > spam_pool.size()) {
+    throw std::invalid_argument("SampleSeeds: too many spammer seeds");
+  }
+  for (std::uint64_t u :
+       rng.SampleWithoutReplacement(num_legit, num_legit_seeds)) {
+    seeds.legit.push_back(static_cast<graph::NodeId>(u));
+  }
+  for (std::uint64_t i :
+       rng.SampleWithoutReplacement(spam_pool.size(), num_spammer_seeds)) {
+    seeds.spammer.push_back(spam_pool[static_cast<std::size_t>(i)]);
+  }
+  return seeds;
+}
+
+Scenario BuildScenario(const graph::SocialGraph& legit_graph,
+                       const ScenarioConfig& config) {
+  const graph::NodeId num_legit = legit_graph.NumNodes();
+  const graph::NodeId num_fakes = config.num_fakes;
+  if (num_legit == 0) {
+    throw std::invalid_argument("BuildScenario: empty legitimate graph");
+  }
+  if (config.whitewashed_fakes > num_fakes) {
+    throw std::invalid_argument(
+        "BuildScenario: whitewashed_fakes exceeds num_fakes");
+  }
+  if (config.spamming_fraction < 0.0 || config.spamming_fraction > 1.0) {
+    throw std::invalid_argument("BuildScenario: spamming_fraction in [0, 1]");
+  }
+
+  util::Rng rng(config.seed);
+  Scenario s;
+  s.num_legit = num_legit;
+  s.num_fakes = num_fakes;
+  s.is_fake.assign(static_cast<std::size_t>(num_legit) + num_fakes, 0);
+  for (graph::NodeId v = num_legit; v < num_legit + num_fakes; ++v) {
+    s.is_fake[v] = 1;
+  }
+  s.log = RequestLog(num_legit + num_fakes);
+
+  OrientOrganicFriendships(s.log, legit_graph, rng);
+  AddLegitimateRejections(s.log, legit_graph, config.legit_rejection_rate,
+                          rng);
+  AddFakeArrivals(s.log, num_legit, num_fakes,
+                  config.intra_fake_links_per_account, rng);
+
+  // Spam senders are sampled from all fakes; in the Fig 14 whitewash
+  // scenario the to-be-whitewashed accounts (the last `whitewashed_fakes`
+  // ids) keep spamming legitimate users too — the whitewash is the *extra*
+  // intra-fake rejections meant to make them look like rejection-casting
+  // legitimate users.
+  auto num_spammers = static_cast<graph::NodeId>(std::llround(
+      config.spamming_fraction * static_cast<double>(num_fakes)));
+  num_spammers = std::min(num_spammers, num_fakes);
+  s.spamming_fakes.reserve(num_spammers);
+  for (std::uint64_t i :
+       rng.SampleWithoutReplacement(num_fakes, num_spammers)) {
+    s.spamming_fakes.push_back(num_legit + static_cast<graph::NodeId>(i));
+  }
+  std::sort(s.spamming_fakes.begin(), s.spamming_fakes.end());
+
+  AddSpamCampaign(s.log, s.spamming_fakes, num_legit,
+                  config.requests_per_spammer, config.spam_rejection_rate,
+                  rng);
+  AddCarelessAccepts(s.log, num_legit, num_legit, num_fakes,
+                     config.careless_fraction, rng);
+
+  if (config.whitewashed_fakes > 0) {
+    // All non-whitewashed fakes direct the whitewash campaign's requests at
+    // the whitewashed suffix.
+    const graph::NodeId non_whitewashed =
+        num_fakes - config.whitewashed_fakes;
+    std::vector<graph::NodeId> senders;
+    senders.reserve(non_whitewashed);
+    for (graph::NodeId i = 0; i < non_whitewashed; ++i) {
+      senders.push_back(num_legit + i);
+    }
+    AddSelfRejectionCampaign(
+        s.log, senders, num_legit + non_whitewashed, config.whitewashed_fakes,
+        config.self_rejection_requests_per_sender, config.self_rejection_rate,
+        rng);
+  }
+
+  if (config.legit_requests_rejected_by_fakes > 0) {
+    AddLegitRequestsRejectedByFakes(s.log, num_legit, num_legit, num_fakes,
+                                    config.legit_requests_rejected_by_fakes,
+                                    rng);
+  }
+
+  s.graph = s.log.BuildAugmentedGraph();
+  return s;
+}
+
+}  // namespace rejecto::sim

@@ -1,0 +1,86 @@
+// Attack scenario assembly (paper §VI-A).
+//
+// A Scenario overlays a friend-spam attack on a legitimate social graph:
+//   * legitimate users occupy ids [0, num_legit); their organic friendships
+//     are randomly-oriented accepted requests, and each user receives
+//     rejections from random non-friend legitimate users so that their
+//     per-sender rejection rate matches `legit_rejection_rate`;
+//   * fake accounts occupy [num_legit, num_legit + num_fakes); each arrival
+//     befriends `intra_fake_links_per_account` existing fakes (collusion,
+//     Fig 13, is this knob turned up);
+//   * a `spamming_fraction` of the fakes each send `requests_per_spammer`
+//     spam requests to distinct random legitimate users, a
+//     `spam_rejection_rate` fraction of which are rejected (Figs 9–12);
+//   * a small `careless_fraction` of legitimate users each send one
+//     accepted request into the fake region (stress test, §VI-A);
+//   * optional self-rejection whitewashing (Fig 14) and mass rejection of
+//     legitimate requests by fakes (Fig 15).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "detect/seeds.h"
+#include "graph/augmented_graph.h"
+#include "graph/social_graph.h"
+#include "sim/request_log.h"
+#include "util/rng.h"
+
+namespace rejecto::sim {
+
+struct ScenarioConfig {
+  std::uint64_t seed = 42;
+
+  // --- fake region ---
+  graph::NodeId num_fakes = 10'000;
+  std::uint32_t intra_fake_links_per_account = 6;  // Fig 13 varies 4..40
+
+  // --- spam campaign ---
+  double spamming_fraction = 1.0;       // Fig 10 uses 0.5
+  std::uint32_t requests_per_spammer = 20;  // Figs 9/10 vary 5..50
+  double spam_rejection_rate = 0.7;     // Fig 11 varies 0.5..0.95
+
+  // --- legitimate behaviour ---
+  double legit_rejection_rate = 0.2;    // Fig 12 varies 0.05..0.95
+  double careless_fraction = 0.15;      // legit users befriending a fake
+
+  // --- self-rejection strategy (Fig 14) ---
+  // The last `whitewashed_fakes` fake ids receive requests from the other
+  // fakes and reject a `self_rejection_rate` share of them, mimicking
+  // rejection-casting legitimate users. (They still participate in the spam
+  // campaign like any other fake.)
+  graph::NodeId whitewashed_fakes = 0;
+  std::uint32_t self_rejection_requests_per_sender = 20;
+  double self_rejection_rate = 0.0;
+
+  // --- spammers rejecting legitimate requests (Fig 15) ---
+  std::uint64_t legit_requests_rejected_by_fakes = 0;
+};
+
+struct Scenario {
+  graph::AugmentedGraph graph;  // legit + fakes, all links and rejections
+  RequestLog log;               // full request history (VoteTrust input)
+  graph::NodeId num_legit = 0;
+  graph::NodeId num_fakes = 0;
+  std::vector<char> is_fake;    // ground truth per node
+
+  graph::NodeId NumNodes() const noexcept { return num_legit + num_fakes; }
+  bool IsFake(graph::NodeId v) const { return is_fake[v] != 0; }
+
+  // Samples known-label seeds (paper §III-B): uniformly random legitimate
+  // users and uniformly random *spam-sending* fakes.
+  detect::Seeds SampleSeeds(graph::NodeId num_legit_seeds,
+                            graph::NodeId num_spammer_seeds,
+                            util::Rng& rng) const;
+
+  // Ids of the fakes that sent spam (useful for per-figure accounting).
+  std::vector<graph::NodeId> spamming_fakes;
+};
+
+// Overlays the configured attack on `legit_graph` (whose nodes become the
+// legitimate users). Deterministic given config.seed.
+Scenario BuildScenario(const graph::SocialGraph& legit_graph,
+                       const ScenarioConfig& config);
+
+}  // namespace rejecto::sim

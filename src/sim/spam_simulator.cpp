@@ -1,0 +1,161 @@
+#include "sim/spam_simulator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace rejecto::sim {
+namespace {
+
+std::uint32_t RoundCount(double fraction, std::uint32_t total) {
+  return static_cast<std::uint32_t>(
+      std::llround(fraction * static_cast<double>(total)));
+}
+
+}  // namespace
+
+void OrientOrganicFriendships(RequestLog& log,
+                              const graph::SocialGraph& legit_graph,
+                              util::Rng& rng) {
+  for (const graph::Edge& e : legit_graph.Edges()) {
+    if (rng.NextBool(0.5)) {
+      log.Add(e.u, e.v, Response::kAccepted);
+    } else {
+      log.Add(e.v, e.u, Response::kAccepted);
+    }
+  }
+}
+
+void AddLegitimateRejections(RequestLog& log,
+                             const graph::SocialGraph& legit_graph,
+                             double rate, util::Rng& rng) {
+  if (rate < 0.0 || rate >= 1.0) {
+    throw std::invalid_argument("AddLegitimateRejections: rate in [0, 1)");
+  }
+  const graph::NodeId n = legit_graph.NumNodes();
+  if (n < 2 || rate == 0.0) return;
+  for (graph::NodeId u = 0; u < n; ++u) {
+    const double deg = legit_graph.Degree(u);
+    const auto rejections = static_cast<std::uint64_t>(
+        std::llround(deg * rate / (1.0 - rate)));
+    for (std::uint64_t i = 0; i < rejections; ++i) {
+      // Rejector: a random non-friend legitimate user. Rejection sampling
+      // terminates fast because social degrees are << n.
+      graph::NodeId v;
+      int attempts = 0;
+      do {
+        v = static_cast<graph::NodeId>(rng.NextUInt(n));
+        if (++attempts > 64) break;  // pathological near-clique node
+      } while (v == u || legit_graph.HasEdge(u, v));
+      if (v == u || legit_graph.HasEdge(u, v)) continue;
+      log.Add(u, v, Response::kRejected);
+    }
+  }
+}
+
+void AddFakeArrivals(RequestLog& log, graph::NodeId first_fake,
+                     graph::NodeId num_fakes,
+                     std::uint32_t links_per_account, util::Rng& rng) {
+  for (graph::NodeId j = 0; j < num_fakes; ++j) {
+    const graph::NodeId f = first_fake + j;
+    const std::uint64_t budget = std::min<std::uint64_t>(j, links_per_account);
+    if (budget == 0) continue;
+    for (std::uint64_t t : rng.SampleWithoutReplacement(j, budget)) {
+      log.Add(f, first_fake + static_cast<graph::NodeId>(t),
+              Response::kAccepted);
+    }
+  }
+}
+
+void AddSpamCampaign(RequestLog& log,
+                     std::span<const graph::NodeId> spammers,
+                     graph::NodeId num_legit,
+                     std::uint32_t requests_per_spammer,
+                     double rejection_rate, util::Rng& rng) {
+  if (rejection_rate < 0.0 || rejection_rate > 1.0) {
+    throw std::invalid_argument("AddSpamCampaign: rejection_rate in [0, 1]");
+  }
+  if (requests_per_spammer > num_legit) {
+    throw std::invalid_argument(
+        "AddSpamCampaign: more requests than legitimate users");
+  }
+  const std::uint32_t rejected =
+      RoundCount(rejection_rate, requests_per_spammer);
+  for (graph::NodeId s : spammers) {
+    // A compromised account (paper §VII) spams from *inside* the legitimate
+    // id range; over-sample by one so the sender can be dropped from its
+    // own target set.
+    const std::uint64_t want =
+        std::min<std::uint64_t>(num_legit,
+                                std::uint64_t{requests_per_spammer} + 1);
+    auto targets = rng.SampleWithoutReplacement(num_legit, want);
+    std::erase(targets, s);
+    targets.resize(
+        std::min<std::size_t>(targets.size(), requests_per_spammer));
+    rng.Shuffle(targets);
+    for (std::uint32_t i = 0; i < targets.size(); ++i) {
+      log.Add(s, static_cast<graph::NodeId>(targets[i]),
+              i < rejected ? Response::kRejected : Response::kAccepted);
+    }
+  }
+}
+
+void AddCarelessAccepts(RequestLog& log, graph::NodeId num_legit,
+                        graph::NodeId first_fake, graph::NodeId num_fakes,
+                        double fraction, util::Rng& rng) {
+  if (fraction < 0.0 || fraction > 1.0) {
+    throw std::invalid_argument("AddCarelessAccepts: fraction in [0, 1]");
+  }
+  if (num_fakes == 0 || fraction == 0.0) return;
+  const auto count = static_cast<std::uint64_t>(
+      std::llround(fraction * static_cast<double>(num_legit)));
+  for (std::uint64_t u : rng.SampleWithoutReplacement(num_legit, count)) {
+    const auto f =
+        first_fake + static_cast<graph::NodeId>(rng.NextUInt(num_fakes));
+    log.Add(static_cast<graph::NodeId>(u), f, Response::kAccepted);
+  }
+}
+
+void AddSelfRejectionCampaign(RequestLog& log,
+                              std::span<const graph::NodeId> senders,
+                              graph::NodeId whitewashed_first,
+                              graph::NodeId whitewashed_count,
+                              std::uint32_t requests_per_sender, double rate,
+                              util::Rng& rng) {
+  if (rate < 0.0 || rate > 1.0) {
+    throw std::invalid_argument("AddSelfRejectionCampaign: rate in [0, 1]");
+  }
+  if (whitewashed_count == 0) return;
+  const std::uint32_t budget =
+      std::min<std::uint32_t>(requests_per_sender, whitewashed_count);
+  const std::uint32_t rejected = RoundCount(rate, budget);
+  for (graph::NodeId s : senders) {
+    auto targets = rng.SampleWithoutReplacement(whitewashed_count, budget);
+    rng.Shuffle(targets);
+    std::uint32_t i = 0;
+    for (std::uint64_t t : targets) {
+      const auto w = whitewashed_first + static_cast<graph::NodeId>(t);
+      if (w == s) continue;  // sender happens to be whitewashed itself
+      log.Add(s, w, i < rejected ? Response::kRejected : Response::kAccepted);
+      ++i;
+    }
+  }
+}
+
+void AddLegitRequestsRejectedByFakes(RequestLog& log, graph::NodeId num_legit,
+                                     graph::NodeId first_fake,
+                                     graph::NodeId num_fakes,
+                                     std::uint64_t count, util::Rng& rng) {
+  if (num_fakes == 0 && count > 0) {
+    throw std::invalid_argument(
+        "AddLegitRequestsRejectedByFakes: no fakes to reject");
+  }
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const auto u = static_cast<graph::NodeId>(rng.NextUInt(num_legit));
+    const auto f =
+        first_fake + static_cast<graph::NodeId>(rng.NextUInt(num_fakes));
+    log.Add(u, f, Response::kRejected);
+  }
+}
+
+}  // namespace rejecto::sim

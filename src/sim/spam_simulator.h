@@ -1,0 +1,76 @@
+// Workload primitives composing a friend-spam attack (paper §VI-A).
+//
+// Each primitive appends requests to a RequestLog; BuildScenario composes
+// them. They are exposed individually so tests can pin down each behaviour
+// and so custom scenarios (examples/, ablations) can mix their own attacks.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/social_graph.h"
+#include "sim/request_log.h"
+#include "util/rng.h"
+
+namespace rejecto::sim {
+
+// Replays the organic friendships of `legit_graph` as accepted requests
+// with uniformly random sender/receiver orientation.
+void OrientOrganicFriendships(RequestLog& log,
+                              const graph::SocialGraph& legit_graph,
+                              util::Rng& rng);
+
+// Gives each legitimate user u rejections from random non-friend
+// legitimate users so that u's per-sender rejection rate is `rate`:
+// R(u) = round(deg(u) · rate / (1 − rate)) rejected requests from u
+// (paper §VI-A "simulating rejections"). Precondition: rate in [0, 1).
+void AddLegitimateRejections(RequestLog& log,
+                             const graph::SocialGraph& legit_graph,
+                             double rate, util::Rng& rng);
+
+// Fake accounts [first_fake, first_fake + num_fakes) arrive in id order;
+// each befriends min(arrived, links_per_account) distinct earlier fakes via
+// accepted requests. Turning links_per_account up is the collusion strategy
+// (Fig 13).
+void AddFakeArrivals(RequestLog& log, graph::NodeId first_fake,
+                     graph::NodeId num_fakes,
+                     std::uint32_t links_per_account, util::Rng& rng);
+
+// Each spammer sends `requests_per_spammer` requests to distinct random
+// legitimate users [0, num_legit); exactly
+// round(rejection_rate · requests_per_spammer) of them are rejected, the
+// rest accepted (attack edges).
+void AddSpamCampaign(RequestLog& log,
+                     std::span<const graph::NodeId> spammers,
+                     graph::NodeId num_legit,
+                     std::uint32_t requests_per_spammer,
+                     double rejection_rate, util::Rng& rng);
+
+// round(fraction · num_legit) random legitimate users each send one
+// *accepted* request to a uniformly random fake — the careless users of the
+// paper's stress setup.
+void AddCarelessAccepts(RequestLog& log, graph::NodeId num_legit,
+                        graph::NodeId first_fake, graph::NodeId num_fakes,
+                        double fraction, util::Rng& rng);
+
+// Self-rejection (Fig 14): each sender directs
+// `requests_per_sender` requests at random whitewashed accounts
+// [whitewashed_first, whitewashed_first + whitewashed_count); a
+// round(rate · requests_per_sender) share is rejected by the whitewashed
+// receivers, the rest accepted.
+void AddSelfRejectionCampaign(RequestLog& log,
+                              std::span<const graph::NodeId> senders,
+                              graph::NodeId whitewashed_first,
+                              graph::NodeId whitewashed_count,
+                              std::uint32_t requests_per_sender, double rate,
+                              util::Rng& rng);
+
+// Fig 15: `count` requests from random legitimate users to random fakes,
+// every one rejected by the fake.
+void AddLegitRequestsRejectedByFakes(RequestLog& log, graph::NodeId num_legit,
+                                     graph::NodeId first_fake,
+                                     graph::NodeId num_fakes,
+                                     std::uint64_t count, util::Rng& rng);
+
+}  // namespace rejecto::sim

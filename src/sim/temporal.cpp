@@ -1,0 +1,57 @@
+#include "sim/temporal.h"
+
+#include <stdexcept>
+
+#include "gen/holme_kim.h"
+#include "sim/spam_simulator.h"
+
+namespace rejecto::sim {
+
+TemporalScenario BuildTemporalScenario(const TemporalConfig& config) {
+  if (config.num_intervals <= 0) {
+    throw std::invalid_argument("BuildTemporalScenario: need >= 1 interval");
+  }
+  if (config.num_compromised > config.num_users) {
+    throw std::invalid_argument(
+        "BuildTemporalScenario: more compromised accounts than users");
+  }
+  if (config.compromise_interval < 0) {
+    throw std::invalid_argument(
+        "BuildTemporalScenario: negative compromise interval");
+  }
+
+  util::Rng rng(config.seed);
+  TemporalScenario scenario;
+  scenario.is_compromised.assign(config.num_users, 0);
+  for (std::uint64_t v :
+       rng.SampleWithoutReplacement(config.num_users,
+                                    config.num_compromised)) {
+    scenario.compromised.push_back(static_cast<graph::NodeId>(v));
+    scenario.is_compromised[static_cast<std::size_t>(v)] = 1;
+  }
+
+  for (int interval = 0; interval < config.num_intervals; ++interval) {
+    util::Rng interval_rng = rng.Fork();
+    // Each interval sees a fresh slice of organic link formation.
+    const auto organic = gen::HolmeKim(
+        {.num_nodes = config.num_users,
+         .edges_per_node = config.organic_edges_per_user,
+         .triad_probability = config.organic_triad_probability},
+        interval_rng);
+
+    RequestLog log(config.num_users);
+    OrientOrganicFriendships(log, organic, interval_rng);
+    AddLegitimateRejections(log, organic, config.legit_rejection_rate,
+                            interval_rng);
+    if (interval >= config.compromise_interval &&
+        !scenario.compromised.empty()) {
+      AddSpamCampaign(log, scenario.compromised, config.num_users,
+                      config.requests_per_compromised,
+                      config.spam_rejection_rate, interval_rng);
+    }
+    scenario.intervals.push_back(std::move(log));
+  }
+  return scenario;
+}
+
+}  // namespace rejecto::sim

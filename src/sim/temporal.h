@@ -1,0 +1,55 @@
+// Time-sharded deployment model (paper §VII).
+//
+// Compromised accounts behave organically until hijacked, then send friend
+// spam; running Rejecto over the whole history dilutes the signal, so the
+// paper's deployment note shards requests and rejections by time interval
+// and runs detection per interval. TemporalScenario generates a sequence
+// of per-interval request logs over a fixed user population, compromising
+// a chosen block before `compromise_interval`, so per-interval pipelines
+// (examples/interval_detection) can be built and tested against ground
+// truth.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/social_graph.h"
+#include "sim/request_log.h"
+#include "util/rng.h"
+
+namespace rejecto::sim {
+
+struct TemporalConfig {
+  std::uint64_t seed = 42;
+  graph::NodeId num_users = 4'000;
+  int num_intervals = 3;
+
+  // Organic churn per interval (fresh Holme–Kim links + background
+  // rejections at legit_rejection_rate).
+  double organic_edges_per_user = 3.0;
+  double organic_triad_probability = 0.4;
+  double legit_rejection_rate = 0.15;
+
+  // The attack: `num_compromised` random accounts start spamming from
+  // `compromise_interval` (0-based) onward.
+  graph::NodeId num_compromised = 200;
+  int compromise_interval = 2;
+  std::uint32_t requests_per_compromised = 50;
+  double spam_rejection_rate = 0.7;
+};
+
+struct TemporalScenario {
+  std::vector<RequestLog> intervals;        // one log per interval
+  std::vector<graph::NodeId> compromised;   // ground truth
+  std::vector<char> is_compromised;         // per node
+
+  bool IntervalIsPostCompromise(int interval, const TemporalConfig& cfg) const {
+    return interval >= cfg.compromise_interval;
+  }
+};
+
+// Deterministic given config.seed. Throws std::invalid_argument on
+// inconsistent parameters (no intervals, more compromised than users, ...).
+TemporalScenario BuildTemporalScenario(const TemporalConfig& config);
+
+}  // namespace rejecto::sim

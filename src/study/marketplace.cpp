@@ -1,0 +1,98 @@
+#include "study/marketplace.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace rejecto::study {
+namespace {
+
+std::uint32_t ClampedLogNormal(util::Rng& rng, double mu_of_median,
+                               double sigma, std::uint32_t lo,
+                               std::uint32_t hi) {
+  const double v = rng.NextLogNormal(std::log(mu_of_median), sigma);
+  return static_cast<std::uint32_t>(
+      std::clamp(v, static_cast<double>(lo), static_cast<double>(hi)));
+}
+
+}  // namespace
+
+std::uint64_t MarketplaceStudy::TotalFriends() const noexcept {
+  std::uint64_t t = 0;
+  for (const auto& a : accounts) t += a.friends;
+  return t;
+}
+
+std::uint64_t MarketplaceStudy::TotalPending() const noexcept {
+  std::uint64_t t = 0;
+  for (const auto& a : accounts) t += a.pending_requests;
+  return t;
+}
+
+MarketplaceStudy GenerateStudy(const MarketplaceConfig& config) {
+  if (config.min_pending_fraction < 0 || config.max_pending_fraction >= 1 ||
+      config.min_pending_fraction > config.max_pending_fraction) {
+    throw std::invalid_argument("GenerateStudy: bad pending fraction band");
+  }
+  util::Rng rng(config.seed);
+  MarketplaceStudy study;
+  study.accounts.reserve(config.num_accounts);
+
+  for (std::uint32_t i = 0; i < config.num_accounts; ++i) {
+    PurchasedAccount acc;
+    acc.friends = ClampedLogNormal(rng, config.mean_friends,
+                                   config.friends_sigma,
+                                   config.min_friends_ordered, 160);
+    // pending/(pending+friends) = f  =>  pending = friends * f / (1-f)
+    const double f = rng.NextDouble(config.min_pending_fraction,
+                                    config.max_pending_fraction);
+    acc.pending_requests = static_cast<std::uint32_t>(
+        std::llround(acc.friends * f / (1.0 - f)));
+    study.accounts.push_back(acc);
+  }
+
+  // Friend attributes: heavy-tailed activity mirroring the crawled CDFs —
+  // most friends moderately active, a tail of very-high-degree accounts
+  // ("either careless users or abusive fakes", §II-A).
+  for (const PurchasedAccount& acc : study.accounts) {
+    for (std::uint32_t j = 0; j < acc.friends; ++j) {
+      FriendAttributes fa;
+      // ~4% of delivered friends are themselves abusive high-degree fakes.
+      if (rng.NextBool(0.04)) {
+        fa.social_degree = ClampedLogNormal(rng, 1800.0, 0.4, 1000, 5000);
+      } else {
+        fa.social_degree = ClampedLogNormal(rng, 280.0, 0.8, 5, 4800);
+      }
+      fa.posts = ClampedLogNormal(rng, 40.0, 1.0, 0, 300);
+      fa.post_likes = ClampedLogNormal(rng, 25.0, 1.1, 0, 300);
+      fa.post_comments = ClampedLogNormal(rng, 15.0, 1.1, 0, 300);
+      fa.photos = ClampedLogNormal(rng, 30.0, 1.0, 0, 250);
+      fa.photo_likes = ClampedLogNormal(rng, 20.0, 1.1, 0, 250);
+      fa.photo_comments = ClampedLogNormal(rng, 10.0, 1.1, 0, 250);
+      study.friends.push_back(fa);
+    }
+  }
+  return study;
+}
+
+std::vector<std::uint32_t> CdfQuantiles(std::vector<std::uint32_t> samples,
+                                        const std::vector<double>& quantiles) {
+  if (samples.empty()) {
+    throw std::invalid_argument("CdfQuantiles: empty sample set");
+  }
+  std::sort(samples.begin(), samples.end());
+  std::vector<std::uint32_t> out;
+  out.reserve(quantiles.size());
+  for (double q : quantiles) {
+    if (q < 0.0 || q > 1.0) {
+      throw std::invalid_argument("CdfQuantiles: quantile outside [0, 1]");
+    }
+    const auto idx = static_cast<std::size_t>(
+        std::min<double>(std::floor(q * static_cast<double>(samples.size())),
+                         static_cast<double>(samples.size() - 1)));
+    out.push_back(samples[idx]);
+  }
+  return out;
+}
+
+}  // namespace rejecto::study

@@ -1,0 +1,70 @@
+// Synthetic underground-market account study (paper §II, Figs 1–5).
+//
+// The paper motivates Rejecto with 43 fake Facebook accounts purchased from
+// underground marketplaces: despite being well-maintained ("> 50 real US
+// friends", year-old, crafted profiles), every account carried a large
+// pending-request backlog — the social-rejection signal. We cannot buy
+// accounts, so this module models the measured population (DESIGN.md
+// substitution #2):
+//   * 43 accounts totalling ≈2804 friends and ≈2065 pending requests, the
+//     per-account pending fraction uniform in the measured 16.7%–67.9%;
+//   * friend attributes (social degree, wall posts, photos, likes,
+//     comments) drawn log-normally to match the heavy-tailed CDFs of
+//     Figs 3–5 (e.g. a tail of >1000-degree friends).
+// Motivation-section data only; the detection pipeline never consumes it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace rejecto::study {
+
+struct MarketplaceConfig {
+  std::uint32_t num_accounts = 43;
+  std::uint32_t min_friends_ordered = 50;  // the purchase requirement
+  double mean_friends = 65.0;              // ≈ 2804 / 43
+  double friends_sigma = 0.35;             // log-normal spread
+  double min_pending_fraction = 0.167;     // measured band (paper §II-A)
+  double max_pending_fraction = 0.679;
+  std::uint64_t seed = 2015;
+};
+
+struct PurchasedAccount {
+  std::uint32_t friends = 0;
+  std::uint32_t pending_requests = 0;
+
+  double PendingFraction() const noexcept {
+    const double total = friends + pending_requests;
+    return total == 0 ? 0.0 : pending_requests / total;
+  }
+};
+
+// One friend-of-a-purchased-account's crawled attributes (Figs 3–5).
+struct FriendAttributes {
+  std::uint32_t social_degree = 0;
+  std::uint32_t posts = 0;
+  std::uint32_t post_likes = 0;
+  std::uint32_t post_comments = 0;
+  std::uint32_t photos = 0;
+  std::uint32_t photo_likes = 0;
+  std::uint32_t photo_comments = 0;
+};
+
+struct MarketplaceStudy {
+  std::vector<PurchasedAccount> accounts;
+  std::vector<FriendAttributes> friends;  // one entry per delivered friend
+
+  std::uint64_t TotalFriends() const noexcept;
+  std::uint64_t TotalPending() const noexcept;
+};
+
+MarketplaceStudy GenerateStudy(const MarketplaceConfig& config);
+
+// Empirical CDF helper for the Figs 3–5 tables: returns the values at the
+// requested quantiles (each in [0, 1]) of the given samples.
+std::vector<std::uint32_t> CdfQuantiles(std::vector<std::uint32_t> samples,
+                                        const std::vector<double>& quantiles);
+
+}  // namespace rejecto::study

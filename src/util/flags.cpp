@@ -1,0 +1,45 @@
+#include "util/flags.h"
+
+#include <cstdlib>
+
+namespace rejecto::util {
+
+std::optional<std::string> GetEnvString(const std::string& name) {
+  const char* v = std::getenv(name.c_str());
+  if (v == nullptr || *v == '\0') return std::nullopt;
+  return std::string(v);
+}
+
+std::int64_t GetEnvInt(const std::string& name, std::int64_t fallback) {
+  const auto s = GetEnvString(name);
+  if (!s) return fallback;
+  try {
+    return std::stoll(*s);
+  } catch (...) {
+    return fallback;
+  }
+}
+
+double GetEnvDouble(const std::string& name, double fallback) {
+  const auto s = GetEnvString(name);
+  if (!s) return fallback;
+  try {
+    return std::stod(*s);
+  } catch (...) {
+    return fallback;
+  }
+}
+
+bool GetEnvBool(const std::string& name, bool fallback) {
+  const auto s = GetEnvString(name);
+  if (!s) return fallback;
+  return *s == "1" || *s == "true" || *s == "TRUE" || *s == "yes" || *s == "on";
+}
+
+bool FastBenchMode() { return GetEnvBool("REJECTO_BENCH_FAST", false); }
+
+std::uint64_t ExperimentSeed() {
+  return static_cast<std::uint64_t>(GetEnvInt("REJECTO_SEED", 42));
+}
+
+}  // namespace rejecto::util

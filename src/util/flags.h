@@ -1,0 +1,26 @@
+// Minimal environment-variable configuration for bench/example binaries.
+//
+// Experiments honor:
+//   REJECTO_BENCH_FAST=1   -> reduced sweeps (CI-friendly)
+//   REJECTO_SEED=<u64>     -> global experiment seed override
+//   REJECTO_CSV_DIR=<dir>  -> also write each table as CSV into <dir>
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace rejecto::util {
+
+std::optional<std::string> GetEnvString(const std::string& name);
+std::int64_t GetEnvInt(const std::string& name, std::int64_t fallback);
+double GetEnvDouble(const std::string& name, double fallback);
+bool GetEnvBool(const std::string& name, bool fallback);
+
+// True when REJECTO_BENCH_FAST is set to a truthy value.
+bool FastBenchMode();
+
+// Global experiment seed (REJECTO_SEED or 42).
+std::uint64_t ExperimentSeed();
+
+}  // namespace rejecto::util

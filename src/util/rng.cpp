@@ -1,0 +1,74 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace rejecto::util {
+
+std::uint64_t Rng::NextUInt(std::uint64_t bound) {
+  if (bound == 0) throw std::invalid_argument("Rng::NextUInt: bound must be > 0");
+  // Lemire's nearly-divisionless bounded generation with rejection to make
+  // the distribution exactly uniform.
+  const std::uint64_t threshold = (-bound) % bound;
+  for (;;) {
+    const std::uint64_t r = gen_();
+    const unsigned __int128 m =
+        static_cast<unsigned __int128>(r) * static_cast<unsigned __int128>(bound);
+    if (static_cast<std::uint64_t>(m) >= threshold) {
+      return static_cast<std::uint64_t>(m >> 64);
+    }
+  }
+}
+
+std::int64_t Rng::NextInt(std::int64_t lo, std::int64_t hi) {
+  if (lo > hi) throw std::invalid_argument("Rng::NextInt: lo > hi");
+  const std::uint64_t span =
+      static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+  if (span == 0) return static_cast<std::int64_t>(gen_());  // full 64-bit range
+  return lo + static_cast<std::int64_t>(NextUInt(span));
+}
+
+std::uint64_t Rng::NextGeometric(double p) {
+  if (!(p > 0.0) || p > 1.0) {
+    throw std::invalid_argument("Rng::NextGeometric: p must be in (0, 1]");
+  }
+  if (p == 1.0) return 0;
+  double u = NextDouble();
+  while (u <= 0.0) u = NextDouble();
+  return static_cast<std::uint64_t>(std::log(u) / std::log1p(-p));
+}
+
+std::vector<std::uint64_t> Rng::SampleWithoutReplacement(std::uint64_t n,
+                                                         std::uint64_t k) {
+  if (k > n) {
+    throw std::invalid_argument("SampleWithoutReplacement: k > n");
+  }
+  // Floyd's algorithm: O(k) expected time, no O(n) allocation, ideal when
+  // k << n (the common case: sampling seeds or targets out of a large OSN).
+  if (k < n / 4) {
+    std::unordered_set<std::uint64_t> chosen;
+    chosen.reserve(static_cast<std::size_t>(k) * 2);
+    std::vector<std::uint64_t> out;
+    out.reserve(static_cast<std::size_t>(k));
+    for (std::uint64_t j = n - k; j < n; ++j) {
+      const std::uint64_t t = NextUInt(j + 1);
+      if (chosen.insert(t).second) {
+        out.push_back(t);
+      } else {
+        chosen.insert(j);
+        out.push_back(j);
+      }
+    }
+    return out;
+  }
+  std::vector<std::uint64_t> all(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) all[static_cast<std::size_t>(i)] = i;
+  for (std::uint64_t i = 0; i < k; ++i) {
+    const std::uint64_t j = i + NextUInt(n - i);
+    std::swap(all[static_cast<std::size_t>(i)], all[static_cast<std::size_t>(j)]);
+  }
+  all.resize(static_cast<std::size_t>(k));
+  return all;
+}
+
+}  // namespace rejecto::util

@@ -1,0 +1,47 @@
+// Aligned console tables + CSV export for the experiment harnesses.
+//
+// Every bench binary prints the rows/series of one paper table or figure;
+// `Table` keeps that output uniform and machine-parsable.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace rejecto::util {
+
+class Table {
+ public:
+  using Cell = std::variant<std::string, double, std::int64_t>;
+
+  explicit Table(std::vector<std::string> headers);
+
+  std::size_t num_rows() const noexcept { return rows_.size(); }
+  std::size_t num_cols() const noexcept { return headers_.size(); }
+
+  // Appends one row. Precondition: cells.size() == num_cols().
+  void AddRow(std::vector<Cell> cells);
+
+  // Number of fraction digits used when formatting double cells (default 4).
+  void set_precision(int digits) noexcept { precision_ = digits; }
+
+  // Renders an aligned, boxless text table.
+  void Print(std::ostream& os) const;
+
+  // Renders RFC-4180-ish CSV (quotes cells containing comma/quote/newline).
+  void WriteCsv(std::ostream& os) const;
+
+  // Convenience: Print to std::cout with a title line.
+  void PrintWithTitle(const std::string& title) const;
+
+ private:
+  std::string Format(const Cell& c) const;
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<Cell>> rows_;
+  int precision_ = 4;
+};
+
+}  // namespace rejecto::util

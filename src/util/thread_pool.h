@@ -1,0 +1,60 @@
+// Fixed-size thread pool used by the distributed-execution substrate
+// (src/engine) to model cluster workers, and by graph statistics for
+// parallel BFS sweeps.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace rejecto::util {
+
+class ThreadPool {
+ public:
+  // Precondition: num_threads > 0.
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const noexcept { return workers_.size(); }
+
+  // Enqueues a task; the returned future observes its result or exception.
+  template <typename F>
+  auto Submit(F&& f) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    std::future<R> fut = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stopped_) {
+        throw std::runtime_error("ThreadPool::Submit after shutdown");
+      }
+      tasks_.emplace([task]() { (*task)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+  // Runs fn(i) for i in [0, n), partitioned into size() contiguous blocks.
+  // Blocks until all iterations complete; rethrows the first exception.
+  void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopped_ = false;
+};
+
+}  // namespace rejecto::util

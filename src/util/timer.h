@@ -1,0 +1,37 @@
+// Wall-clock timing helpers for benchmarks and the engine's I/O accounting.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace rejecto::util {
+
+// Monotonic stopwatch. Starts on construction.
+class WallTimer {
+ public:
+  WallTimer() noexcept : start_(Clock::now()) {}
+
+  void Reset() noexcept { start_ = Clock::now(); }
+
+  double Seconds() const noexcept {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  std::int64_t Millis() const noexcept {
+    return std::chrono::duration_cast<std::chrono::milliseconds>(Clock::now() -
+                                                                 start_)
+        .count();
+  }
+
+  std::int64_t Micros() const noexcept {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                 start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace rejecto::util

@@ -1,0 +1,204 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "baseline/acceptance_filter.h"
+#include "baseline/sybilrank.h"
+#include "baseline/votetrust.h"
+#include "graph/builder.h"
+#include "sim/request_log.h"
+
+namespace rejecto::baseline {
+namespace {
+
+// ---------- VoteTrust ----------
+
+// Legit users 0..3 request each other (accepted); spammer 4 sends to all
+// legit users, 3 of 4 rejected.
+sim::RequestLog SimpleSpamLog() {
+  sim::RequestLog log(5);
+  log.Add(0, 1, sim::Response::kAccepted);
+  log.Add(1, 2, sim::Response::kAccepted);
+  log.Add(2, 3, sim::Response::kAccepted);
+  log.Add(3, 0, sim::Response::kAccepted);
+  log.Add(4, 0, sim::Response::kRejected);
+  log.Add(4, 1, sim::Response::kRejected);
+  log.Add(4, 2, sim::Response::kRejected);
+  log.Add(4, 3, sim::Response::kAccepted);
+  return log;
+}
+
+TEST(VoteTrustTest, EmptySeedsThrow) {
+  EXPECT_THROW(RunVoteTrust(SimpleSpamLog(), {}), std::invalid_argument);
+}
+
+TEST(VoteTrustTest, SeedOutOfRangeThrows) {
+  VoteTrustConfig cfg;
+  cfg.trust_seeds = {9};
+  EXPECT_THROW(RunVoteTrust(SimpleSpamLog(), cfg), std::invalid_argument);
+}
+
+TEST(VoteTrustTest, RatingsBounded) {
+  VoteTrustConfig cfg;
+  cfg.trust_seeds = {0};
+  const auto r = RunVoteTrust(SimpleSpamLog(), cfg);
+  ASSERT_EQ(r.ratings.size(), 5u);
+  for (double x : r.ratings) {
+    EXPECT_GE(x, 0.0);
+    EXPECT_LE(x, 1.0);
+  }
+}
+
+TEST(VoteTrustTest, SpammerRatedBelowLegit) {
+  VoteTrustConfig cfg;
+  cfg.trust_seeds = {0, 1};
+  const auto r = RunVoteTrust(SimpleSpamLog(), cfg);
+  for (graph::NodeId v = 0; v < 4; ++v) {
+    EXPECT_LT(r.ratings[4], r.ratings[v]);
+  }
+}
+
+TEST(VoteTrustTest, NonSenderKeepsNeutralRating) {
+  sim::RequestLog log(3);
+  log.Add(0, 1, sim::Response::kAccepted);  // node 2 sends nothing
+  VoteTrustConfig cfg;
+  cfg.trust_seeds = {0};
+  const auto r = RunVoteTrust(log, cfg);
+  EXPECT_DOUBLE_EQ(r.ratings[2], cfg.neutral_rating);
+}
+
+TEST(VoteTrustTest, VotesConcentrateNearSeeds) {
+  const auto log = SimpleSpamLog();
+  VoteTrustConfig cfg;
+  cfg.trust_seeds = {0};
+  const auto r = RunVoteTrust(log, cfg);
+  // The spammer receives no requests, so it can only hold teleport leakage.
+  for (graph::NodeId v = 0; v < 4; ++v) {
+    EXPECT_GT(r.votes[v] + 1e-12, r.votes[4]);
+  }
+}
+
+TEST(VoteTrustTest, CollusionRaisesSpammerRating) {
+  // Vulnerability the paper exploits (Fig 13): fake-fake accepted requests
+  // lift the individual acceptance rate.
+  sim::RequestLog colluding(8);
+  sim::RequestLog honest(8);
+  for (auto* log : {&colluding, &honest}) {
+    log->Add(0, 1, sim::Response::kAccepted);
+    log->Add(1, 2, sim::Response::kAccepted);
+    log->Add(2, 0, sim::Response::kAccepted);
+    // A careless legitimate user routes some vote mass into node 5 (in the
+    // honest log, 5 is just another user), so colluders' responses carry
+    // nonzero weight.
+    log->Add(2, 5, sim::Response::kAccepted);
+    // Spammer 4: 3 rejected requests to legit users.
+    log->Add(4, 0, sim::Response::kRejected);
+    log->Add(4, 1, sim::Response::kRejected);
+    log->Add(4, 2, sim::Response::kRejected);
+  }
+  // Colluders 5,6,7 accept spammer 4's requests (and each other's).
+  for (graph::NodeId c = 5; c < 8; ++c) {
+    colluding.Add(4, c, sim::Response::kAccepted);
+    colluding.Add(c, 4, sim::Response::kAccepted);
+  }
+  VoteTrustConfig cfg;
+  cfg.trust_seeds = {0};
+  const auto with = RunVoteTrust(colluding, cfg);
+  const auto without = RunVoteTrust(honest, cfg);
+  EXPECT_GT(with.ratings[4], without.ratings[4]);
+}
+
+// ---------- SybilRank ----------
+
+graph::SocialGraph TwoCommunityGraph() {
+  // Honest clique 0..5, sybil clique 6..11, single attack edge 0-6.
+  graph::GraphBuilder b(12);
+  for (graph::NodeId u = 0; u < 6; ++u) {
+    for (graph::NodeId v = u + 1; v < 6; ++v) b.AddFriendship(u, v);
+  }
+  for (graph::NodeId u = 6; u < 12; ++u) {
+    for (graph::NodeId v = u + 1; v < 12; ++v) b.AddFriendship(u, v);
+  }
+  b.AddFriendship(0, 6);
+  return b.BuildSocial();
+}
+
+TEST(SybilRankTest, EmptySeedsThrow) {
+  EXPECT_THROW(RunSybilRank(TwoCommunityGraph(), {}), std::invalid_argument);
+}
+
+TEST(SybilRankTest, SybilsRankBelowHonest) {
+  SybilRankConfig cfg;
+  cfg.trust_seeds = {1, 2};
+  const auto trust = RunSybilRank(TwoCommunityGraph(), cfg);
+  double min_honest = 1e18, max_sybil = -1;
+  for (graph::NodeId v = 0; v < 6; ++v) min_honest = std::min(min_honest, trust[v]);
+  for (graph::NodeId v = 6; v < 12; ++v) max_sybil = std::max(max_sybil, trust[v]);
+  EXPECT_GT(min_honest, max_sybil);
+}
+
+TEST(SybilRankTest, IsolatedNodeScoresZero) {
+  graph::GraphBuilder b(4);
+  b.AddFriendship(0, 1);
+  b.AddFriendship(1, 2);  // node 3 isolated
+  SybilRankConfig cfg;
+  cfg.trust_seeds = {0};
+  const auto trust = RunSybilRank(b.BuildSocial(), cfg);
+  EXPECT_DOUBLE_EQ(trust[3], 0.0);
+}
+
+TEST(SybilRankTest, ExplicitIterationCountHonored) {
+  SybilRankConfig one;
+  one.trust_seeds = {0};
+  one.num_iterations = 1;
+  const auto t1 = RunSybilRank(TwoCommunityGraph(), one);
+  // After one iteration from seed 0, distant sybils hold no trust yet.
+  EXPECT_DOUBLE_EQ(t1[11], 0.0);
+  EXPECT_GT(t1[1], 0.0);
+}
+
+TEST(SybilRankTest, TrustMassConserved) {
+  // Connected graph: power iteration only moves trust around; the degree
+  // normalization happens after. Sum of (normalized trust * degree) must
+  // equal total_trust.
+  SybilRankConfig cfg;
+  cfg.trust_seeds = {0};
+  cfg.total_trust = 600.0;
+  const auto g = TwoCommunityGraph();
+  const auto trust = RunSybilRank(g, cfg);
+  double mass = 0;
+  for (graph::NodeId v = 0; v < g.NumNodes(); ++v) {
+    mass += trust[v] * g.Degree(v);
+  }
+  EXPECT_NEAR(mass, 600.0, 1e-6);
+}
+
+// ---------- acceptance filter ----------
+
+TEST(AcceptanceFilterTest, ScoresMatchPerSenderRates) {
+  const auto scores = AcceptanceRateScores(SimpleSpamLog(), {});
+  EXPECT_DOUBLE_EQ(scores[0], 1.0);
+  EXPECT_DOUBLE_EQ(scores[4], 0.25);
+}
+
+TEST(AcceptanceFilterTest, NonSenderGetsNeutral) {
+  sim::RequestLog log(3);
+  log.Add(0, 1, sim::Response::kRejected);
+  const auto scores = AcceptanceRateScores(log, {.neutral_score = 0.5});
+  EXPECT_DOUBLE_EQ(scores[0], 0.0);
+  EXPECT_DOUBLE_EQ(scores[2], 0.5);
+}
+
+TEST(AcceptanceFilterTest, CollusionDefeatsFilter) {
+  // The §II-B argument: intra-fake accepted requests dilute rejections.
+  sim::RequestLog log(10);
+  log.Add(0, 1, sim::Response::kRejected);
+  log.Add(0, 2, sim::Response::kRejected);
+  for (graph::NodeId c = 3; c < 9; ++c) log.Add(0, c, sim::Response::kAccepted);
+  const auto scores = AcceptanceRateScores(log, {});
+  EXPECT_GT(scores[0], 0.7);  // despite 2 legit rejections
+}
+
+}  // namespace
+}  // namespace rejecto::baseline

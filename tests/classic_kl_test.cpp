@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <numeric>
+
+#include "detect/classic_kl.h"
+#include "gen/erdos_renyi.h"
+#include "gen/planted_partition.h"
+#include "graph/builder.h"
+
+namespace rejecto::detect {
+namespace {
+
+TEST(ClassicKlTest, InvalidBalanceThrows) {
+  graph::GraphBuilder b(4);
+  b.AddFriendship(0, 1);
+  const auto g = b.BuildSocial();
+  EXPECT_THROW(ClassicKl(g, {.balance = 0.0}), std::invalid_argument);
+  EXPECT_THROW(ClassicKl(g, {.balance = 1.0}), std::invalid_argument);
+}
+
+TEST(ClassicKlTest, PartSizePreserved) {
+  util::Rng rng(1);
+  const auto g = gen::ErdosRenyi({.num_nodes = 40, .num_edges = 120}, rng);
+  for (double balance : {0.25, 0.5, 0.75}) {
+    const auto r = ClassicKl(g, {.balance = balance, .seed = 2});
+    graph::NodeId size_u = 0;
+    for (char c : r.in_u) size_u += (c != 0);
+    EXPECT_EQ(size_u, static_cast<graph::NodeId>(balance * 40 + 0.5))
+        << "balance " << balance;
+  }
+}
+
+TEST(ClassicKlTest, SeparatesTwoCliques) {
+  // Two 8-cliques with one bridge: the optimal balanced bisection cuts
+  // exactly the bridge.
+  graph::GraphBuilder b(16);
+  for (graph::NodeId u = 0; u < 8; ++u) {
+    for (graph::NodeId v = u + 1; v < 8; ++v) b.AddFriendship(u, v);
+  }
+  for (graph::NodeId u = 8; u < 16; ++u) {
+    for (graph::NodeId v = u + 1; v < 16; ++v) b.AddFriendship(u, v);
+  }
+  b.AddFriendship(0, 8);
+  const auto r = ClassicKl(b.BuildSocial(), {.balance = 0.5, .seed = 7});
+  EXPECT_EQ(r.cross_edges, 1u);
+  for (graph::NodeId v = 1; v < 8; ++v) EXPECT_EQ(r.in_u[v], r.in_u[0]);
+  EXPECT_NE(r.in_u[0], r.in_u[8]);
+}
+
+TEST(ClassicKlTest, ReportedCrossEdgesMatchMask) {
+  util::Rng rng(3);
+  const auto g = gen::ErdosRenyi({.num_nodes = 30, .num_edges = 90}, rng);
+  const auto r = ClassicKl(g, {.balance = 0.5, .seed = 4});
+  std::uint64_t cross = 0;
+  for (const auto& e : g.Edges()) cross += (r.in_u[e.u] != r.in_u[e.v]);
+  EXPECT_EQ(r.cross_edges, cross);
+}
+
+TEST(ClassicKlTest, RecoversPlantedCommunities) {
+  util::Rng rng(5);
+  const auto planted = gen::PlantedPartition(
+      {.num_nodes = 100, .num_communities = 2, .p_in = 0.3, .p_out = 0.01},
+      rng);
+  const auto r = ClassicKl(planted.graph, {.balance = 0.5, .seed = 6});
+  // The found bisection should align with the planted one (up to side
+  // relabeling): count agreements both ways.
+  graph::NodeId agree = 0;
+  for (graph::NodeId v = 0; v < 100; ++v) {
+    agree += (static_cast<std::uint32_t>(r.in_u[v]) ==
+              planted.community_of[v]);
+  }
+  const graph::NodeId aligned = std::max(agree, 100 - agree);
+  EXPECT_GE(aligned, 95u);
+}
+
+TEST(ClassicKlTest, NeverWorseThanRandomInit) {
+  util::Rng rng(8);
+  const auto g = gen::ErdosRenyi({.num_nodes = 60, .num_edges = 240}, rng);
+  // The random init with the same seed, unoptimized:
+  util::Rng init_rng(9);
+  std::vector<graph::NodeId> perm(60);
+  std::iota(perm.begin(), perm.end(), 0);
+  init_rng.Shuffle(perm);
+  std::vector<char> init(60, 0);
+  for (graph::NodeId i = 0; i < 30; ++i) init[perm[i]] = 1;
+  std::uint64_t init_cross = 0;
+  for (const auto& e : g.Edges()) init_cross += (init[e.u] != init[e.v]);
+
+  const auto r = ClassicKl(g, {.balance = 0.5, .seed = 9});
+  EXPECT_LE(r.cross_edges, init_cross);
+}
+
+TEST(ClassicKlTest, DeterministicForSeed) {
+  util::Rng rng(10);
+  const auto g = gen::ErdosRenyi({.num_nodes = 50, .num_edges = 150}, rng);
+  const auto a = ClassicKl(g, {.balance = 0.5, .seed = 11});
+  const auto b = ClassicKl(g, {.balance = 0.5, .seed = 11});
+  EXPECT_EQ(a.in_u, b.in_u);
+  EXPECT_EQ(a.cross_edges, b.cross_edges);
+}
+
+}  // namespace
+}  // namespace rejecto::detect

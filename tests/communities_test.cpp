@@ -1,0 +1,224 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "detect/seed_selection.h"
+#include "gen/planted_partition.h"
+#include "graph/builder.h"
+#include "graph/communities.h"
+
+namespace rejecto {
+namespace {
+
+graph::SocialGraph TwoCliquesBridged() {
+  graph::GraphBuilder b(16);
+  for (graph::NodeId u = 0; u < 8; ++u) {
+    for (graph::NodeId v = u + 1; v < 8; ++v) b.AddFriendship(u, v);
+  }
+  for (graph::NodeId u = 8; u < 16; ++u) {
+    for (graph::NodeId v = u + 1; v < 16; ++v) b.AddFriendship(u, v);
+  }
+  b.AddFriendship(0, 8);
+  return b.BuildSocial();
+}
+
+TEST(LabelPropagationTest, TwoCliquesTwoCommunities) {
+  util::Rng rng(1);
+  const auto r = graph::LabelPropagation(TwoCliquesBridged(), rng);
+  EXPECT_EQ(r.num_communities, 2u);
+  for (graph::NodeId v = 1; v < 8; ++v) {
+    EXPECT_EQ(r.community_of[v], r.community_of[0]);
+  }
+  for (graph::NodeId v = 9; v < 16; ++v) {
+    EXPECT_EQ(r.community_of[v], r.community_of[8]);
+  }
+  EXPECT_NE(r.community_of[0], r.community_of[8]);
+}
+
+TEST(LabelPropagationTest, IsolatedNodesAreSingletons) {
+  graph::GraphBuilder b(5);
+  b.AddFriendship(0, 1);
+  util::Rng rng(2);
+  const auto r = graph::LabelPropagation(b.BuildSocial(), rng);
+  // {0,1} merge; 2, 3, 4 stay singletons -> 4 communities.
+  EXPECT_EQ(r.num_communities, 4u);
+  EXPECT_EQ(r.community_of[0], r.community_of[1]);
+}
+
+TEST(LabelPropagationTest, CliqueCollapsesToOne) {
+  graph::GraphBuilder b(10);
+  for (graph::NodeId u = 0; u < 10; ++u) {
+    for (graph::NodeId v = u + 1; v < 10; ++v) b.AddFriendship(u, v);
+  }
+  util::Rng rng(3);
+  const auto r = graph::LabelPropagation(b.BuildSocial(), rng);
+  EXPECT_EQ(r.num_communities, 1u);
+}
+
+TEST(LabelPropagationTest, CommunityIdsAreDense) {
+  util::Rng rng(4);
+  const auto r = graph::LabelPropagation(TwoCliquesBridged(), rng);
+  for (auto c : r.community_of) EXPECT_LT(c, r.num_communities);
+  EXPECT_EQ(r.Members().size(), r.num_communities);
+}
+
+TEST(LabelPropagationTest, RecoversPlantedPartition) {
+  util::Rng grng(5);
+  const auto planted = gen::PlantedPartition(
+      {.num_nodes = 300, .num_communities = 3, .p_in = 0.25, .p_out = 0.002},
+      grng);
+  util::Rng rng(6);
+  const auto r = graph::LabelPropagation(planted.graph, rng);
+  // Most pairs in the same planted community should share a label.
+  std::uint64_t agree = 0, total = 0;
+  for (graph::NodeId u = 0; u < 300; u += 7) {
+    for (graph::NodeId v = u + 1; v < 300; v += 11) {
+      if (planted.community_of[u] == planted.community_of[v]) {
+        ++total;
+        agree += (r.community_of[u] == r.community_of[v]);
+      }
+    }
+  }
+  EXPECT_GT(static_cast<double>(agree) / static_cast<double>(total), 0.9);
+}
+
+TEST(LabelPropagationTest, DeterministicForSeed) {
+  util::Rng a(7), b(7);
+  const auto g = TwoCliquesBridged();
+  EXPECT_EQ(graph::LabelPropagation(g, a).community_of,
+            graph::LabelPropagation(g, b).community_of);
+}
+
+TEST(ModularityTest, SingleCommunityIsZeroish) {
+  // All nodes in one label: Q = m/m − 1² = 0.
+  graph::GraphBuilder b(4);
+  b.AddFriendship(0, 1);
+  b.AddFriendship(2, 3);
+  EXPECT_NEAR(graph::Modularity(b.BuildSocial(),
+                                std::vector<std::uint32_t>(4, 0)),
+              0.0, 1e-12);
+}
+
+TEST(ModularityTest, PerfectSplitOfDisconnectedCliques) {
+  // Two disjoint edges labeled separately: Q = 1 − 2·(1/2)² = 1/2.
+  graph::GraphBuilder b(4);
+  b.AddFriendship(0, 1);
+  b.AddFriendship(2, 3);
+  EXPECT_NEAR(graph::Modularity(b.BuildSocial(), {0, 0, 1, 1}), 0.5, 1e-12);
+}
+
+TEST(ModularityTest, WorstSplitIsNegative) {
+  // Splitting each edge across labels: no intra edges -> Q < 0.
+  graph::GraphBuilder b(4);
+  b.AddFriendship(0, 1);
+  b.AddFriendship(2, 3);
+  EXPECT_LT(graph::Modularity(b.BuildSocial(), {0, 1, 0, 1}), 0.0);
+}
+
+TEST(ModularityTest, LabelPropagationBeatsRandomLabels) {
+  const auto g = TwoCliquesBridged();
+  util::Rng rng(21);
+  const auto lp = graph::LabelPropagation(g, rng);
+  std::vector<std::uint32_t> random_labels(16);
+  for (auto& l : random_labels) {
+    l = static_cast<std::uint32_t>(rng.NextUInt(2));
+  }
+  EXPECT_GT(graph::Modularity(g, lp.community_of),
+            graph::Modularity(g, random_labels));
+}
+
+TEST(ModularityTest, SizeMismatchThrows) {
+  const auto g = TwoCliquesBridged();
+  EXPECT_THROW(graph::Modularity(g, std::vector<std::uint32_t>(3, 0)),
+               std::invalid_argument);
+}
+
+TEST(ConductanceTest, IsolatedCommunityNearZero) {
+  const auto g = TwoCliquesBridged();
+  std::vector<char> side(16, 0);
+  for (graph::NodeId v = 0; v < 8; ++v) side[v] = 1;
+  // One bridge edge over volume 8*7+1 = 57 -> tiny conductance.
+  EXPECT_NEAR(graph::Conductance(g, side), 1.0 / 57.0, 1e-12);
+}
+
+TEST(ConductanceTest, EmptySideIsOne) {
+  const auto g = TwoCliquesBridged();
+  EXPECT_DOUBLE_EQ(graph::Conductance(g, std::vector<char>(16, 0)), 1.0);
+  EXPECT_DOUBLE_EQ(graph::Conductance(g, std::vector<char>(16, 1)), 1.0);
+}
+
+TEST(ConductanceTest, StarCenterVsLeaves) {
+  // S = {center} of a 4-star: cut 4, vol(S) 4, vol(S̄) 4 -> 1.0.
+  graph::GraphBuilder b(5);
+  for (graph::NodeId v = 1; v < 5; ++v) b.AddFriendship(0, v);
+  std::vector<char> side(5, 0);
+  side[0] = 1;
+  EXPECT_DOUBLE_EQ(graph::Conductance(b.BuildSocial(), side), 1.0);
+}
+
+TEST(ConductanceTest, SizeMismatchThrows) {
+  const auto g = TwoCliquesBridged();
+  EXPECT_THROW(graph::Conductance(g, std::vector<char>(4, 0)),
+               std::invalid_argument);
+}
+
+TEST(SeedSelectionTest, CoversBothCommunities) {
+  const auto g = TwoCliquesBridged();
+  const auto c = detect::SelectSeedCandidates(
+      g, {.total_candidates = 6, .seed = 9});
+  EXPECT_EQ(c.num_communities, 2u);
+  EXPECT_EQ(c.communities_covered, 2u);
+  EXPECT_LE(c.nodes.size(), 6u);
+  std::set<bool> sides;
+  for (graph::NodeId v : c.nodes) sides.insert(v < 8);
+  EXPECT_EQ(sides.size(), 2u);
+}
+
+TEST(SeedSelectionTest, CandidatesDistinctAndInRange) {
+  util::Rng grng(10);
+  const auto planted = gen::PlantedPartition(
+      {.num_nodes = 200, .num_communities = 4, .p_in = 0.3, .p_out = 0.002},
+      grng);
+  const auto c = detect::SelectSeedCandidates(
+      planted.graph, {.total_candidates = 40, .seed = 11});
+  std::set<graph::NodeId> distinct(c.nodes.begin(), c.nodes.end());
+  EXPECT_EQ(distinct.size(), c.nodes.size());
+  for (graph::NodeId v : c.nodes) EXPECT_LT(v, 200u);
+  EXPECT_GE(c.communities_covered, 4u);
+}
+
+TEST(SeedSelectionTest, BudgetRespected) {
+  const auto g = TwoCliquesBridged();
+  const auto c = detect::SelectSeedCandidates(
+      g, {.total_candidates = 3, .seed = 12});
+  EXPECT_LE(c.nodes.size(), 3u);
+}
+
+TEST(SeedSelectionTest, InvalidConfigThrows) {
+  const auto g = TwoCliquesBridged();
+  EXPECT_THROW(
+      detect::SelectSeedCandidates(g, {.total_candidates = 0}),
+      std::invalid_argument);
+  EXPECT_THROW(detect::SelectSeedCandidates(
+                   g, {.total_candidates = 5, .max_community_fraction = 0.0}),
+               std::invalid_argument);
+}
+
+TEST(SeedSelectionTest, CapPreventsConsumingTinyCommunities) {
+  // One big clique + one 2-node community; with a 0.5 cap at most 1 node of
+  // the pair is nominated.
+  graph::GraphBuilder b(12);
+  for (graph::NodeId u = 0; u < 10; ++u) {
+    for (graph::NodeId v = u + 1; v < 10; ++v) b.AddFriendship(u, v);
+  }
+  b.AddFriendship(10, 11);
+  const auto c = detect::SelectSeedCandidates(
+      b.BuildSocial(),
+      {.total_candidates = 12, .max_community_fraction = 0.5, .seed = 13});
+  int tiny = 0;
+  for (graph::NodeId v : c.nodes) tiny += (v >= 10);
+  EXPECT_LE(tiny, 1);
+}
+
+}  // namespace
+}  // namespace rejecto

@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "detect/bucket_list.h"
+
+namespace rejecto::detect {
+namespace {
+
+TEST(BucketListTest, EmptyInitially) {
+  BucketList bl(10, 5.0, 4.0);
+  EXPECT_TRUE(bl.Empty());
+  EXPECT_EQ(bl.Size(), 0u);
+  EXPECT_EQ(bl.MaxGainNode(), graph::kInvalidNode);
+  EXPECT_EQ(bl.PopMax(), graph::kInvalidNode);
+}
+
+TEST(BucketListTest, InsertContainsPop) {
+  BucketList bl(10, 5.0, 4.0);
+  bl.Insert(3, 1.0);
+  EXPECT_TRUE(bl.Contains(3));
+  EXPECT_FALSE(bl.Contains(4));
+  EXPECT_EQ(bl.Size(), 1u);
+  EXPECT_EQ(bl.PopMax(), 3u);
+  EXPECT_TRUE(bl.Empty());
+  EXPECT_FALSE(bl.Contains(3));
+}
+
+TEST(BucketListTest, PopMaxReturnsHighestGain) {
+  BucketList bl(10, 10.0, 4.0);
+  bl.Insert(0, -2.0);
+  bl.Insert(1, 3.5);
+  bl.Insert(2, 1.0);
+  EXPECT_EQ(bl.PopMax(), 1u);
+  EXPECT_EQ(bl.PopMax(), 2u);
+  EXPECT_EQ(bl.PopMax(), 0u);
+}
+
+TEST(BucketListTest, NegativeGainsOrdered) {
+  BucketList bl(10, 10.0, 4.0);
+  bl.Insert(0, -5.0);
+  bl.Insert(1, -1.0);
+  EXPECT_EQ(bl.PopMax(), 1u);
+  EXPECT_EQ(bl.PopMax(), 0u);
+}
+
+TEST(BucketListTest, LifoWithinBucket) {
+  BucketList bl(10, 5.0, 4.0);
+  bl.Insert(1, 2.0);
+  bl.Insert(2, 2.0);
+  bl.Insert(3, 2.0);
+  EXPECT_EQ(bl.PopMax(), 3u);  // last inserted, first out
+  EXPECT_EQ(bl.PopMax(), 2u);
+  EXPECT_EQ(bl.PopMax(), 1u);
+}
+
+TEST(BucketListTest, RemoveMiddleOfBucket) {
+  BucketList bl(10, 5.0, 4.0);
+  bl.Insert(1, 2.0);
+  bl.Insert(2, 2.0);
+  bl.Insert(3, 2.0);
+  bl.Remove(2);
+  EXPECT_EQ(bl.Size(), 2u);
+  EXPECT_EQ(bl.PopMax(), 3u);
+  EXPECT_EQ(bl.PopMax(), 1u);
+}
+
+TEST(BucketListTest, UpdateMovesBuckets) {
+  BucketList bl(10, 10.0, 4.0);
+  bl.Insert(0, 1.0);
+  bl.Insert(1, 2.0);
+  bl.Update(0, 5.0);
+  EXPECT_EQ(bl.PopMax(), 0u);
+  bl.Update(1, -3.0);
+  bl.Insert(2, 0.0);
+  EXPECT_EQ(bl.PopMax(), 2u);
+  EXPECT_EQ(bl.PopMax(), 1u);
+}
+
+TEST(BucketListTest, UpdateSameBucketKeepsNode) {
+  BucketList bl(10, 10.0, 1.0);  // coarse: resolution 1 bucket per unit
+  bl.Insert(0, 2.2);
+  bl.Update(0, 2.4);  // same quantized bucket
+  EXPECT_TRUE(bl.Contains(0));
+  EXPECT_EQ(bl.PopMax(), 0u);
+}
+
+TEST(BucketListTest, GainsBeyondBoundClampToEndBuckets) {
+  BucketList bl(10, 2.0, 4.0);
+  bl.Insert(0, 100.0);   // clamps to +max bucket
+  bl.Insert(1, -100.0);  // clamps to -max bucket
+  bl.Insert(2, 0.0);
+  EXPECT_EQ(bl.PopMax(), 0u);
+  EXPECT_EQ(bl.PopMax(), 2u);
+  EXPECT_EQ(bl.PopMax(), 1u);
+}
+
+TEST(BucketListTest, DoubleInsertThrows) {
+  BucketList bl(10, 5.0, 4.0);
+  bl.Insert(0, 1.0);
+  EXPECT_THROW(bl.Insert(0, 2.0), std::invalid_argument);
+}
+
+TEST(BucketListTest, RemoveAbsentThrows) {
+  BucketList bl(10, 5.0, 4.0);
+  EXPECT_THROW(bl.Remove(0), std::invalid_argument);
+  EXPECT_THROW(bl.Update(0, 1.0), std::invalid_argument);
+}
+
+TEST(BucketListTest, InvalidConstructionThrows) {
+  EXPECT_THROW(BucketList(10, 5.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(BucketList(10, -1.0, 4.0), std::invalid_argument);
+}
+
+TEST(BucketListTest, CollectTopOrdersDescending) {
+  BucketList bl(10, 10.0, 4.0);
+  bl.Insert(0, 1.0);
+  bl.Insert(1, 5.0);
+  bl.Insert(2, 3.0);
+  bl.Insert(3, -2.0);
+  std::vector<graph::NodeId> top;
+  bl.CollectTop(3, top);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0], 1u);
+  EXPECT_EQ(top[1], 2u);
+  EXPECT_EQ(top[2], 0u);
+}
+
+TEST(BucketListTest, CollectTopMoreThanPresent) {
+  BucketList bl(10, 10.0, 4.0);
+  bl.Insert(0, 1.0);
+  std::vector<graph::NodeId> top;
+  bl.CollectTop(5, top);
+  EXPECT_EQ(top.size(), 1u);
+}
+
+TEST(BucketListTest, CollectTopAppends) {
+  BucketList bl(10, 10.0, 4.0);
+  bl.Insert(0, 1.0);
+  std::vector<graph::NodeId> top{9};
+  bl.CollectTop(1, top);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0], 9u);
+  EXPECT_EQ(top[1], 0u);
+}
+
+TEST(BucketListTest, MaxGainNodeDoesNotRemove) {
+  BucketList bl(10, 10.0, 4.0);
+  bl.Insert(0, 1.0);
+  bl.Insert(1, 9.0);
+  EXPECT_EQ(bl.MaxGainNode(), 1u);
+  EXPECT_EQ(bl.Size(), 2u);
+  EXPECT_EQ(bl.MaxGainNode(), 1u);
+}
+
+TEST(BucketListTest, InterleavedStressAgainstReferenceOrdering) {
+  // Insert 100 nodes with arbitrary gains, update half, remove a quarter,
+  // then verify PopMax drains in non-increasing quantized-gain order.
+  BucketList bl(200, 50.0, 8.0);
+  std::vector<double> gain(100);
+  for (graph::NodeId v = 0; v < 100; ++v) {
+    gain[v] = static_cast<double>((v * 37) % 41) - 20.0;
+    bl.Insert(v, gain[v]);
+  }
+  for (graph::NodeId v = 0; v < 100; v += 2) {
+    gain[v] = static_cast<double>((v * 13) % 29) - 14.0;
+    bl.Update(v, gain[v]);
+  }
+  for (graph::NodeId v = 0; v < 100; v += 4) {
+    bl.Remove(v);
+    gain[v] = -1e9;  // sentinel: not present
+  }
+  double last = 1e18;
+  while (!bl.Empty()) {
+    const graph::NodeId v = bl.PopMax();
+    ASSERT_NE(gain[v], -1e9) << "popped removed node";
+    const double q = std::round(gain[v] * 8.0);
+    ASSERT_LE(q, last);
+    last = q;
+    gain[v] = -1e9;
+  }
+  for (double g : gain) EXPECT_EQ(g, -1e9);  // everything drained exactly once
+}
+
+}  // namespace
+}  // namespace rejecto::detect

@@ -1,0 +1,336 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "detect/extended_kl.h"
+#include "engine/cluster.h"
+#include "engine/dist_kl.h"
+#include "engine/dist_detector.h"
+#include "engine/dist_maar.h"
+#include "engine/prefetch.h"
+#include "engine/shard_store.h"
+#include "gen/erdos_renyi.h"
+#include "graph/builder.h"
+#include "sim/scenario.h"
+#include "util/rng.h"
+
+namespace rejecto::engine {
+namespace {
+
+graph::AugmentedGraph SmallAugmented(util::Rng& rng, graph::NodeId n = 60) {
+  graph::GraphBuilder b(n);
+  const auto social = gen::ErdosRenyi(
+      {.num_nodes = n, .num_edges = static_cast<graph::EdgeId>(n) * 3}, rng);
+  for (const auto& e : social.Edges()) b.AddFriendship(e.u, e.v);
+  for (graph::NodeId i = 0; i < n; ++i) {
+    const auto u = static_cast<graph::NodeId>(rng.NextUInt(n));
+    const auto v = static_cast<graph::NodeId>(rng.NextUInt(n));
+    if (u != v) b.AddRejection(u, v);
+  }
+  return b.BuildAugmented();
+}
+
+// ---------- Cluster ----------
+
+TEST(ClusterTest, InvalidPrefetchConfigThrows) {
+  EXPECT_THROW(Cluster({.num_workers = 2, .prefetch_batch = 0}), std::invalid_argument);
+  EXPECT_THROW(
+      Cluster({.num_workers = 2, .prefetch_batch = 100, .buffer_capacity = 10}),
+      std::invalid_argument);
+}
+
+// ---------- ShardedGraphStore ----------
+
+TEST(ShardStoreTest, ZeroShardsThrow) {
+  util::Rng rng(1);
+  const auto g = SmallAugmented(rng);
+  util::ThreadPool pool(2);
+  EXPECT_THROW(ShardedGraphStore(g, 0, pool), std::invalid_argument);
+}
+
+TEST(ShardStoreTest, LocalMatchesGraph) {
+  util::Rng rng(2);
+  const auto g = SmallAugmented(rng);
+  util::ThreadPool pool(2);
+  const ShardedGraphStore store(g, 4, pool);
+  for (graph::NodeId v = 0; v < g.NumNodes(); ++v) {
+    const NodeAdjacency& a = store.Local(v);
+    const auto fr = g.Friendships().Neighbors(v);
+    ASSERT_EQ(a.friends.size(), fr.size());
+    EXPECT_TRUE(std::equal(fr.begin(), fr.end(), a.friends.begin()));
+    EXPECT_EQ(a.rejectors.size(), g.Rejections().InDegree(v));
+    EXPECT_EQ(a.rejectees.size(), g.Rejections().OutDegree(v));
+  }
+}
+
+TEST(ShardStoreTest, FetchBatchReturnsRequestedOrder) {
+  util::Rng rng(3);
+  const auto g = SmallAugmented(rng);
+  util::ThreadPool pool(2);
+  const ShardedGraphStore store(g, 3, pool);
+  IoStats stats;
+  const graph::NodeId ids[4] = {7, 1, 12, 5};
+  const auto batch = store.FetchBatch(ids, stats);
+  ASSERT_EQ(batch.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(batch[static_cast<std::size_t>(i)].friends.size(),
+              g.Friendships().Degree(ids[i]));
+  }
+}
+
+TEST(ShardStoreTest, FetchAccountingChargesPerShardTouched) {
+  util::Rng rng(4);
+  const auto g = SmallAugmented(rng);
+  util::ThreadPool pool(2);
+  const ShardedGraphStore store(g, 4, pool);
+  IoStats stats;
+  // Nodes 0 and 4 share shard 0; node 1 is shard 1 -> 2 RPCs.
+  const graph::NodeId ids[3] = {0, 4, 1};
+  store.FetchBatch(ids, stats);
+  EXPECT_EQ(stats.fetch_requests, 2u);
+  EXPECT_EQ(stats.nodes_fetched, 3u);
+  EXPECT_GT(stats.bytes_transferred, 0u);
+}
+
+TEST(NetworkModelTest, MicrosFormula) {
+  const NetworkModel m{.rpc_latency_us = 100.0, .bandwidth_gbps = 1.0};
+  // 2 RPCs + 1e6 bytes: 200us latency + 8e6 bits / 1e3 bits-per-us = 8000us.
+  EXPECT_NEAR(m.MicrosFor(2, 1'000'000), 200.0 + 8000.0, 1e-9);
+}
+
+TEST(ShardStoreTest, SimulatedNetworkTimeAccrues) {
+  util::Rng rng(14);
+  const auto g = SmallAugmented(rng);
+  util::ThreadPool pool(2);
+  const NetworkModel slow{.rpc_latency_us = 1000.0, .bandwidth_gbps = 0.001};
+  const ShardedGraphStore store(g, 2, pool, slow);
+  IoStats stats;
+  const graph::NodeId ids[2] = {0, 1};
+  store.FetchBatch(ids, stats);
+  // One batch = one latency charge plus payload time.
+  const double expected =
+      slow.MicrosFor(1, stats.bytes_transferred);
+  EXPECT_NEAR(stats.simulated_network_us, expected, 1e-9);
+  store.FetchBatch(ids, stats);
+  EXPECT_NEAR(stats.simulated_network_us, 2 * expected, 1e-9);
+}
+
+TEST(ShardStoreTest, FetchOutOfRangeThrows) {
+  util::Rng rng(5);
+  const auto g = SmallAugmented(rng);
+  util::ThreadPool pool(2);
+  const ShardedGraphStore store(g, 2, pool);
+  IoStats stats;
+  const graph::NodeId ids[1] = {static_cast<graph::NodeId>(g.NumNodes())};
+  EXPECT_THROW(store.FetchBatch(ids, stats), std::out_of_range);
+}
+
+// ---------- PrefetchBuffer ----------
+
+TEST(PrefetchTest, MissThenHit) {
+  util::Rng rng(6);
+  const auto g = SmallAugmented(rng);
+  util::ThreadPool pool(2);
+  const ShardedGraphStore store(g, 2, pool);
+  PrefetchBuffer buf(store, 16, 1);
+  buf.Get(3);
+  EXPECT_EQ(buf.Stats().cache_misses, 1u);
+  buf.Get(3);
+  EXPECT_EQ(buf.Stats().cache_hits, 1u);
+}
+
+TEST(PrefetchTest, CandidatesArePrefetched) {
+  util::Rng rng(7);
+  const auto g = SmallAugmented(rng);
+  util::ThreadPool pool(2);
+  const ShardedGraphStore store(g, 2, pool);
+  PrefetchBuffer buf(store, 16, 4);
+  buf.Get(0, [](std::size_t want, std::vector<graph::NodeId>& out) {
+    for (graph::NodeId v = 1; out.size() < want + 1 && v < 10; ++v) {
+      out.push_back(v);
+    }
+  });
+  EXPECT_EQ(buf.Stats().cache_misses, 1u);
+  buf.Get(1);
+  buf.Get(2);
+  buf.Get(3);
+  EXPECT_EQ(buf.Stats().cache_hits, 3u);
+  EXPECT_EQ(buf.Stats().cache_misses, 1u);
+}
+
+TEST(PrefetchTest, LruEvictsOldest) {
+  util::Rng rng(8);
+  const auto g = SmallAugmented(rng);
+  util::ThreadPool pool(2);
+  const ShardedGraphStore store(g, 2, pool);
+  PrefetchBuffer buf(store, 2, 1);  // capacity 2
+  buf.Get(0);
+  buf.Get(1);
+  buf.Get(0);  // refresh 0; LRU order now [0, 1]
+  buf.Get(2);  // evicts 1
+  buf.Get(0);
+  EXPECT_EQ(buf.Stats().cache_hits, 2u);  // the refresh + final Get(0)
+  buf.Get(1);                             // must re-fetch
+  EXPECT_EQ(buf.Stats().cache_misses, 4u);
+}
+
+TEST(PrefetchTest, DuplicateCandidatesDeduped) {
+  util::Rng rng(9);
+  const auto g = SmallAugmented(rng);
+  util::ThreadPool pool(2);
+  const ShardedGraphStore store(g, 2, pool);
+  PrefetchBuffer buf(store, 16, 4);
+  buf.Get(0, [](std::size_t, std::vector<graph::NodeId>& out) {
+    out.push_back(0);  // the missed node itself
+    out.push_back(5);
+    out.push_back(5);  // duplicate
+  });
+  EXPECT_EQ(buf.Stats().nodes_fetched, 2u);  // 0 and 5 only
+}
+
+TEST(PrefetchTest, InvalidConfigThrows) {
+  util::Rng rng(10);
+  const auto g = SmallAugmented(rng);
+  util::ThreadPool pool(2);
+  const ShardedGraphStore store(g, 2, pool);
+  EXPECT_THROW(PrefetchBuffer(store, 0, 1), std::invalid_argument);
+  EXPECT_THROW(PrefetchBuffer(store, 4, 8), std::invalid_argument);
+}
+
+// ---------- DistributedKl equivalence ----------
+
+class DistKlEquivalenceTest
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t, double>> {};
+
+TEST_P(DistKlEquivalenceTest, BitIdenticalToSerialKl) {
+  const auto [shards, k] = GetParam();
+  util::Rng rng(42 + shards);
+  const auto g = SmallAugmented(rng, 120);
+  std::vector<char> init(g.NumNodes(), 0);
+  for (graph::NodeId v = 0; v < g.NumNodes(); ++v) {
+    init[v] = g.Rejections().InDegree(v) > 0 ? 1 : 0;
+  }
+  std::vector<char> locked(g.NumNodes(), 0);
+  locked[0] = 1;
+  locked[5] = 1;
+
+  const detect::KlConfig cfg{.k = k};
+  const auto serial = detect::ExtendedKl(g, init, locked, cfg);
+
+  Cluster cluster(
+      {.num_workers = shards, .prefetch_batch = 8, .buffer_capacity = 64});
+  const ShardedGraphStore store(g, shards, cluster.Pool());
+  const auto dist = DistributedKl(store, init, locked, cfg, cluster);
+
+  EXPECT_EQ(dist.kl.in_u, serial.in_u);
+  EXPECT_EQ(dist.kl.cut.cross_friendships, serial.cut.cross_friendships);
+  EXPECT_EQ(dist.kl.cut.rejections_into_u, serial.cut.rejections_into_u);
+  EXPECT_EQ(dist.kl.cut.rejections_from_u, serial.cut.rejections_from_u);
+  EXPECT_EQ(dist.kl.stats.passes, serial.stats.passes);
+  EXPECT_EQ(dist.kl.stats.switches_applied, serial.stats.switches_applied);
+  EXPECT_DOUBLE_EQ(dist.kl.stats.final_objective,
+                   serial.stats.final_objective);
+  EXPECT_GT(dist.io.nodes_fetched, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShardAndK, DistKlEquivalenceTest,
+    ::testing::Combine(::testing::Values(1u, 2u, 3u, 5u),
+                       ::testing::Values(0.25, 1.0, 4.0)));
+
+TEST(DistKlTest, PrefetchingReducesFetchRequests) {
+  util::Rng rng(77);
+  const auto g = SmallAugmented(rng, 150);
+  std::vector<char> init(g.NumNodes(), 0);
+  for (graph::NodeId v = 0; v < g.NumNodes(); ++v) {
+    init[v] = g.Rejections().InDegree(v) > 0 ? 1 : 0;
+  }
+  const detect::KlConfig cfg{.k = 1.0};
+
+  Cluster no_prefetch(
+      {.num_workers = 2, .prefetch_batch = 1, .buffer_capacity = 256});
+  const ShardedGraphStore store1(g, 2, no_prefetch.Pool());
+  const auto a = DistributedKl(store1, init, {}, cfg, no_prefetch);
+
+  Cluster with_prefetch(
+      {.num_workers = 2, .prefetch_batch = 32, .buffer_capacity = 256});
+  const ShardedGraphStore store2(g, 2, with_prefetch.Pool());
+  const auto b = DistributedKl(store2, init, {}, cfg, with_prefetch);
+
+  EXPECT_EQ(a.kl.in_u, b.kl.in_u);  // prefetching never changes the result
+  EXPECT_LT(b.io.fetch_requests, a.io.fetch_requests);
+}
+
+TEST(DistMaarTest, MatchesSerialMaarSolver) {
+  util::Rng rng(91);
+  const auto g = SmallAugmented(rng, 100);
+  detect::Seeds seeds;
+  seeds.legit = {0, 1};
+  detect::MaarConfig cfg;
+  cfg.min_region_size = 2;
+  cfg.seed = 4;
+
+  detect::MaarSolver serial(g, seeds, cfg);
+  const auto expected = serial.Solve();
+
+  Cluster cluster(
+      {.num_workers = 3, .prefetch_batch = 16, .buffer_capacity = 128});
+  const ShardedGraphStore store(g, 3, cluster.Pool());
+  const auto dist = SolveMaarDistributed(g, store, cluster, seeds, cfg);
+
+  EXPECT_EQ(dist.cut.valid, expected.valid);
+  if (expected.valid) {
+    EXPECT_EQ(dist.cut.in_u, expected.in_u);
+    EXPECT_DOUBLE_EQ(dist.cut.ratio, expected.ratio);
+    EXPECT_DOUBLE_EQ(dist.cut.k, expected.k);
+  }
+  EXPECT_EQ(dist.cut.kl_runs, expected.kl_runs);
+  EXPECT_GT(dist.io.nodes_fetched, 0u);
+}
+
+TEST(DistDetectorTest, MatchesSerialPipeline) {
+  // A planted scenario with two fake groups exercises multiple rounds
+  // (and thus multiple re-shardings) of the distributed pipeline.
+  util::Rng rng(55);
+  const auto legit =
+      gen::ErdosRenyi({.num_nodes = 400, .num_edges = 1600}, rng);
+  sim::ScenarioConfig scfg;
+  scfg.seed = 5;
+  scfg.num_fakes = 80;
+  const auto scenario = sim::BuildScenario(legit, scfg);
+  util::Rng seed_rng(6);
+  const auto seeds = scenario.SampleSeeds(10, 4, seed_rng);
+
+  detect::IterativeConfig cfg;
+  cfg.target_detections = 80;
+  cfg.maar.seed = 3;
+  const auto serial =
+      detect::DetectFriendSpammers(scenario.graph, seeds, cfg);
+
+  Cluster cluster(
+      {.num_workers = 3, .prefetch_batch = 32, .buffer_capacity = 512});
+  const auto dist = DetectFriendSpammersDistributed(scenario.graph, seeds,
+                                                    cfg, cluster);
+
+  EXPECT_EQ(dist.detection.detected, serial.detected);
+  EXPECT_EQ(dist.detection.rounds.size(), serial.rounds.size());
+  EXPECT_EQ(dist.detection.hit_target, serial.hit_target);
+  EXPECT_GE(dist.stores_built, 1);
+  EXPECT_GT(dist.io.nodes_fetched, 0u);
+}
+
+TEST(DistKlTest, InvalidInputsThrow) {
+  util::Rng rng(78);
+  const auto g = SmallAugmented(rng, 40);
+  Cluster cluster({.num_workers = 2});
+  const ShardedGraphStore store(g, 2, cluster.Pool());
+  EXPECT_THROW(DistributedKl(store, std::vector<char>(10, 0), {},
+                             detect::KlConfig{.k = 1.0}, cluster),
+               std::invalid_argument);
+  EXPECT_THROW(DistributedKl(store, std::vector<char>(g.NumNodes(), 0), {},
+                             detect::KlConfig{.k = 0.0}, cluster),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rejecto::engine

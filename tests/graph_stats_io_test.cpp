@@ -1,0 +1,273 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "graph/builder.h"
+#include "gen/barabasi_albert.h"
+#include "graph/io.h"
+#include "graph/stats.h"
+
+namespace rejecto::graph {
+namespace {
+
+SocialGraph Triangle() {
+  GraphBuilder b(3);
+  b.AddFriendship(0, 1);
+  b.AddFriendship(1, 2);
+  b.AddFriendship(0, 2);
+  return b.BuildSocial();
+}
+
+SocialGraph Path(NodeId n) {
+  GraphBuilder b(n);
+  for (NodeId v = 0; v + 1 < n; ++v) b.AddFriendship(v, v + 1);
+  return b.BuildSocial();
+}
+
+SocialGraph Star(NodeId leaves) {
+  GraphBuilder b(leaves + 1);
+  for (NodeId v = 1; v <= leaves; ++v) b.AddFriendship(0, v);
+  return b.BuildSocial();
+}
+
+SocialGraph Clique(NodeId n) {
+  GraphBuilder b(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) b.AddFriendship(u, v);
+  }
+  return b.BuildSocial();
+}
+
+// ---------- clustering coefficient ----------
+
+TEST(ClusteringTest, TriangleIsOne) {
+  EXPECT_DOUBLE_EQ(AverageClusteringCoefficient(Triangle()), 1.0);
+}
+
+TEST(ClusteringTest, StarIsZero) {
+  EXPECT_DOUBLE_EQ(AverageClusteringCoefficient(Star(5)), 0.0);
+}
+
+TEST(ClusteringTest, CliqueIsOne) {
+  EXPECT_DOUBLE_EQ(AverageClusteringCoefficient(Clique(6)), 1.0);
+}
+
+TEST(ClusteringTest, PathIsZero) {
+  EXPECT_DOUBLE_EQ(AverageClusteringCoefficient(Path(10)), 0.0);
+}
+
+TEST(ClusteringTest, EmptyGraphIsZero) {
+  EXPECT_DOUBLE_EQ(AverageClusteringCoefficient(SocialGraph{}), 0.0);
+}
+
+TEST(ClusteringTest, TriangleWithPendant) {
+  // Node 3 hangs off node 0 of a triangle: C(0)=C of deg-3 node with 1
+  // triangle = 2*1/(3*2)=1/3; C(1)=C(2)=1; C(3)=0 -> avg = (1/3+1+1+0)/4.
+  GraphBuilder b(4);
+  b.AddFriendship(0, 1);
+  b.AddFriendship(1, 2);
+  b.AddFriendship(0, 2);
+  b.AddFriendship(0, 3);
+  EXPECT_NEAR(AverageClusteringCoefficient(b.BuildSocial()),
+              (1.0 / 3.0 + 2.0) / 4.0, 1e-12);
+}
+
+// ---------- BFS / components / diameter ----------
+
+TEST(BfsTest, DistancesOnPath) {
+  const SocialGraph g = Path(5);
+  const auto d = BfsDistances(g, 0);
+  for (NodeId v = 0; v < 5; ++v) EXPECT_EQ(d[v], v);
+}
+
+TEST(BfsTest, UnreachableIsMax) {
+  GraphBuilder b(3);
+  b.AddFriendship(0, 1);
+  const auto d = BfsDistances(b.BuildSocial(), 0);
+  EXPECT_EQ(d[2], std::numeric_limits<std::uint32_t>::max());
+}
+
+TEST(ComponentsTest, CountsAndLargest) {
+  GraphBuilder b(6);
+  b.AddFriendship(0, 1);
+  b.AddFriendship(1, 2);
+  b.AddFriendship(3, 4);
+  const Components c = ConnectedComponents(b.BuildSocial());
+  EXPECT_EQ(c.count, 3u);  // {0,1,2}, {3,4}, {5}
+  EXPECT_EQ(c.largest_size, 3u);
+  EXPECT_EQ(c.component_of[0], c.component_of[2]);
+  EXPECT_NE(c.component_of[0], c.component_of[3]);
+}
+
+TEST(DiameterTest, PathDiameterExact) {
+  util::Rng rng(3);
+  EXPECT_EQ(EstimateDiameter(Path(17), 8, rng), 16u);
+}
+
+TEST(DiameterTest, CliqueDiameterOne) {
+  util::Rng rng(3);
+  EXPECT_EQ(EstimateDiameter(Clique(8), 4, rng), 1u);
+}
+
+TEST(DiameterTest, IgnoresSmallComponents) {
+  GraphBuilder b(10);
+  for (NodeId v = 0; v + 1 < 6; ++v) b.AddFriendship(v, v + 1);  // path of 6
+  b.AddFriendship(7, 8);
+  util::Rng rng(3);
+  EXPECT_EQ(EstimateDiameter(b.BuildSocial(), 8, rng), 5u);
+}
+
+TEST(DiameterTest, SingletonGraphIsZero) {
+  GraphBuilder b(1);
+  util::Rng rng(3);
+  EXPECT_EQ(EstimateDiameter(b.BuildSocial(), 4, rng), 0u);
+}
+
+// ---------- degree stats ----------
+
+TEST(DegreeStatsTest, StarValues) {
+  const DegreeStats s = ComputeDegreeStats(Star(4));
+  EXPECT_EQ(s.min, 1u);
+  EXPECT_EQ(s.max, 4u);
+  EXPECT_NEAR(s.mean, 8.0 / 5.0, 1e-12);
+}
+
+TEST(DegreeStatsTest, RegularGraph) {
+  const DegreeStats s = ComputeDegreeStats(Clique(5));
+  EXPECT_EQ(s.min, 4u);
+  EXPECT_EQ(s.max, 4u);
+  EXPECT_DOUBLE_EQ(s.mean, 4.0);
+  EXPECT_DOUBLE_EQ(s.median, 4.0);
+}
+
+TEST(DegreeHistogramTest, CountsPerDegree) {
+  const auto hist = DegreeHistogram(Star(4));
+  ASSERT_EQ(hist.size(), 5u);
+  EXPECT_EQ(hist[1], 4u);  // leaves
+  EXPECT_EQ(hist[4], 1u);  // hub
+  EXPECT_EQ(hist[0], 0u);
+}
+
+TEST(PowerLawTest, BaGraphExponentNearThree) {
+  // Pure BA converges to alpha = 3; allow a generous band at n=20K.
+  util::Rng rng(5);
+  const auto g = rejecto::gen::BarabasiAlbert(
+      {.num_nodes = 20'000, .edges_per_node = 3}, rng);
+  const double alpha = EstimatePowerLawExponent(g, 10);
+  EXPECT_GT(alpha, 2.4);
+  EXPECT_LT(alpha, 3.6);
+}
+
+TEST(PowerLawTest, RegularGraphReturnsZero) {
+  // A clique has no tail beyond d_min == its uniform degree; log_sum is 0.
+  EXPECT_EQ(EstimatePowerLawExponent(Clique(8), 8), 0.0);
+}
+
+TEST(PowerLawTest, InvalidDminThrows) {
+  EXPECT_THROW(EstimatePowerLawExponent(Clique(4), 0), std::invalid_argument);
+}
+
+// ---------- edge-list I/O ----------
+
+class IoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = std::filesystem::temp_directory_path() /
+            ("rejecto_io_test_" + std::to_string(::getpid()) + ".txt");
+  }
+  void TearDown() override { std::filesystem::remove(path_); }
+  std::filesystem::path path_;
+};
+
+TEST_F(IoTest, SaveLoadRoundTrip) {
+  GraphBuilder b(4);
+  b.AddFriendship(0, 1);
+  b.AddFriendship(1, 2);
+  b.AddFriendship(2, 3);
+  const SocialGraph g = b.BuildSocial();
+  SaveEdgeList(g, path_.string());
+  const LoadedGraph loaded = LoadEdgeList(path_.string());
+  EXPECT_EQ(loaded.graph.NumNodes(), 4u);
+  EXPECT_EQ(loaded.graph.NumEdges(), 3u);
+}
+
+TEST_F(IoTest, LoadRemapsSparseIds) {
+  std::ofstream(path_) << "# snap-style comment\n1000 2000\n2000 5\n";
+  const LoadedGraph loaded = LoadEdgeList(path_.string());
+  EXPECT_EQ(loaded.graph.NumNodes(), 3u);
+  EXPECT_EQ(loaded.graph.NumEdges(), 2u);
+  ASSERT_EQ(loaded.original_id.size(), 3u);
+  EXPECT_EQ(loaded.original_id[0], 1000u);
+  EXPECT_EQ(loaded.original_id[1], 2000u);
+  EXPECT_EQ(loaded.original_id[2], 5u);
+}
+
+TEST_F(IoTest, LoadDropsSelfLoops) {
+  std::ofstream(path_) << "1 1\n1 2\n";
+  EXPECT_EQ(LoadEdgeList(path_.string()).graph.NumEdges(), 1u);
+}
+
+TEST_F(IoTest, MalformedLineThrows) {
+  std::ofstream(path_) << "1 2\nnot numbers\n";
+  EXPECT_THROW(LoadEdgeList(path_.string()), std::runtime_error);
+}
+
+TEST_F(IoTest, MissingFileThrows) {
+  EXPECT_THROW(LoadEdgeList("/nonexistent/rejecto.txt"), std::runtime_error);
+}
+
+class AugmentedIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const auto dir = std::filesystem::temp_directory_path();
+    fr_path_ = dir / ("rejecto_aug_fr_" + std::to_string(::getpid()) + ".txt");
+    rej_path_ = dir / ("rejecto_aug_rej_" + std::to_string(::getpid()) + ".txt");
+  }
+  void TearDown() override {
+    std::filesystem::remove(fr_path_);
+    std::filesystem::remove(rej_path_);
+  }
+  std::filesystem::path fr_path_;
+  std::filesystem::path rej_path_;
+};
+
+TEST_F(AugmentedIoTest, SharedIdSpaceAcrossFiles) {
+  std::ofstream(fr_path_) << "10 20\n20 30\n";
+  std::ofstream(rej_path_) << "# rejector rejected\n10 40\n30 40\n";
+  const auto loaded = LoadAugmentedGraph(fr_path_.string(), rej_path_.string());
+  EXPECT_EQ(loaded.graph.NumNodes(), 4u);
+  EXPECT_EQ(loaded.graph.Friendships().NumEdges(), 2u);
+  EXPECT_EQ(loaded.graph.Rejections().NumArcs(), 2u);
+  // Node "40" appears only in the rejection file but shares the id space.
+  const NodeId forty = loaded.dense_id.at(40);
+  EXPECT_EQ(loaded.graph.Rejections().InDegree(forty), 2u);
+  EXPECT_EQ(loaded.original_id[forty], 40u);
+}
+
+TEST_F(AugmentedIoTest, RejectionDirectionIsRejectorFirst) {
+  std::ofstream(fr_path_) << "1 2\n";
+  std::ofstream(rej_path_) << "1 3\n";
+  const auto loaded = LoadAugmentedGraph(fr_path_.string(), rej_path_.string());
+  const NodeId one = loaded.dense_id.at(1);
+  const NodeId three = loaded.dense_id.at(3);
+  EXPECT_TRUE(loaded.graph.Rejections().HasArc(one, three));
+  EXPECT_FALSE(loaded.graph.Rejections().HasArc(three, one));
+}
+
+TEST_F(AugmentedIoTest, MalformedRejectionLineThrows) {
+  std::ofstream(fr_path_) << "1 2\n";
+  std::ofstream(rej_path_) << "oops\n";
+  EXPECT_THROW(LoadAugmentedGraph(fr_path_.string(), rej_path_.string()),
+               std::runtime_error);
+}
+
+TEST_F(AugmentedIoTest, MissingRejectionFileThrows) {
+  std::ofstream(fr_path_) << "1 2\n";
+  EXPECT_THROW(LoadAugmentedGraph(fr_path_.string(), "/nonexistent/r.txt"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace rejecto::graph

@@ -1,0 +1,298 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "graph/augmented_graph.h"
+#include "graph/builder.h"
+#include "graph/rejection_graph.h"
+#include "graph/social_graph.h"
+#include "graph/subgraph.h"
+
+namespace rejecto::graph {
+namespace {
+
+// ---------- GraphBuilder / SocialGraph ----------
+
+TEST(GraphBuilderTest, EmptyGraph) {
+  GraphBuilder b;
+  const SocialGraph g = b.BuildSocial();
+  EXPECT_EQ(g.NumNodes(), 0u);
+  EXPECT_EQ(g.NumEdges(), 0u);
+}
+
+TEST(GraphBuilderTest, AddNodeReturnsSequentialIds) {
+  GraphBuilder b;
+  EXPECT_EQ(b.AddNode(), 0u);
+  EXPECT_EQ(b.AddNode(), 1u);
+  EXPECT_EQ(b.AddNodes(3), 2u);
+  EXPECT_EQ(b.NumNodes(), 5u);
+}
+
+TEST(GraphBuilderTest, SelfFriendshipThrows) {
+  GraphBuilder b(2);
+  EXPECT_THROW(b.AddFriendship(1, 1), std::invalid_argument);
+}
+
+TEST(GraphBuilderTest, SelfRejectionArcThrows) {
+  GraphBuilder b(2);
+  EXPECT_THROW(b.AddRejection(0, 0), std::invalid_argument);
+}
+
+TEST(GraphBuilderTest, EdgesImplicitlyGrowNodeRange) {
+  GraphBuilder b;
+  b.AddFriendship(3, 7);
+  EXPECT_EQ(b.NumNodes(), 8u);
+  const SocialGraph g = b.BuildSocial();
+  EXPECT_EQ(g.NumNodes(), 8u);
+  EXPECT_TRUE(g.HasEdge(3, 7));
+  EXPECT_EQ(g.Degree(0), 0u);
+}
+
+TEST(GraphBuilderTest, DuplicateEdgesCollapse) {
+  GraphBuilder b(3);
+  b.AddFriendship(0, 1);
+  b.AddFriendship(1, 0);
+  b.AddFriendship(0, 1);
+  const SocialGraph g = b.BuildSocial();
+  EXPECT_EQ(g.NumEdges(), 1u);
+  EXPECT_EQ(g.Degree(0), 1u);
+  EXPECT_EQ(g.Degree(1), 1u);
+}
+
+TEST(SocialGraphTest, NeighborsAreSorted) {
+  GraphBuilder b(5);
+  b.AddFriendship(2, 4);
+  b.AddFriendship(2, 0);
+  b.AddFriendship(2, 3);
+  const SocialGraph g = b.BuildSocial();
+  const auto nbrs = g.Neighbors(2);
+  EXPECT_TRUE(std::is_sorted(nbrs.begin(), nbrs.end()));
+  EXPECT_EQ(nbrs.size(), 3u);
+}
+
+TEST(SocialGraphTest, HasEdgeSymmetric) {
+  GraphBuilder b(4);
+  b.AddFriendship(1, 3);
+  const SocialGraph g = b.BuildSocial();
+  EXPECT_TRUE(g.HasEdge(1, 3));
+  EXPECT_TRUE(g.HasEdge(3, 1));
+  EXPECT_FALSE(g.HasEdge(0, 2));
+}
+
+TEST(SocialGraphTest, OutOfRangeNodeThrows) {
+  GraphBuilder b(2);
+  b.AddFriendship(0, 1);
+  const SocialGraph g = b.BuildSocial();
+  EXPECT_THROW(g.Degree(2), std::out_of_range);
+  EXPECT_THROW(g.Neighbors(9), std::out_of_range);
+  EXPECT_THROW((void)g.HasEdge(0, 5), std::out_of_range);
+}
+
+TEST(SocialGraphTest, EdgesReportsEachOnceNormalized) {
+  GraphBuilder b(4);
+  b.AddFriendship(3, 1);
+  b.AddFriendship(0, 2);
+  const SocialGraph g = b.BuildSocial();
+  auto edges = g.Edges();
+  ASSERT_EQ(edges.size(), 2u);
+  for (const Edge& e : edges) EXPECT_LT(e.u, e.v);
+}
+
+TEST(SocialGraphTest, MaxDegreeTracked) {
+  GraphBuilder b(5);
+  for (NodeId v = 1; v < 5; ++v) b.AddFriendship(0, v);
+  EXPECT_EQ(b.BuildSocial().MaxDegree(), 4u);
+}
+
+TEST(GraphBuilderTest, BuilderReusableAfterBuild) {
+  GraphBuilder b(3);
+  b.AddFriendship(0, 1);
+  const SocialGraph g1 = b.BuildSocial();
+  b.AddFriendship(1, 2);
+  const SocialGraph g2 = b.BuildSocial();
+  EXPECT_EQ(g1.NumEdges(), 1u);
+  EXPECT_EQ(g2.NumEdges(), 2u);
+}
+
+// ---------- RejectionGraph ----------
+
+TEST(RejectionGraphTest, DirectionalityPreserved) {
+  GraphBuilder b(3);
+  b.AddRejection(0, 1);  // 0 rejected 1's request
+  const RejectionGraph r = b.BuildRejection();
+  EXPECT_TRUE(r.HasArc(0, 1));
+  EXPECT_FALSE(r.HasArc(1, 0));
+  EXPECT_EQ(r.OutDegree(0), 1u);
+  EXPECT_EQ(r.InDegree(1), 1u);
+  EXPECT_EQ(r.InDegree(0), 0u);
+}
+
+TEST(RejectionGraphTest, RepeatedRejectionsCollapse) {
+  GraphBuilder b(2);
+  b.AddRejection(0, 1);
+  b.AddRejection(0, 1);
+  b.AddRejection(0, 1);
+  EXPECT_EQ(b.BuildRejection().NumArcs(), 1u);
+}
+
+TEST(RejectionGraphTest, BothDirectionsAreDistinctArcs) {
+  GraphBuilder b(2);
+  b.AddRejection(0, 1);
+  b.AddRejection(1, 0);
+  const RejectionGraph r = b.BuildRejection();
+  EXPECT_EQ(r.NumArcs(), 2u);
+}
+
+TEST(RejectionGraphTest, InAdjacencyMirrorsOut) {
+  GraphBuilder b(5);
+  b.AddRejection(0, 2);
+  b.AddRejection(1, 2);
+  b.AddRejection(3, 2);
+  b.AddRejection(2, 4);
+  const RejectionGraph r = b.BuildRejection();
+  const auto rejectors = r.Rejectors(2);
+  ASSERT_EQ(rejectors.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(rejectors.begin(), rejectors.end()));
+  EXPECT_EQ(r.Rejectees(2).size(), 1u);
+  EXPECT_EQ(r.Rejectees(2)[0], 4u);
+}
+
+TEST(RejectionGraphTest, ArcsEnumerationMatchesCount) {
+  GraphBuilder b(4);
+  b.AddRejection(0, 1);
+  b.AddRejection(2, 3);
+  b.AddRejection(3, 0);
+  const RejectionGraph r = b.BuildRejection();
+  EXPECT_EQ(r.Arcs().size(), r.NumArcs());
+}
+
+TEST(RejectionGraphTest, OutOfRangeThrows) {
+  GraphBuilder b(2);
+  b.AddRejection(0, 1);
+  const RejectionGraph r = b.BuildRejection();
+  EXPECT_THROW(r.Rejectors(5), std::out_of_range);
+  EXPECT_THROW(r.InDegree(2), std::out_of_range);
+}
+
+// ---------- AugmentedGraph ----------
+
+AugmentedGraph MakeSmallAugmented() {
+  // Legit: 0-1-2 triangle. Fakes: 3-4 linked. Attack edge 2-3.
+  // Rejections: 0->3, 1->3, 1->4 (legit rejecting fakes), 4->0 (fake
+  // rejecting a legit request).
+  GraphBuilder b(5);
+  b.AddFriendship(0, 1);
+  b.AddFriendship(1, 2);
+  b.AddFriendship(0, 2);
+  b.AddFriendship(3, 4);
+  b.AddFriendship(2, 3);
+  b.AddRejection(0, 3);
+  b.AddRejection(1, 3);
+  b.AddRejection(1, 4);
+  b.AddRejection(4, 0);
+  return b.BuildAugmented();
+}
+
+TEST(AugmentedGraphTest, MismatchedNodeCountsThrow) {
+  GraphBuilder bf(3);
+  bf.AddFriendship(0, 1);
+  GraphBuilder br(2);
+  br.AddRejection(0, 1);
+  EXPECT_THROW(AugmentedGraph(bf.BuildSocial(), br.BuildRejection()),
+               std::invalid_argument);
+}
+
+TEST(AugmentedGraphTest, ComputeCutOnFakeRegion) {
+  const AugmentedGraph g = MakeSmallAugmented();
+  std::vector<char> in_u = {0, 0, 0, 1, 1};  // U = fakes {3,4}
+  const CutQuantities q = g.ComputeCut(in_u);
+  EXPECT_EQ(q.cross_friendships, 1u);    // attack edge 2-3
+  EXPECT_EQ(q.rejections_into_u, 3u);    // 0->3, 1->3, 1->4
+  EXPECT_EQ(q.rejections_from_u, 1u);    // 4->0
+  EXPECT_NEAR(q.AcceptanceRate(), 1.0 / 4.0, 1e-12);
+  EXPECT_NEAR(q.FriendsToRejectionsRatio(), 1.0 / 3.0, 1e-12);
+}
+
+TEST(AugmentedGraphTest, ComputeCutEmptyU) {
+  const AugmentedGraph g = MakeSmallAugmented();
+  std::vector<char> in_u(5, 0);
+  const CutQuantities q = g.ComputeCut(in_u);
+  EXPECT_EQ(q.cross_friendships, 0u);
+  EXPECT_EQ(q.rejections_into_u, 0u);
+  EXPECT_EQ(q.AcceptanceRate(), 1.0);  // degenerate 0/0 convention
+  EXPECT_TRUE(std::isinf(q.FriendsToRejectionsRatio()));
+}
+
+TEST(AugmentedGraphTest, ComputeCutFullU) {
+  const AugmentedGraph g = MakeSmallAugmented();
+  std::vector<char> in_u(5, 1);
+  const CutQuantities q = g.ComputeCut(in_u);
+  EXPECT_EQ(q.cross_friendships, 0u);
+  EXPECT_EQ(q.rejections_into_u, 0u);
+  EXPECT_EQ(q.rejections_from_u, 0u);
+}
+
+TEST(AugmentedGraphTest, ComputeCutWrongMaskSizeThrows) {
+  const AugmentedGraph g = MakeSmallAugmented();
+  EXPECT_THROW(g.ComputeCut(std::vector<char>(3, 0)), std::invalid_argument);
+}
+
+TEST(CutQuantitiesTest, AcceptanceRateFormula) {
+  CutQuantities q;
+  q.cross_friendships = 30;
+  q.rejections_into_u = 70;
+  EXPECT_NEAR(q.AcceptanceRate(), 0.3, 1e-12);
+  EXPECT_NEAR(q.FriendsToRejectionsRatio(), 30.0 / 70.0, 1e-12);
+}
+
+// ---------- InducedSubgraph ----------
+
+TEST(SubgraphTest, KeepsOnlyMaskedNodesAndInternalEdges) {
+  const AugmentedGraph g = MakeSmallAugmented();
+  std::vector<char> keep = {1, 1, 1, 0, 0};  // drop the fakes
+  const CompactedGraph c = InducedSubgraph(g, keep);
+  EXPECT_EQ(c.graph.NumNodes(), 3u);
+  EXPECT_EQ(c.graph.Friendships().NumEdges(), 3u);  // legit triangle only
+  EXPECT_EQ(c.graph.Rejections().NumArcs(), 0u);    // all arcs touched fakes
+  EXPECT_EQ(c.parent_id, (std::vector<NodeId>{0, 1, 2}));
+}
+
+TEST(SubgraphTest, KeepsInternalRejections) {
+  GraphBuilder b(4);
+  b.AddFriendship(0, 1);
+  b.AddRejection(0, 1);
+  b.AddRejection(2, 1);
+  const AugmentedGraph g = b.BuildAugmented();
+  std::vector<char> keep = {1, 1, 0, 1};
+  const CompactedGraph c = InducedSubgraph(g, keep);
+  EXPECT_EQ(c.graph.NumNodes(), 3u);
+  EXPECT_EQ(c.graph.Rejections().NumArcs(), 1u);  // 0->1 survives, 2->1 gone
+  EXPECT_TRUE(c.graph.Rejections().HasArc(0, 1));
+}
+
+TEST(SubgraphTest, EmptyKeepProducesEmptyGraph) {
+  const AugmentedGraph g = MakeSmallAugmented();
+  const CompactedGraph c = InducedSubgraph(g, std::vector<char>(5, 0));
+  EXPECT_EQ(c.graph.NumNodes(), 0u);
+  EXPECT_TRUE(c.parent_id.empty());
+}
+
+TEST(SubgraphTest, WrongMaskSizeThrows) {
+  const AugmentedGraph g = MakeSmallAugmented();
+  EXPECT_THROW(InducedSubgraph(g, std::vector<char>(2, 1)),
+               std::invalid_argument);
+}
+
+TEST(SubgraphTest, ParentIdsMapBack) {
+  const AugmentedGraph g = MakeSmallAugmented();
+  std::vector<char> keep = {0, 1, 0, 1, 1};
+  const CompactedGraph c = InducedSubgraph(g, keep);
+  EXPECT_EQ(c.parent_id, (std::vector<NodeId>{1, 3, 4}));
+  // Edge 3-4 in the parent is 1-2 in the child.
+  EXPECT_TRUE(c.graph.Friendships().HasEdge(1, 2));
+}
+
+}  // namespace
+}  // namespace rejecto::graph

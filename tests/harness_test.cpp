@@ -1,0 +1,112 @@
+// Tests for the bench experiment harness (bench/harness.*): environment
+// handling, paper-default configurations, sweep thinning, CSV emission.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#include "harness.h"
+
+namespace rejecto::bench {
+namespace {
+
+class HarnessEnvTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    ::unsetenv("REJECTO_BENCH_FAST");
+    ::unsetenv("REJECTO_SEED");
+    ::unsetenv("REJECTO_CSV_DIR");
+  }
+};
+
+TEST_F(HarnessEnvTest, DefaultsFromCleanEnv) {
+  TearDown();
+  const auto ctx = ExperimentContext::FromEnv();
+  EXPECT_FALSE(ctx.fast);
+  EXPECT_EQ(ctx.seed, 42u);
+  EXPECT_FALSE(ctx.csv_dir.has_value());
+}
+
+TEST_F(HarnessEnvTest, EnvOverridesApply) {
+  ::setenv("REJECTO_BENCH_FAST", "1", 1);
+  ::setenv("REJECTO_SEED", "7", 1);
+  ::setenv("REJECTO_CSV_DIR", "/tmp/rejecto_csvs", 1);
+  const auto ctx = ExperimentContext::FromEnv();
+  EXPECT_TRUE(ctx.fast);
+  EXPECT_EQ(ctx.seed, 7u);
+  ASSERT_TRUE(ctx.csv_dir.has_value());
+  EXPECT_EQ(*ctx.csv_dir, "/tmp/rejecto_csvs");
+}
+
+TEST_F(HarnessEnvTest, PaperAttackConfigMatchesSectionSixA) {
+  TearDown();
+  const auto cfg = PaperAttackConfig(ExperimentContext::FromEnv());
+  EXPECT_EQ(cfg.num_fakes, 10'000u);
+  EXPECT_EQ(cfg.intra_fake_links_per_account, 6u);
+  EXPECT_EQ(cfg.requests_per_spammer, 20u);
+  EXPECT_DOUBLE_EQ(cfg.spam_rejection_rate, 0.7);
+  EXPECT_DOUBLE_EQ(cfg.legit_rejection_rate, 0.2);
+  EXPECT_DOUBLE_EQ(cfg.careless_fraction, 0.15);
+}
+
+TEST_F(HarnessEnvTest, FastModeShrinksAttack) {
+  ::setenv("REJECTO_BENCH_FAST", "1", 1);
+  const auto cfg = PaperAttackConfig(ExperimentContext::FromEnv());
+  EXPECT_EQ(cfg.num_fakes, 2'000u);
+}
+
+TEST_F(HarnessEnvTest, SweepThinsOnlyInFastMode) {
+  TearDown();
+  ExperimentContext full = ExperimentContext::FromEnv();
+  const std::vector<double> values = {1, 2, 3, 4, 5};
+  EXPECT_EQ(Sweep(values, full).size(), 5u);
+  full.fast = true;
+  const auto thin = Sweep(values, full);
+  ASSERT_EQ(thin.size(), 3u);
+  EXPECT_EQ(thin.front(), 1);
+  EXPECT_EQ(thin[1], 3);
+  EXPECT_EQ(thin.back(), 5);
+}
+
+TEST_F(HarnessEnvTest, ShortSweepsPassThrough) {
+  ExperimentContext ctx;
+  ctx.fast = true;
+  const std::vector<double> values = {1, 2, 3};
+  EXPECT_EQ(Sweep(values, ctx).size(), 3u);
+}
+
+TEST_F(HarnessEnvTest, AppendixDatasetsSelection) {
+  ExperimentContext ctx;
+  EXPECT_EQ(AppendixDatasets(ctx).size(), 6u);
+  ctx.fast = true;
+  const auto fast_list = AppendixDatasets(ctx);
+  ASSERT_EQ(fast_list.size(), 1u);
+  EXPECT_EQ(fast_list[0], "ca-HepTh");
+}
+
+TEST_F(HarnessEnvTest, EmitWritesCsvWhenConfigured) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("rejecto_harness_" + std::to_string(::getpid()));
+  ExperimentContext ctx;
+  ctx.csv_dir = dir.string();
+  util::Table t({"a", "b"});
+  t.AddRow({std::int64_t{1}, std::int64_t{2}});
+  ctx.Emit("unit", "unit table", t);
+  std::ifstream in(dir / "unit.csv");
+  ASSERT_TRUE(in.good());
+  std::string header;
+  std::getline(in, header);
+  EXPECT_EQ(header, "a,b");
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(HarnessEnvTest, PaperDetectorConfigTargets) {
+  TearDown();
+  const auto cfg = PaperDetectorConfig(ExperimentContext::FromEnv(), 1234);
+  EXPECT_EQ(cfg.target_detections, 1234u);
+  EXPECT_TRUE(cfg.trim_to_target);
+}
+
+}  // namespace
+}  // namespace rejecto::bench

@@ -1,0 +1,184 @@
+// End-to-end pipeline tests: scenario -> detectors -> metrics, at reduced
+// scale, asserting the paper's qualitative claims hold.
+#include <gtest/gtest.h>
+
+#include "baseline/acceptance_filter.h"
+#include "baseline/sybilrank.h"
+#include "baseline/votetrust.h"
+#include "detect/iterative.h"
+#include "gen/barabasi_albert.h"
+#include "gen/holme_kim.h"
+#include "graph/subgraph.h"
+#include "metrics/classification.h"
+#include "metrics/ranking.h"
+#include "sim/scenario.h"
+
+namespace rejecto {
+namespace {
+
+struct Pipeline {
+  sim::Scenario scenario;
+  detect::Seeds seeds;
+
+  static Pipeline Make(sim::ScenarioConfig cfg, graph::NodeId legit_nodes) {
+    util::Rng rng(17);
+    const auto legit = gen::HolmeKim({.num_nodes = legit_nodes,
+                                      .edges_per_node = 4,
+                                      .triad_probability = 0.5},
+                                     rng);
+    Pipeline p{sim::BuildScenario(legit, cfg), {}};
+    util::Rng seed_rng(23);
+    p.seeds = p.scenario.SampleSeeds(20, 8, seed_rng);
+    return p;
+  }
+
+  metrics::ConfusionCounts RunRejecto() const {
+    detect::IterativeConfig cfg;
+    cfg.target_detections = scenario.num_fakes;
+    cfg.maar.seed = 31;
+    const auto result =
+        detect::DetectFriendSpammers(scenario.graph, seeds, cfg);
+    return metrics::EvaluateDetection(scenario.is_fake, result.detected);
+  }
+
+  metrics::ConfusionCounts RunVoteTrust() const {
+    baseline::VoteTrustConfig cfg;
+    cfg.trust_seeds = seeds.legit;
+    const auto vt = baseline::RunVoteTrust(scenario.log, cfg);
+    return metrics::EvaluateDetection(
+        scenario.is_fake,
+        metrics::LowestScored(vt.ratings, scenario.num_fakes));
+  }
+};
+
+TEST(IntegrationTest, BaselineAttackRejectoNearPerfect) {
+  sim::ScenarioConfig cfg;
+  cfg.seed = 3;
+  cfg.num_fakes = 400;
+  const auto p = Pipeline::Make(cfg, 2000);
+  const auto cm = p.RunRejecto();
+  EXPECT_GE(cm.Precision(), 0.95);
+  EXPECT_DOUBLE_EQ(cm.Precision(), cm.Recall());  // declared == injected
+}
+
+TEST(IntegrationTest, RejectoBeatsVoteTrustUnderStealth) {
+  // Fig 10's claim: with half the fakes spamming, VoteTrust misses the
+  // silent half while Rejecto stays high.
+  sim::ScenarioConfig cfg;
+  cfg.seed = 4;
+  cfg.num_fakes = 400;
+  cfg.spamming_fraction = 0.5;
+  const auto p = Pipeline::Make(cfg, 2000);
+  const auto rejecto = p.RunRejecto();
+  const auto votetrust = p.RunVoteTrust();
+  EXPECT_GE(rejecto.Precision(), 0.9);
+  EXPECT_LE(votetrust.Precision(), 0.7);
+}
+
+TEST(IntegrationTest, CollusionLeavesRejectoUnaffected) {
+  // Fig 13's claim: intra-fake edges don't move the aggregate acceptance
+  // rate toward legitimate users.
+  sim::ScenarioConfig sparse_cfg;
+  sparse_cfg.seed = 5;
+  sparse_cfg.num_fakes = 400;
+  sparse_cfg.intra_fake_links_per_account = 4;
+  sim::ScenarioConfig dense_cfg = sparse_cfg;
+  dense_cfg.intra_fake_links_per_account = 40;
+  const auto sparse = Pipeline::Make(sparse_cfg, 2000).RunRejecto();
+  const auto dense = Pipeline::Make(dense_cfg, 2000).RunRejecto();
+  EXPECT_GE(sparse.Precision(), 0.9);
+  EXPECT_GE(dense.Precision(), 0.9);
+}
+
+TEST(IntegrationTest, CollusionDefeatsAcceptanceFilter) {
+  // The strawman §II-B filter collapses under collusion while Rejecto does
+  // not — the motivating comparison for the graph-cut formulation.
+  sim::ScenarioConfig cfg;
+  cfg.seed = 6;
+  cfg.num_fakes = 400;
+  cfg.intra_fake_links_per_account = 40;
+  const auto p = Pipeline::Make(cfg, 2000);
+  const auto scores = baseline::AcceptanceRateScores(p.scenario.log, {});
+  const auto cm = metrics::EvaluateDetection(
+      p.scenario.is_fake,
+      metrics::LowestScored(scores, p.scenario.num_fakes));
+  EXPECT_LE(cm.Precision() + 0.05, p.RunRejecto().Precision());
+}
+
+TEST(IntegrationTest, SelfRejectionCaughtAcrossRounds) {
+  // Fig 14's claim at high self-rejection rate: senders surface first, the
+  // whitewashed fall in a later round.
+  sim::ScenarioConfig cfg;
+  cfg.seed = 7;
+  cfg.num_fakes = 400;
+  cfg.whitewashed_fakes = 200;
+  cfg.self_rejection_rate = 0.9;
+  const auto p = Pipeline::Make(cfg, 2000);
+  const auto cm = p.RunRejecto();
+  EXPECT_GE(cm.Precision(), 0.9);
+}
+
+TEST(IntegrationTest, DefenseInDepthImprovesSybilRank) {
+  // Fig 16's claim: removing Rejecto's detections (and their links) lifts
+  // SybilRank's ranking quality on the residual graph.
+  sim::ScenarioConfig cfg;
+  cfg.seed = 8;
+  cfg.num_fakes = 600;
+  cfg.spamming_fraction = 0.5;
+  cfg.requests_per_spammer = 50;  // heavier pollution: ~15 attack edges each
+  const auto p = Pipeline::Make(cfg, 2000);
+
+  baseline::SybilRankConfig sr;
+  sr.trust_seeds = p.seeds.legit;
+  const auto before_scores =
+      baseline::RunSybilRank(p.scenario.graph.Friendships(), sr);
+  const double auc_before =
+      metrics::AreaUnderRoc(before_scores, p.scenario.is_fake);
+
+  detect::IterativeConfig icfg;
+  icfg.target_detections = 300;  // remove the spamming half
+  icfg.maar.seed = 31;
+  const auto detected =
+      detect::DetectFriendSpammers(p.scenario.graph, p.seeds, icfg);
+
+  std::vector<char> keep(p.scenario.NumNodes(), 1);
+  for (graph::NodeId v : detected.detected) keep[v] = 0;
+  const auto residual = graph::InducedSubgraph(p.scenario.graph, keep);
+
+  baseline::SybilRankConfig sr2;
+  for (graph::NodeId nid = 0;
+       nid < static_cast<graph::NodeId>(residual.parent_id.size()); ++nid) {
+    for (graph::NodeId s : p.seeds.legit) {
+      if (residual.parent_id[nid] == s) sr2.trust_seeds.push_back(nid);
+    }
+  }
+  const auto after_scores =
+      baseline::RunSybilRank(residual.graph.Friendships(), sr2);
+  std::vector<char> residual_fake(residual.parent_id.size(), 0);
+  for (std::size_t nid = 0; nid < residual.parent_id.size(); ++nid) {
+    residual_fake[nid] = p.scenario.is_fake[residual.parent_id[nid]];
+  }
+  const double auc_after =
+      metrics::AreaUnderRoc(after_scores, residual_fake);
+
+  EXPECT_GT(auc_after, auc_before + 0.05);
+  EXPECT_GT(auc_after, 0.9);
+}
+
+TEST(IntegrationTest, WholePipelineDeterministic) {
+  sim::ScenarioConfig cfg;
+  cfg.seed = 9;
+  cfg.num_fakes = 150;
+  auto run = [&] {
+    const auto p = Pipeline::Make(cfg, 800);
+    detect::IterativeConfig icfg;
+    icfg.target_detections = 150;
+    icfg.maar.seed = 31;
+    return detect::DetectFriendSpammers(p.scenario.graph, p.seeds, icfg)
+        .detected;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace rejecto

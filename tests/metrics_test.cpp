@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "metrics/classification.h"
+#include "metrics/ranking.h"
+
+namespace rejecto::metrics {
+namespace {
+
+// ---------- classification ----------
+
+TEST(ConfusionTest, PerfectDetection) {
+  std::vector<char> truth = {0, 0, 1, 1};
+  std::vector<graph::NodeId> declared = {2, 3};
+  const auto c = EvaluateDetection(truth, declared);
+  EXPECT_EQ(c.true_positives, 2u);
+  EXPECT_EQ(c.false_positives, 0u);
+  EXPECT_EQ(c.true_negatives, 2u);
+  EXPECT_EQ(c.false_negatives, 0u);
+  EXPECT_DOUBLE_EQ(c.Precision(), 1.0);
+  EXPECT_DOUBLE_EQ(c.Recall(), 1.0);
+  EXPECT_DOUBLE_EQ(c.F1(), 1.0);
+  EXPECT_DOUBLE_EQ(c.Accuracy(), 1.0);
+}
+
+TEST(ConfusionTest, PrecisionEqualsRecallWhenDeclaredEqualsFakes) {
+  // The paper's metric setup (§VI-A): declare exactly as many as injected.
+  std::vector<char> truth = {1, 1, 1, 0, 0, 0};
+  std::vector<graph::NodeId> declared = {0, 1, 3};  // one mistake
+  const auto c = EvaluateDetection(truth, declared);
+  EXPECT_DOUBLE_EQ(c.Precision(), c.Recall());
+  EXPECT_NEAR(c.Precision(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(ConfusionTest, EmptyDeclaredZeroPrecision) {
+  std::vector<char> truth = {1, 0};
+  const auto c = EvaluateDetection(truth, {});
+  EXPECT_DOUBLE_EQ(c.Precision(), 0.0);
+  EXPECT_DOUBLE_EQ(c.Recall(), 0.0);
+  EXPECT_DOUBLE_EQ(c.F1(), 0.0);
+}
+
+TEST(ConfusionTest, DuplicatesCountOnce) {
+  std::vector<char> truth = {1, 0};
+  std::vector<graph::NodeId> declared = {0, 0, 0};
+  const auto c = EvaluateDetection(truth, declared);
+  EXPECT_EQ(c.true_positives, 1u);
+  EXPECT_EQ(c.false_positives, 0u);
+}
+
+TEST(ConfusionTest, OutOfRangeThrows) {
+  std::vector<char> truth = {1, 0};
+  std::vector<graph::NodeId> declared = {5};
+  EXPECT_THROW(EvaluateDetection(truth, declared), std::out_of_range);
+}
+
+// ---------- AUC ----------
+
+TEST(AucTest, PerfectSeparation) {
+  // Fakes score 0.1/0.2, legit 0.8/0.9 -> fakes at bottom -> AUC 1.
+  std::vector<double> scores = {0.1, 0.9, 0.2, 0.8};
+  std::vector<char> fake = {1, 0, 1, 0};
+  EXPECT_DOUBLE_EQ(AreaUnderRoc(scores, fake), 1.0);
+}
+
+TEST(AucTest, InvertedSeparationIsZero) {
+  std::vector<double> scores = {0.9, 0.1, 0.8, 0.2};
+  std::vector<char> fake = {1, 0, 1, 0};
+  EXPECT_DOUBLE_EQ(AreaUnderRoc(scores, fake), 0.0);
+}
+
+TEST(AucTest, AllTiedIsHalf) {
+  std::vector<double> scores = {0.5, 0.5, 0.5, 0.5};
+  std::vector<char> fake = {1, 0, 1, 0};
+  EXPECT_DOUBLE_EQ(AreaUnderRoc(scores, fake), 0.5);
+}
+
+TEST(AucTest, PartialOverlapHandValue) {
+  // fakes: 0.1, 0.6 ; legit: 0.4, 0.8
+  // pairs (fake < legit): (0.1,0.4) yes, (0.1,0.8) yes, (0.6,0.8) yes,
+  // (0.6,0.4) no -> AUC = 3/4.
+  std::vector<double> scores = {0.1, 0.4, 0.6, 0.8};
+  std::vector<char> fake = {1, 0, 1, 0};
+  EXPECT_DOUBLE_EQ(AreaUnderRoc(scores, fake), 0.75);
+}
+
+TEST(AucTest, TieBetweenClassesCountsHalf) {
+  std::vector<double> scores = {0.5, 0.5};
+  std::vector<char> fake = {1, 0};
+  EXPECT_DOUBLE_EQ(AreaUnderRoc(scores, fake), 0.5);
+}
+
+TEST(AucTest, MaskExcludesNodes) {
+  // Node 0 (a terribly-ranked legit) is masked out; remaining is perfect.
+  std::vector<double> scores = {0.0, 0.2, 0.9};
+  std::vector<char> fake = {0, 1, 0};
+  std::vector<char> mask = {0, 1, 1};
+  EXPECT_DOUBLE_EQ(AreaUnderRoc(scores, fake, mask), 1.0);
+  EXPECT_LT(AreaUnderRoc(scores, fake), 1.0);
+}
+
+TEST(AucTest, SizeMismatchThrows) {
+  std::vector<double> scores = {0.1};
+  std::vector<char> fake = {1, 0};
+  EXPECT_THROW(AreaUnderRoc(scores, fake), std::invalid_argument);
+}
+
+TEST(AucTest, DegenerateSingleClassIsOne) {
+  std::vector<double> scores = {0.1, 0.2};
+  std::vector<char> fake = {1, 1};
+  EXPECT_DOUBLE_EQ(AreaUnderRoc(scores, fake), 1.0);
+}
+
+// ---------- ROC curve ----------
+
+TEST(RocCurveTest, EndpointsAndMonotonicity) {
+  std::vector<double> scores = {0.1, 0.9, 0.4, 0.3, 0.7};
+  std::vector<char> fake = {1, 0, 1, 0, 0};
+  const auto curve = RocCurve(scores, fake);
+  ASSERT_GE(curve.size(), 2u);
+  EXPECT_DOUBLE_EQ(curve.front().false_positive_rate, 0.0);
+  EXPECT_DOUBLE_EQ(curve.front().true_positive_rate, 0.0);
+  EXPECT_DOUBLE_EQ(curve.back().false_positive_rate, 1.0);
+  EXPECT_DOUBLE_EQ(curve.back().true_positive_rate, 1.0);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].false_positive_rate, curve[i - 1].false_positive_rate);
+    EXPECT_GE(curve[i].true_positive_rate, curve[i - 1].true_positive_rate);
+  }
+}
+
+TEST(RocCurveTest, PerfectClassifierHitsCorner) {
+  std::vector<double> scores = {0.1, 0.2, 0.8, 0.9};
+  std::vector<char> fake = {1, 1, 0, 0};
+  const auto curve = RocCurve(scores, fake);
+  bool corner = false;
+  for (const auto& p : curve) {
+    if (p.false_positive_rate == 0.0 && p.true_positive_rate == 1.0) {
+      corner = true;
+    }
+  }
+  EXPECT_TRUE(corner);
+}
+
+// ---------- LowestScored ----------
+
+TEST(LowestScoredTest, ReturnsKSmallest) {
+  std::vector<double> scores = {0.5, 0.1, 0.9, 0.3};
+  const auto low = LowestScored(scores, 2);
+  ASSERT_EQ(low.size(), 2u);
+  EXPECT_EQ(low[0], 1u);
+  EXPECT_EQ(low[1], 3u);
+}
+
+TEST(LowestScoredTest, TiesBrokenById) {
+  std::vector<double> scores = {0.5, 0.5, 0.5};
+  const auto low = LowestScored(scores, 2);
+  EXPECT_EQ(low[0], 0u);
+  EXPECT_EQ(low[1], 1u);
+}
+
+TEST(LowestScoredTest, KLargerThanSizeClamps) {
+  std::vector<double> scores = {0.2, 0.1};
+  EXPECT_EQ(LowestScored(scores, 10).size(), 2u);
+}
+
+TEST(LowestScoredTest, ZeroKEmpty) {
+  std::vector<double> scores = {0.2};
+  EXPECT_TRUE(LowestScored(scores, 0).empty());
+}
+
+}  // namespace
+}  // namespace rejecto::metrics

@@ -1,0 +1,123 @@
+// Randomized whole-pipeline property tests: for arbitrary scenario
+// configurations the detector must uphold its structural invariants —
+// regardless of whether the attack is detectable.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "detect/iterative.h"
+#include "gen/erdos_renyi.h"
+#include "gen/holme_kim.h"
+#include "metrics/classification.h"
+#include "sim/scenario.h"
+
+namespace rejecto {
+namespace {
+
+sim::ScenarioConfig RandomConfig(util::Rng& rng) {
+  sim::ScenarioConfig cfg;
+  cfg.seed = rng();
+  cfg.num_fakes = 50 + static_cast<graph::NodeId>(rng.NextUInt(200));
+  cfg.intra_fake_links_per_account =
+      static_cast<std::uint32_t>(rng.NextUInt(20));
+  cfg.spamming_fraction = rng.NextDouble(0.2, 1.0);
+  cfg.requests_per_spammer =
+      5 + static_cast<std::uint32_t>(rng.NextUInt(40));
+  cfg.spam_rejection_rate = rng.NextDouble(0.3, 0.95);
+  cfg.legit_rejection_rate = rng.NextDouble(0.0, 0.5);
+  cfg.careless_fraction = rng.NextDouble(0.0, 0.3);
+  if (rng.NextBool(0.3)) {
+    cfg.whitewashed_fakes = cfg.num_fakes / 2;
+    cfg.self_rejection_rate = rng.NextDouble(0.0, 0.95);
+  }
+  if (rng.NextBool(0.3)) {
+    cfg.legit_requests_rejected_by_fakes = rng.NextUInt(3000);
+  }
+  return cfg;
+}
+
+class PipelineFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PipelineFuzzTest, DetectorInvariantsHoldOnArbitraryScenarios) {
+  util::Rng rng(GetParam() * 7717 + 5);
+  const auto legit =
+      gen::ErdosRenyi({.num_nodes = 800, .num_edges = 3200}, rng);
+  const auto cfg = RandomConfig(rng);
+  const auto scenario = sim::BuildScenario(legit, cfg);
+
+  util::Rng seed_rng(GetParam() + 1);
+  const auto seeds = scenario.SampleSeeds(15, 5, seed_rng);
+
+  detect::IterativeConfig dcfg;
+  dcfg.target_detections = cfg.num_fakes;
+  dcfg.maar.seed = GetParam();
+  const auto result =
+      detect::DetectFriendSpammers(scenario.graph, seeds, dcfg);
+
+  // Invariant 1: never over-declares the target.
+  EXPECT_LE(result.detected.size(), dcfg.target_detections);
+
+  // Invariant 2: ids valid and unique.
+  std::set<graph::NodeId> distinct;
+  for (graph::NodeId v : result.detected) {
+    EXPECT_LT(v, scenario.NumNodes());
+    EXPECT_TRUE(distinct.insert(v).second) << "duplicate detection " << v;
+  }
+
+  // Invariant 3: pinned legitimate seeds are never flagged.
+  for (graph::NodeId s : seeds.legit) {
+    EXPECT_FALSE(distinct.contains(s)) << "legit seed flagged";
+  }
+
+  // Invariant 4: per-round cuts carry consistent diagnostics and rounds
+  // come out in non-decreasing ratio order.
+  for (std::size_t i = 0; i < result.rounds.size(); ++i) {
+    const auto& r = result.rounds[i];
+    EXPECT_GT(r.cut.rejections_into_u, 0u);
+    EXPECT_GE(r.acceptance_rate, 0.0);
+    EXPECT_LE(r.acceptance_rate, 1.0);
+    if (i > 0) {
+      EXPECT_GE(r.ratio, result.rounds[i - 1].ratio - 1e-9);
+    }
+  }
+
+  // Invariant 5: the union of round detections equals the result list.
+  std::size_t total = 0;
+  for (const auto& r : result.rounds) total += r.detected.size();
+  EXPECT_EQ(total, result.detected.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomScenarios, PipelineFuzzTest,
+                         ::testing::Range<std::uint64_t>(0, 10));
+
+class DetectabilityTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DetectabilityTest, StandardAttackAlwaysCaughtAcrossSeeds) {
+  // The paper's default attack must be detected regardless of the RNG
+  // stream — a regression guard on heuristic brittleness.
+  util::Rng rng(GetParam() + 31);
+  const auto legit = gen::HolmeKim(
+      {.num_nodes = 1'500, .edges_per_node = 4, .triad_probability = 0.5},
+      rng);
+  sim::ScenarioConfig cfg;
+  cfg.seed = GetParam() * 13 + 1;
+  cfg.num_fakes = 300;
+  const auto scenario = sim::BuildScenario(legit, cfg);
+  util::Rng seed_rng(GetParam() + 99);
+  const auto seeds = scenario.SampleSeeds(20, 8, seed_rng);
+
+  detect::IterativeConfig dcfg;
+  dcfg.target_detections = cfg.num_fakes;
+  dcfg.maar.seed = GetParam();
+  const auto result =
+      detect::DetectFriendSpammers(scenario.graph, seeds, dcfg);
+  const auto cm = metrics::EvaluateDetection(scenario.is_fake, result.detected);
+  EXPECT_GE(cm.Precision(), 0.9) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DetectabilityTest,
+                         ::testing::Range<std::uint64_t>(0, 8));
+
+}  // namespace
+}  // namespace rejecto

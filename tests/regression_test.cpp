@@ -1,0 +1,170 @@
+// Cross-cutting regression tests: behaviours observed while reproducing
+// the paper that we want pinned against future refactors.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "baseline/votetrust.h"
+#include "detect/iterative.h"
+#include "gen/barabasi_albert.h"
+#include "gen/datasets.h"
+#include "gen/erdos_renyi.h"
+#include "gen/forest_fire.h"
+#include "gen/holme_kim.h"
+#include "gen/planted_partition.h"
+#include "gen/watts_strogatz.h"
+#include "metrics/classification.h"
+#include "metrics/ranking.h"
+#include "sim/scenario.h"
+
+namespace rejecto {
+namespace {
+
+// ---------- generator determinism sweep ----------
+
+class GeneratorDeterminismTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(GeneratorDeterminismTest, SameSeedSameGraph) {
+  auto make = [&](std::uint64_t seed) -> graph::SocialGraph {
+    util::Rng rng(seed);
+    switch (GetParam()) {
+      case 0:
+        return gen::BarabasiAlbert({.num_nodes = 300, .edges_per_node = 3},
+                                   rng);
+      case 1:
+        return gen::HolmeKim({.num_nodes = 300,
+                              .edges_per_node = 3,
+                              .triad_probability = 0.5},
+                             rng);
+      case 2:
+        return gen::ForestFire({.num_nodes = 300, .burn_probability = 0.4},
+                               rng);
+      case 3:
+        return gen::WattsStrogatz({.num_nodes = 300,
+                                   .lattice_degree = 6,
+                                   .rewire_probability = 0.2},
+                                  rng);
+      case 4:
+        return gen::ErdosRenyi({.num_nodes = 300, .num_edges = 900}, rng);
+      default:
+        return gen::PlantedPartition({.num_nodes = 300,
+                                      .num_communities = 3,
+                                      .p_in = 0.1,
+                                      .p_out = 0.01},
+                                     rng)
+            .graph;
+    }
+  };
+  const auto a = make(99);
+  const auto b = make(99);
+  const auto c = make(100);
+  EXPECT_EQ(a.Edges(), b.Edges());
+  EXPECT_NE(a.Edges(), c.Edges());  // different seed, different graph
+}
+
+INSTANTIATE_TEST_SUITE_P(AllGenerators, GeneratorDeterminismTest,
+                         ::testing::Range(0, 6));
+
+// ---------- VoteTrust volume sensitivity (Fig 9's mechanism) ----------
+
+TEST(VoteTrustRegressionTest, AccuracyRisesWithSpamVolume) {
+  util::Rng rng(1);
+  const auto legit =
+      gen::HolmeKim({.num_nodes = 2'000, .edges_per_node = 4,
+                     .triad_probability = 0.5},
+                    rng);
+  auto precision_at = [&](std::uint32_t requests) {
+    sim::ScenarioConfig cfg;
+    cfg.seed = 5;
+    cfg.num_fakes = 400;
+    cfg.requests_per_spammer = requests;
+    const auto s = sim::BuildScenario(legit, cfg);
+    util::Rng seed_rng(7);
+    const auto seeds = s.SampleSeeds(30, 10, seed_rng);
+    baseline::VoteTrustConfig vt;
+    vt.trust_seeds = seeds.legit;
+    const auto r = baseline::RunVoteTrust(s.log, vt);
+    return metrics::EvaluateDetection(
+               s.is_fake, metrics::LowestScored(r.ratings, 400))
+        .Precision();
+  };
+  EXPECT_LT(precision_at(5), precision_at(40) + 0.02);
+}
+
+// ---------- iterative detector with seeds across rounds ----------
+
+TEST(IterativeRegressionTest, SpammerSeedsAreDetectedAndPruned) {
+  // Spammer seeds sit inside the detected region; after their group is
+  // pruned, later rounds run with only the surviving seeds. Exercises the
+  // seed-remapping path across compactions.
+  util::Rng rng(2);
+  const auto legit =
+      gen::ErdosRenyi({.num_nodes = 600, .num_edges = 2400}, rng);
+  sim::ScenarioConfig cfg;
+  cfg.seed = 11;
+  cfg.num_fakes = 120;
+  cfg.whitewashed_fakes = 60;
+  cfg.self_rejection_rate = 0.9;  // forces >= 2 rounds
+  const auto s = sim::BuildScenario(legit, cfg);
+  util::Rng seed_rng(13);
+  const auto seeds = s.SampleSeeds(20, 10, seed_rng);
+
+  detect::IterativeConfig dcfg;
+  dcfg.target_detections = 120;
+  dcfg.maar.seed = 17;
+  const auto result = detect::DetectFriendSpammers(s.graph, seeds, dcfg);
+  const auto cm = metrics::EvaluateDetection(s.is_fake, result.detected);
+  EXPECT_GE(cm.Precision(), 0.9);
+  // Every spammer seed must end up detected (they are pinned into U).
+  for (graph::NodeId sp : seeds.spammer) {
+    EXPECT_NE(std::find(result.detected.begin(), result.detected.end(), sp),
+              result.detected.end())
+        << "spammer seed " << sp << " missed";
+  }
+}
+
+// ---------- dataset cache coherence ----------
+
+TEST(DatasetRegressionTest, AllNamesInstantiableAtReducedScale) {
+  // Spec lookup + generator dispatch for every registry entry; scale kept
+  // small by overriding node counts.
+  for (const auto& spec : gen::TableOneDatasets()) {
+    gen::DatasetSpec small = spec;
+    small.nodes = 2'000;
+    const auto g = gen::MakeDataset(small, 3);
+    EXPECT_EQ(g.NumNodes(), 2'000u) << spec.name;
+    EXPECT_GT(g.NumEdges(), 1'000u) << spec.name;
+  }
+}
+
+// ---------- scenario config cross-interactions ----------
+
+TEST(ScenarioRegressionTest, AllAttackKnobsComposable) {
+  // Every attack primitive enabled at once must still produce a coherent
+  // scenario (the fuzz test covers random subsets; this pins the all-on
+  // corner).
+  util::Rng rng(3);
+  const auto legit =
+      gen::ErdosRenyi({.num_nodes = 500, .num_edges = 2000}, rng);
+  sim::ScenarioConfig cfg;
+  cfg.seed = 19;
+  cfg.num_fakes = 100;
+  cfg.intra_fake_links_per_account = 20;
+  cfg.spamming_fraction = 0.7;
+  cfg.requests_per_spammer = 30;
+  cfg.spam_rejection_rate = 0.8;
+  cfg.legit_rejection_rate = 0.3;
+  cfg.careless_fraction = 0.2;
+  cfg.whitewashed_fakes = 40;
+  cfg.self_rejection_rate = 0.6;
+  cfg.legit_requests_rejected_by_fakes = 2'000;
+  const auto s = sim::BuildScenario(legit, cfg);
+  EXPECT_EQ(s.NumNodes(), 600u);
+  EXPECT_GT(s.graph.Rejections().NumArcs(), 3'000u);
+  const auto cut = s.graph.ComputeCut(s.is_fake);
+  EXPECT_GT(cut.rejections_into_u, 0u);
+  EXPECT_GT(cut.rejections_from_u, 1'500u);  // the Fig 15 channel
+}
+
+}  // namespace
+}  // namespace rejecto

@@ -1,0 +1,444 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+
+#include "gen/erdos_renyi.h"
+#include "graph/builder.h"
+#include "sim/request_log.h"
+#include "sim/scenario.h"
+#include "sim/spam_simulator.h"
+#include "sim/temporal.h"
+
+namespace rejecto::sim {
+namespace {
+
+// ---------- RequestLog ----------
+
+TEST(RequestLogTest, AddAndCounts) {
+  RequestLog log(3);
+  log.Add(0, 1, Response::kAccepted);
+  log.Add(1, 2, Response::kRejected);
+  EXPECT_EQ(log.NumRequests(), 2u);
+  EXPECT_EQ(log.NumAccepted(), 1u);
+  EXPECT_EQ(log.NumRejected(), 1u);
+}
+
+TEST(RequestLogTest, SelfRequestThrows) {
+  RequestLog log(2);
+  EXPECT_THROW(log.Add(1, 1, Response::kAccepted), std::invalid_argument);
+}
+
+TEST(RequestLogTest, OutOfRangeThrows) {
+  RequestLog log(2);
+  EXPECT_THROW(log.Add(0, 2, Response::kAccepted), std::out_of_range);
+}
+
+TEST(RequestLogTest, GrowToCannotShrink) {
+  RequestLog log(5);
+  log.GrowTo(10);
+  EXPECT_EQ(log.NumNodes(), 10u);
+  EXPECT_THROW(log.GrowTo(4), std::invalid_argument);
+}
+
+TEST(RequestLogTest, BuildAugmentedGraphMapsResponses) {
+  RequestLog log(3);
+  log.Add(0, 1, Response::kAccepted);   // friendship 0-1
+  log.Add(2, 1, Response::kRejected);   // 1 rejected 2 -> arc 1->2
+  const auto g = log.BuildAugmentedGraph();
+  EXPECT_TRUE(g.Friendships().HasEdge(0, 1));
+  EXPECT_FALSE(g.Friendships().HasEdge(1, 2));
+  EXPECT_TRUE(g.Rejections().HasArc(1, 2));
+  EXPECT_EQ(g.Rejections().NumArcs(), 1u);
+}
+
+TEST(RequestLogIoTest, SaveLoadRoundTrip) {
+  RequestLog log(10);  // node 9 never appears in a request
+  log.Add(0, 1, Response::kAccepted);
+  log.Add(2, 1, Response::kRejected);
+  log.Add(3, 4, Response::kAccepted);
+  const auto path = std::filesystem::temp_directory_path() /
+                    ("rejecto_reqlog_" + std::to_string(::getpid()) + ".txt");
+  log.Save(path.string());
+  const RequestLog loaded = RequestLog::Load(path.string());
+  std::filesystem::remove(path);
+  EXPECT_EQ(loaded.NumNodes(), 10u);  // header preserves isolated nodes
+  ASSERT_EQ(loaded.NumRequests(), 3u);
+  EXPECT_TRUE(std::equal(log.Requests().begin(), log.Requests().end(),
+                         loaded.Requests().begin()));
+  EXPECT_EQ(loaded.NumAccepted(), 2u);
+  EXPECT_EQ(loaded.NumRejected(), 1u);
+}
+
+TEST(RequestLogIoTest, LoadMalformedThrows) {
+  const auto path = std::filesystem::temp_directory_path() /
+                    ("rejecto_reqlog_bad_" + std::to_string(::getpid()) +
+                     ".txt");
+  {
+    std::ofstream out(path);
+    out << "1 2 X\n";
+  }
+  EXPECT_THROW(RequestLog::Load(path.string()), std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+TEST(RequestLogIoTest, LoadMissingFileThrows) {
+  EXPECT_THROW(RequestLog::Load("/nonexistent/log.txt"), std::runtime_error);
+}
+
+// ---------- workload primitives ----------
+
+graph::SocialGraph SmallLegitGraph(util::Rng& rng, graph::NodeId n = 200,
+                                   graph::EdgeId m = 400) {
+  return gen::ErdosRenyi({.num_nodes = n, .num_edges = m}, rng);
+}
+
+TEST(OrientOrganicTest, PreservesEveryEdgeOnce) {
+  util::Rng rng(1);
+  const auto g = SmallLegitGraph(rng);
+  RequestLog log(g.NumNodes());
+  OrientOrganicFriendships(log, g, rng);
+  EXPECT_EQ(log.NumRequests(), g.NumEdges());
+  EXPECT_EQ(log.NumRejected(), 0u);
+  const auto rebuilt = log.BuildAugmentedGraph();
+  EXPECT_EQ(rebuilt.Friendships().NumEdges(), g.NumEdges());
+  for (const auto& e : g.Edges()) {
+    EXPECT_TRUE(rebuilt.Friendships().HasEdge(e.u, e.v));
+  }
+}
+
+TEST(OrientOrganicTest, DirectionsAreMixed) {
+  util::Rng rng(2);
+  const auto g = SmallLegitGraph(rng);
+  RequestLog log(g.NumNodes());
+  OrientOrganicFriendships(log, g, rng);
+  std::uint64_t low_to_high = 0;
+  for (const auto& r : log.Requests()) low_to_high += (r.sender < r.receiver);
+  // Roughly half the organic requests should flow low->high.
+  EXPECT_GT(low_to_high, log.NumRequests() / 4);
+  EXPECT_LT(low_to_high, log.NumRequests() * 3 / 4);
+}
+
+TEST(LegitRejectionsTest, CountMatchesRateFormula) {
+  util::Rng rng(3);
+  const auto g = SmallLegitGraph(rng);
+  RequestLog log(g.NumNodes());
+  const double rate = 0.2;
+  AddLegitimateRejections(log, g, rate, rng);
+  std::uint64_t expected = 0;
+  for (graph::NodeId u = 0; u < g.NumNodes(); ++u) {
+    expected += static_cast<std::uint64_t>(
+        std::llround(g.Degree(u) * rate / (1.0 - rate)));
+  }
+  // A few rejections may be skipped for pathological nodes; allow 2% slack.
+  EXPECT_GE(log.NumRejected(), expected * 98 / 100);
+  EXPECT_LE(log.NumRejected(), expected);
+  EXPECT_EQ(log.NumAccepted(), 0u);
+}
+
+TEST(LegitRejectionsTest, RejectorsAreNonFriends) {
+  util::Rng rng(4);
+  const auto g = SmallLegitGraph(rng);
+  RequestLog log(g.NumNodes());
+  AddLegitimateRejections(log, g, 0.3, rng);
+  for (const auto& r : log.Requests()) {
+    EXPECT_FALSE(g.HasEdge(r.sender, r.receiver))
+        << r.sender << " and " << r.receiver << " are friends";
+  }
+}
+
+TEST(LegitRejectionsTest, ZeroRateAddsNothing) {
+  util::Rng rng(5);
+  const auto g = SmallLegitGraph(rng);
+  RequestLog log(g.NumNodes());
+  AddLegitimateRejections(log, g, 0.0, rng);
+  EXPECT_EQ(log.NumRequests(), 0u);
+}
+
+TEST(LegitRejectionsTest, RateOneThrows) {
+  util::Rng rng(6);
+  const auto g = SmallLegitGraph(rng);
+  RequestLog log(g.NumNodes());
+  EXPECT_THROW(AddLegitimateRejections(log, g, 1.0, rng),
+               std::invalid_argument);
+}
+
+TEST(FakeArrivalsTest, EarlyArrivalsConnectToAllPrevious) {
+  util::Rng rng(7);
+  RequestLog log(110);
+  AddFakeArrivals(log, 100, 10, 4, rng);
+  // Arrivals 1,2,3 connect to 1,2,3 earlier fakes; arrivals 4..9 to 4 each.
+  EXPECT_EQ(log.NumAccepted(), 1u + 2u + 3u + 6u * 4u);
+  EXPECT_EQ(log.NumRejected(), 0u);
+  for (const auto& r : log.Requests()) {
+    EXPECT_GE(r.sender, 100u);
+    EXPECT_GE(r.receiver, 100u);
+    EXPECT_GT(r.sender, r.receiver);  // arrivals request earlier fakes
+  }
+}
+
+TEST(SpamCampaignTest, ExactRejectionSplit) {
+  util::Rng rng(8);
+  RequestLog log(1000 + 10);
+  std::vector<graph::NodeId> spammers{1000, 1001, 1002};
+  AddSpamCampaign(log, spammers, 1000, 20, 0.7, rng);
+  EXPECT_EQ(log.NumRequests(), 60u);
+  EXPECT_EQ(log.NumRejected(), 3u * 14u);  // round(0.7*20)=14 each
+  EXPECT_EQ(log.NumAccepted(), 3u * 6u);
+}
+
+TEST(SpamCampaignTest, TargetsDistinctPerSpammer) {
+  util::Rng rng(9);
+  RequestLog log(50 + 1);
+  std::vector<graph::NodeId> spammers{50};
+  AddSpamCampaign(log, spammers, 50, 30, 0.5, rng);
+  std::vector<graph::NodeId> targets;
+  for (const auto& r : log.Requests()) {
+    EXPECT_EQ(r.sender, 50u);
+    EXPECT_LT(r.receiver, 50u);
+    targets.push_back(r.receiver);
+  }
+  std::sort(targets.begin(), targets.end());
+  EXPECT_EQ(std::adjacent_find(targets.begin(), targets.end()), targets.end());
+}
+
+TEST(SpamCampaignTest, MoreRequestsThanLegitThrows) {
+  util::Rng rng(10);
+  RequestLog log(10);
+  std::vector<graph::NodeId> spammers{5};
+  EXPECT_THROW(AddSpamCampaign(log, spammers, 5, 6, 0.5, rng),
+               std::invalid_argument);
+}
+
+TEST(CarelessAcceptsTest, CountAndDirection) {
+  util::Rng rng(11);
+  RequestLog log(100 + 20);
+  AddCarelessAccepts(log, 100, 100, 20, 0.15, rng);
+  EXPECT_EQ(log.NumRequests(), 15u);
+  EXPECT_EQ(log.NumRejected(), 0u);
+  for (const auto& r : log.Requests()) {
+    EXPECT_LT(r.sender, 100u);
+    EXPECT_GE(r.receiver, 100u);
+  }
+}
+
+TEST(SelfRejectionTest, SplitAndTargets) {
+  util::Rng rng(12);
+  RequestLog log(200);
+  std::vector<graph::NodeId> senders{0, 1, 2, 3, 4};
+  AddSelfRejectionCampaign(log, senders, 100, 100, 20, 0.6, rng);
+  EXPECT_EQ(log.NumRejected(), 5u * 12u);
+  EXPECT_EQ(log.NumAccepted(), 5u * 8u);
+  for (const auto& r : log.Requests()) {
+    EXPECT_GE(r.receiver, 100u);
+    EXPECT_LT(r.sender, 5u);
+  }
+}
+
+TEST(LegitRejectedByFakesTest, AllRejectedAndDirected) {
+  util::Rng rng(13);
+  RequestLog log(100 + 10);
+  AddLegitRequestsRejectedByFakes(log, 100, 100, 10, 500, rng);
+  EXPECT_EQ(log.NumRequests(), 500u);
+  EXPECT_EQ(log.NumRejected(), 500u);
+  for (const auto& r : log.Requests()) {
+    EXPECT_LT(r.sender, 100u);
+    EXPECT_GE(r.receiver, 100u);
+  }
+}
+
+// ---------- scenario composition ----------
+
+class ScenarioTest : public ::testing::Test {
+ protected:
+  static Scenario Build(ScenarioConfig cfg) {
+    util::Rng rng(99);
+    const auto legit =
+        gen::ErdosRenyi({.num_nodes = 500, .num_edges = 1500}, rng);
+    return BuildScenario(legit, cfg);
+  }
+};
+
+TEST_F(ScenarioTest, GroundTruthLayout) {
+  ScenarioConfig cfg;
+  cfg.num_fakes = 100;
+  const Scenario s = Build(cfg);
+  EXPECT_EQ(s.num_legit, 500u);
+  EXPECT_EQ(s.num_fakes, 100u);
+  EXPECT_EQ(s.NumNodes(), 600u);
+  for (graph::NodeId v = 0; v < 500; ++v) EXPECT_FALSE(s.IsFake(v));
+  for (graph::NodeId v = 500; v < 600; ++v) EXPECT_TRUE(s.IsFake(v));
+}
+
+TEST_F(ScenarioTest, SpammerCountFollowsFraction) {
+  ScenarioConfig cfg;
+  cfg.num_fakes = 100;
+  cfg.spamming_fraction = 0.5;
+  const Scenario s = Build(cfg);
+  EXPECT_EQ(s.spamming_fakes.size(), 50u);
+  for (graph::NodeId f : s.spamming_fakes) EXPECT_TRUE(s.IsFake(f));
+}
+
+TEST_F(ScenarioTest, AggregateAcceptanceRateOfFakesIsLow) {
+  ScenarioConfig cfg;
+  cfg.num_fakes = 100;
+  cfg.spam_rejection_rate = 0.7;
+  const Scenario s = Build(cfg);
+  const auto cut = s.graph.ComputeCut(s.is_fake);
+  // Attack edges: 100 fakes * 6 accepted + careless (75) ~= 675; rejections
+  // into the fake region: 100 * 14 = 1400 -> acceptance well below 0.5.
+  EXPECT_LT(cut.AcceptanceRate(), 0.45);
+  EXPECT_GT(cut.rejections_into_u, 1000u);
+}
+
+TEST_F(ScenarioTest, WhitewashedReceiveIntraFakeRejections) {
+  ScenarioConfig cfg;
+  cfg.num_fakes = 100;
+  cfg.whitewashed_fakes = 50;
+  cfg.self_rejection_rate = 0.8;
+  const Scenario s = Build(cfg);
+  // Whitewashed accounts (last 50 fake ids) cast rejections on the senders.
+  std::uint64_t rejections_by_whitewashed = 0;
+  for (graph::NodeId w = s.NumNodes() - 50; w < s.NumNodes(); ++w) {
+    rejections_by_whitewashed += s.graph.Rejections().OutDegree(w);
+  }
+  EXPECT_GT(rejections_by_whitewashed, 500u);
+}
+
+TEST_F(ScenarioTest, DeterministicForSeed) {
+  ScenarioConfig cfg;
+  cfg.num_fakes = 50;
+  cfg.seed = 123;
+  const Scenario a = Build(cfg);
+  const Scenario b = Build(cfg);
+  EXPECT_EQ(a.log.NumRequests(), b.log.NumRequests());
+  EXPECT_TRUE(std::equal(a.log.Requests().begin(), a.log.Requests().end(),
+                         b.log.Requests().begin()));
+}
+
+TEST_F(ScenarioTest, SampleSeedsRespectsLabels) {
+  ScenarioConfig cfg;
+  cfg.num_fakes = 100;
+  const Scenario s = Build(cfg);
+  util::Rng rng(5);
+  const auto seeds = s.SampleSeeds(20, 10, rng);
+  EXPECT_EQ(seeds.legit.size(), 20u);
+  EXPECT_EQ(seeds.spammer.size(), 10u);
+  for (auto v : seeds.legit) EXPECT_FALSE(s.IsFake(v));
+  for (auto v : seeds.spammer) EXPECT_TRUE(s.IsFake(v));
+}
+
+TEST_F(ScenarioTest, SampleSeedsTooManyThrows) {
+  ScenarioConfig cfg;
+  cfg.num_fakes = 10;
+  const Scenario s = Build(cfg);
+  util::Rng rng(5);
+  EXPECT_THROW(s.SampleSeeds(501, 0, rng), std::invalid_argument);
+  EXPECT_THROW(s.SampleSeeds(0, 11, rng), std::invalid_argument);
+}
+
+TEST_F(ScenarioTest, InvalidConfigThrows) {
+  ScenarioConfig cfg;
+  cfg.num_fakes = 10;
+  cfg.whitewashed_fakes = 11;
+  EXPECT_THROW(Build(cfg), std::invalid_argument);
+  ScenarioConfig cfg2;
+  cfg2.spamming_fraction = 1.5;
+  EXPECT_THROW(Build(cfg2), std::invalid_argument);
+}
+
+TEST_F(ScenarioTest, Fig15RejectionsLandOnLegitSenders) {
+  ScenarioConfig cfg;
+  cfg.num_fakes = 50;
+  cfg.legit_requests_rejected_by_fakes = 2000;
+  const Scenario s = Build(cfg);
+  // Fakes now cast >= 2000 rejections onto legitimate users.
+  std::uint64_t fake_out = 0;
+  for (graph::NodeId f = 500; f < s.NumNodes(); ++f) {
+    for (graph::NodeId t : s.graph.Rejections().Rejectees(f)) {
+      if (!s.IsFake(t)) ++fake_out;
+    }
+  }
+  // Duplicate (fake, legit) pairs collapse in the graph; most survive.
+  EXPECT_GT(fake_out, 1800u);
+}
+
+// ---------- temporal scenarios (§VII) ----------
+
+TEST(TemporalScenarioTest, IntervalCountAndGroundTruth) {
+  TemporalConfig cfg;
+  cfg.num_users = 500;
+  cfg.num_intervals = 4;
+  cfg.num_compromised = 50;
+  cfg.compromise_interval = 2;
+  const auto t = BuildTemporalScenario(cfg);
+  EXPECT_EQ(t.intervals.size(), 4u);
+  EXPECT_EQ(t.compromised.size(), 50u);
+  std::uint64_t marked = 0;
+  for (char c : t.is_compromised) marked += (c != 0);
+  EXPECT_EQ(marked, 50u);
+}
+
+TEST(TemporalScenarioTest, SpamOnlyAfterCompromise) {
+  TemporalConfig cfg;
+  cfg.num_users = 500;
+  cfg.num_intervals = 3;
+  cfg.num_compromised = 40;
+  cfg.compromise_interval = 1;
+  cfg.requests_per_compromised = 10;
+  const auto t = BuildTemporalScenario(cfg);
+  // Pre-compromise interval: no rejected requests beyond the organic rate
+  // baseline; post-compromise intervals gain the spam campaign's mass.
+  const auto spam_mass = static_cast<std::uint64_t>(40 * 7);  // 10 req * 0.7
+  EXPECT_LT(t.intervals[0].NumRejected() + spam_mass / 2,
+            t.intervals[1].NumRejected() + spam_mass);
+  EXPECT_GT(t.intervals[1].NumRejected(),
+            t.intervals[0].NumRejected());
+  EXPECT_GT(t.intervals[2].NumRejected(),
+            t.intervals[0].NumRejected());
+}
+
+TEST(TemporalScenarioTest, CompromisedSendSpamInPostIntervals) {
+  TemporalConfig cfg;
+  cfg.num_users = 400;
+  cfg.num_intervals = 2;
+  cfg.num_compromised = 30;
+  cfg.compromise_interval = 1;
+  const auto t = BuildTemporalScenario(cfg);
+  std::uint64_t rejected_sent_by_compromised = 0;
+  for (const auto& r : t.intervals[1].Requests()) {
+    if (t.is_compromised[r.sender] && r.response == Response::kRejected) {
+      ++rejected_sent_by_compromised;
+    }
+  }
+  // 30 accounts x 50 requests x 0.7 rejected (minus self-sample slack).
+  EXPECT_GT(rejected_sent_by_compromised, 900u);
+}
+
+TEST(TemporalScenarioTest, DeterministicForSeed) {
+  TemporalConfig cfg;
+  cfg.num_users = 300;
+  cfg.num_compromised = 20;
+  const auto a = BuildTemporalScenario(cfg);
+  const auto b = BuildTemporalScenario(cfg);
+  EXPECT_EQ(a.compromised, b.compromised);
+  for (int i = 0; i < cfg.num_intervals; ++i) {
+    EXPECT_EQ(a.intervals[static_cast<std::size_t>(i)].NumRequests(),
+              b.intervals[static_cast<std::size_t>(i)].NumRequests());
+  }
+}
+
+TEST(TemporalScenarioTest, InvalidConfigThrows) {
+  TemporalConfig cfg;
+  cfg.num_intervals = 0;
+  EXPECT_THROW(BuildTemporalScenario(cfg), std::invalid_argument);
+  TemporalConfig cfg2;
+  cfg2.num_users = 10;
+  cfg2.num_compromised = 11;
+  EXPECT_THROW(BuildTemporalScenario(cfg2), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rejecto::sim

@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "study/marketplace.h"
+
+namespace rejecto::study {
+namespace {
+
+TEST(MarketplaceTest, DefaultConfigMatchesPaperPopulation) {
+  const MarketplaceStudy s = GenerateStudy({});
+  EXPECT_EQ(s.accounts.size(), 43u);
+  // The paper totals: 2804 friends, 2065 pending. The synthetic model should
+  // land in the same ballpark (±35%).
+  EXPECT_NEAR(static_cast<double>(s.TotalFriends()), 2804.0, 2804.0 * 0.35);
+  EXPECT_NEAR(static_cast<double>(s.TotalPending()), 2065.0, 2065.0 * 0.5);
+}
+
+TEST(MarketplaceTest, EveryAccountMeetsTheOrderRequirement) {
+  const MarketplaceStudy s = GenerateStudy({});
+  for (const auto& a : s.accounts) EXPECT_GE(a.friends, 50u);
+}
+
+TEST(MarketplaceTest, PendingFractionInMeasuredBand) {
+  const MarketplaceStudy s = GenerateStudy({});
+  for (const auto& a : s.accounts) {
+    // Rounding of pending counts can nudge the fraction slightly outside.
+    EXPECT_GE(a.PendingFraction(), 0.15);
+    EXPECT_LE(a.PendingFraction(), 0.70);
+  }
+}
+
+TEST(MarketplaceTest, FriendEntriesMatchFriendCounts) {
+  const MarketplaceStudy s = GenerateStudy({});
+  EXPECT_EQ(s.friends.size(), s.TotalFriends());
+}
+
+TEST(MarketplaceTest, DegreeTailContainsSuspiciousHighDegreeFriends) {
+  const MarketplaceStudy s = GenerateStudy({});
+  // Figs 3: a visible fraction of friends exceed 1000 friends themselves.
+  const auto high = std::count_if(
+      s.friends.begin(), s.friends.end(),
+      [](const FriendAttributes& f) { return f.social_degree > 1000; });
+  EXPECT_GT(high, 0);
+  EXPECT_LT(static_cast<double>(high) / static_cast<double>(s.friends.size()),
+            0.25);
+}
+
+TEST(MarketplaceTest, ActivityDistributionsAreHeavyTailedButBounded) {
+  const MarketplaceStudy s = GenerateStudy({});
+  for (const auto& f : s.friends) {
+    EXPECT_LE(f.posts, 300u);
+    EXPECT_LE(f.photos, 250u);
+    EXPECT_LE(f.social_degree, 5000u);
+  }
+}
+
+TEST(MarketplaceTest, DeterministicForSeed) {
+  const MarketplaceStudy a = GenerateStudy({});
+  const MarketplaceStudy b = GenerateStudy({});
+  ASSERT_EQ(a.accounts.size(), b.accounts.size());
+  for (std::size_t i = 0; i < a.accounts.size(); ++i) {
+    EXPECT_EQ(a.accounts[i].friends, b.accounts[i].friends);
+    EXPECT_EQ(a.accounts[i].pending_requests, b.accounts[i].pending_requests);
+  }
+}
+
+TEST(MarketplaceTest, SeedChangesOutput) {
+  MarketplaceConfig cfg;
+  cfg.seed = 1;
+  const auto a = GenerateStudy(cfg);
+  cfg.seed = 2;
+  const auto b = GenerateStudy(cfg);
+  EXPECT_NE(a.TotalFriends(), b.TotalFriends());
+}
+
+TEST(MarketplaceTest, InvalidBandThrows) {
+  MarketplaceConfig cfg;
+  cfg.min_pending_fraction = 0.8;
+  cfg.max_pending_fraction = 0.2;
+  EXPECT_THROW(GenerateStudy(cfg), std::invalid_argument);
+}
+
+TEST(CdfQuantilesTest, SortedQuantiles) {
+  std::vector<std::uint32_t> samples = {5, 1, 9, 3, 7};
+  const auto q = CdfQuantiles(samples, {0.0, 0.5, 1.0});
+  ASSERT_EQ(q.size(), 3u);
+  EXPECT_EQ(q[0], 1u);
+  EXPECT_EQ(q[1], 5u);  // index floor(0.5*5)=2 of sorted {1,3,5,7,9}
+  EXPECT_EQ(q[2], 9u);
+}
+
+TEST(CdfQuantilesTest, MonotoneInQuantile) {
+  std::vector<std::uint32_t> samples;
+  for (std::uint32_t i = 0; i < 100; ++i) samples.push_back(i * 3 % 97);
+  const auto q = CdfQuantiles(samples, {0.1, 0.25, 0.5, 0.75, 0.9});
+  for (std::size_t i = 1; i < q.size(); ++i) EXPECT_GE(q[i], q[i - 1]);
+}
+
+TEST(CdfQuantilesTest, EmptySamplesThrow) {
+  EXPECT_THROW(CdfQuantiles({}, {0.5}), std::invalid_argument);
+}
+
+TEST(CdfQuantilesTest, OutOfRangeQuantileThrows) {
+  EXPECT_THROW(CdfQuantiles({1, 2}, {1.5}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rejecto::study

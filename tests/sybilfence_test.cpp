@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "baseline/sybilfence.h"
+#include "baseline/sybilrank.h"
+#include "graph/builder.h"
+#include "metrics/ranking.h"
+
+namespace rejecto::baseline {
+namespace {
+
+// Honest clique 0..5, sybil clique 6..11, several attack edges, rejections
+// cast on the sybils that hold attack edges.
+graph::AugmentedGraph AttackedGraph(int attack_edges, int rejections) {
+  graph::GraphBuilder b(12);
+  for (graph::NodeId u = 0; u < 6; ++u) {
+    for (graph::NodeId v = u + 1; v < 6; ++v) b.AddFriendship(u, v);
+  }
+  for (graph::NodeId u = 6; u < 12; ++u) {
+    for (graph::NodeId v = u + 1; v < 12; ++v) b.AddFriendship(u, v);
+  }
+  for (int i = 0; i < attack_edges; ++i) {
+    b.AddFriendship(static_cast<graph::NodeId>(i % 6),
+                    static_cast<graph::NodeId>(6 + (i % 6)));
+  }
+  for (int i = 0; i < rejections; ++i) {
+    b.AddRejection(static_cast<graph::NodeId>((i + 1) % 6),
+                   static_cast<graph::NodeId>(6 + (i % 6)));
+  }
+  return b.BuildAugmented();
+}
+
+TEST(SybilFenceTest, EmptySeedsThrow) {
+  EXPECT_THROW(RunSybilFence(AttackedGraph(2, 4), {}), std::invalid_argument);
+}
+
+TEST(SybilFenceTest, InvalidDiscountThrows) {
+  SybilFenceConfig cfg;
+  cfg.trust_seeds = {0};
+  cfg.discount_per_rejection = -1.0;
+  EXPECT_THROW(RunSybilFence(AttackedGraph(2, 4), cfg),
+               std::invalid_argument);
+  cfg.discount_per_rejection = 0.2;
+  cfg.min_edge_weight = 0.0;
+  EXPECT_THROW(RunSybilFence(AttackedGraph(2, 4), cfg),
+               std::invalid_argument);
+}
+
+TEST(SybilFenceTest, SybilsRankLow) {
+  SybilFenceConfig cfg;
+  cfg.trust_seeds = {0, 1};
+  const auto g = AttackedGraph(2, 6);
+  const auto trust = RunSybilFence(g, cfg);
+  std::vector<char> is_fake(12, 0);
+  for (graph::NodeId v = 6; v < 12; ++v) is_fake[v] = 1;
+  EXPECT_GT(metrics::AreaUnderRoc(trust, is_fake), 0.9);
+}
+
+TEST(SybilFenceTest, NegativeFeedbackReducesSybilTrustVsSybilRank) {
+  // With many attack edges, plain SybilRank leaks trust into the Sybil
+  // region; SybilFence's rejection discounts should leak less.
+  const auto g = AttackedGraph(6, 10);
+  std::vector<char> is_fake(12, 0);
+  for (graph::NodeId v = 6; v < 12; ++v) is_fake[v] = 1;
+
+  SybilRankConfig sr;
+  sr.trust_seeds = {0, 1};
+  const auto rank_trust = RunSybilRank(g.Friendships(), sr);
+  SybilFenceConfig sf;
+  sf.trust_seeds = {0, 1};
+  const auto fence_trust = RunSybilFence(g, sf);
+
+  EXPECT_GE(metrics::AreaUnderRoc(fence_trust, is_fake),
+            metrics::AreaUnderRoc(rank_trust, is_fake));
+}
+
+TEST(SybilFenceTest, ZeroDiscountMatchesSybilRankRanking) {
+  const auto g = AttackedGraph(3, 8);
+  SybilFenceConfig sf;
+  sf.trust_seeds = {0};
+  sf.discount_per_rejection = 0.0;  // no feedback: reduces to SybilRank
+  const auto fence = RunSybilFence(g, sf);
+  SybilRankConfig sr;
+  sr.trust_seeds = {0};
+  const auto rank = RunSybilRank(g.Friendships(), sr);
+  for (graph::NodeId v = 0; v < 12; ++v) {
+    EXPECT_NEAR(fence[v], rank[v], 1e-9) << "node " << v;
+  }
+}
+
+TEST(SybilFenceTest, IsolatedNodeScoresZero) {
+  graph::GraphBuilder b(3);
+  b.AddFriendship(0, 1);  // node 2 isolated
+  SybilFenceConfig cfg;
+  cfg.trust_seeds = {0};
+  const auto trust = RunSybilFence(b.BuildAugmented(), cfg);
+  EXPECT_DOUBLE_EQ(trust[2], 0.0);
+}
+
+TEST(SybilFenceTest, PenaltyFloorHolds) {
+  // A node with a huge number of rejections still propagates a little
+  // trust (min_edge_weight floor), so rankings stay finite/defined.
+  graph::GraphBuilder b(8);
+  b.AddFriendship(0, 1);
+  b.AddFriendship(1, 2);
+  for (graph::NodeId v = 3; v < 8; ++v) b.AddRejection(v, 1);
+  SybilFenceConfig cfg;
+  cfg.trust_seeds = {0};
+  cfg.discount_per_rejection = 0.5;
+  cfg.min_edge_weight = 0.1;
+  cfg.num_iterations = 2;  // even: the 0-1-2 path is bipartite
+  const auto trust = RunSybilFence(b.BuildAugmented(), cfg);
+  EXPECT_GT(trust[2], 0.0);  // trust still flows through the penalized hub
+}
+
+}  // namespace
+}  // namespace rejecto::baseline

@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "baseline/sybillimit.h"
+#include "gen/erdos_renyi.h"
+#include "graph/builder.h"
+#include "metrics/ranking.h"
+
+namespace rejecto::baseline {
+namespace {
+
+// Honest ER region (0..n_honest-1) + sybil clique behind few attack edges.
+struct AttackSetup {
+  graph::SocialGraph g;
+  std::vector<char> is_fake;
+};
+
+AttackSetup MakeAttack(graph::NodeId n_honest, graph::NodeId n_sybil,
+                       int attack_edges, std::uint64_t seed) {
+  util::Rng rng(seed);
+  graph::GraphBuilder b(n_honest + n_sybil);
+  const auto honest = gen::ErdosRenyi(
+      {.num_nodes = n_honest,
+       .num_edges = static_cast<graph::EdgeId>(n_honest) * 4},
+      rng);
+  for (const auto& e : honest.Edges()) b.AddFriendship(e.u, e.v);
+  for (graph::NodeId u = n_honest; u < n_honest + n_sybil; ++u) {
+    for (graph::NodeId v = u + 1;
+         v < n_honest + n_sybil && v < u + 6; ++v) {
+      b.AddFriendship(u, v);
+    }
+  }
+  for (int i = 0; i < attack_edges; ++i) {
+    b.AddFriendship(static_cast<graph::NodeId>(rng.NextUInt(n_honest)),
+                    n_honest + static_cast<graph::NodeId>(
+                                   rng.NextUInt(n_sybil)));
+  }
+  AttackSetup s;
+  s.g = b.BuildSocial();
+  s.is_fake.assign(n_honest + n_sybil, 0);
+  for (graph::NodeId v = n_honest; v < n_honest + n_sybil; ++v) {
+    s.is_fake[v] = 1;
+  }
+  return s;
+}
+
+TEST(SybilLimitTest, EmptyVerifiersThrow) {
+  const auto s = MakeAttack(100, 20, 2, 1);
+  EXPECT_THROW(RunSybilLimit(s.g, {}, {}), std::invalid_argument);
+}
+
+TEST(SybilLimitTest, VerifierOutOfRangeThrows) {
+  const auto s = MakeAttack(100, 20, 2, 1);
+  EXPECT_THROW(RunSybilLimit(s.g, {static_cast<graph::NodeId>(200)}, {}),
+               std::invalid_argument);
+}
+
+TEST(SybilLimitTest, DefaultParametersDerived) {
+  const auto s = MakeAttack(100, 20, 2, 1);
+  const auto r = RunSybilLimit(s.g, {0}, {.num_routes = 50, .seed = 3});
+  EXPECT_EQ(r.num_routes, 50u);
+  EXPECT_GT(r.route_length, 0u);
+}
+
+TEST(SybilLimitTest, HonestNodesAcceptedSybilsMostlyRejected) {
+  const auto s = MakeAttack(300, 60, 2, 5);
+  SybilLimitConfig cfg;
+  cfg.seed = 7;
+  // r ~ 2*sqrt(2m) suffices for honest-pair tail intersection at this size.
+  cfg.num_routes = 160;
+  const auto r = RunSybilLimit(s.g, {0, 1, 2}, cfg);
+  // Score = acceptance fraction; honest should rank above sybils.
+  EXPECT_GT(metrics::AreaUnderRoc(r.accept_fraction, s.is_fake), 0.85);
+  // Most honest nodes accepted by most verifiers.
+  double honest_acc = 0;
+  for (graph::NodeId v = 0; v < 300; ++v) honest_acc += r.accept_fraction[v];
+  EXPECT_GT(honest_acc / 300.0, 0.8);
+}
+
+TEST(SybilLimitTest, MoreAttackEdgesAdmitMoreSybils) {
+  SybilLimitConfig cfg;
+  cfg.seed = 9;
+  cfg.num_routes = 160;
+  auto sybil_acceptance = [&](int attack_edges) {
+    const auto s = MakeAttack(300, 60, attack_edges, 11);
+    const auto r = RunSybilLimit(s.g, {0, 1, 2}, cfg);
+    double acc = 0;
+    for (graph::NodeId v = 300; v < 360; ++v) acc += r.accept_fraction[v];
+    return acc / 60.0;
+  };
+  // The SybilLimit bound: admitted sybils scale with attack edges.
+  EXPECT_LT(sybil_acceptance(1), sybil_acceptance(40) + 1e-9);
+}
+
+TEST(SybilLimitTest, DeterministicForSeed) {
+  const auto s = MakeAttack(150, 30, 3, 13);
+  SybilLimitConfig cfg;
+  cfg.seed = 17;
+  cfg.num_routes = 80;
+  const auto a = RunSybilLimit(s.g, {0, 1}, cfg);
+  const auto b = RunSybilLimit(s.g, {0, 1}, cfg);
+  EXPECT_EQ(a.accept_fraction, b.accept_fraction);
+}
+
+TEST(SybilLimitTest, IsolatedNodeNeverAccepted) {
+  graph::GraphBuilder b(5);
+  b.AddFriendship(0, 1);
+  b.AddFriendship(1, 2);
+  b.AddFriendship(2, 0);  // node 3, 4 isolated... 4 too
+  b.AddFriendship(0, 3);  // keep 3 attached; 4 isolated
+  SybilLimitConfig cfg;
+  cfg.num_routes = 8;
+  const auto r = RunSybilLimit(b.BuildSocial(), {0}, cfg);
+  EXPECT_DOUBLE_EQ(r.accept_fraction[4], 0.0);
+}
+
+}  // namespace
+}  // namespace rejecto::baseline

@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/flags.h"
+#include "util/table.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace rejecto::util {
+namespace {
+
+// ---------- ThreadPool ----------
+
+TEST(ThreadPoolTest, ZeroThreadsThrows) {
+  EXPECT_THROW(ThreadPool(0), std::invalid_argument);
+}
+
+TEST(ThreadPoolTest, SubmitReturnsResult) {
+  ThreadPool pool(2);
+  auto f = pool.Submit([] { return 42; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPoolTest, SubmitPropagatesException) {
+  ThreadPool pool(2);
+  auto f = pool.Submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, ManyTasksAllExecute) {
+  ThreadPool pool(3);
+  std::atomic<int> count{0};
+  std::vector<std::future<void>> futs;
+  for (int i = 0; i < 200; ++i) {
+    futs.push_back(pool.Submit([&count] { ++count; }));
+  }
+  for (auto& f : futs) f.get();
+  EXPECT_EQ(count.load(), 200);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversAllIndices) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.ParallelFor(1000, [&](std::size_t i) { ++hits[i]; });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForZeroIsNoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.ParallelFor(0, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPoolTest, ParallelForPropagatesException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.ParallelFor(10,
+                                [](std::size_t i) {
+                                  if (i == 5) throw std::runtime_error("x");
+                                }),
+               std::runtime_error);
+}
+
+TEST(ThreadPoolTest, ParallelForFewerItemsThanThreads) {
+  ThreadPool pool(8);
+  std::atomic<int> count{0};
+  pool.ParallelFor(3, [&](std::size_t) { ++count; });
+  EXPECT_EQ(count.load(), 3);
+}
+
+// ---------- WallTimer ----------
+
+TEST(WallTimerTest, MonotoneNonNegative) {
+  WallTimer t;
+  EXPECT_GE(t.Seconds(), 0.0);
+  const double a = t.Seconds();
+  const double b = t.Seconds();
+  EXPECT_GE(b, a);
+}
+
+TEST(WallTimerTest, ResetRestarts) {
+  WallTimer t;
+  (void)t.Micros();
+  t.Reset();
+  EXPECT_LT(t.Seconds(), 1.0);
+}
+
+// ---------- Table ----------
+
+TEST(TableTest, EmptyHeadersThrow) {
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(TableTest, WrongArityRowThrows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.AddRow({std::string("x")}), std::invalid_argument);
+}
+
+TEST(TableTest, PrintAlignsColumns) {
+  Table t({"name", "value"});
+  t.AddRow({std::string("x"), std::int64_t{42}});
+  t.AddRow({std::string("longer"), 3.5});
+  std::ostringstream os;
+  t.set_precision(2);
+  t.Print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("42"), std::string::npos);
+  EXPECT_NE(out.find("3.50"), std::string::npos);
+  EXPECT_NE(out.find("------"), std::string::npos);
+}
+
+TEST(TableTest, CsvEscapesSpecialCharacters) {
+  Table t({"a"});
+  t.AddRow({std::string("has,comma")});
+  t.AddRow({std::string("has\"quote")});
+  std::ostringstream os;
+  t.WriteCsv(os);
+  EXPECT_NE(os.str().find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(os.str().find("\"has\"\"quote\""), std::string::npos);
+}
+
+TEST(TableTest, CsvPlainValuesUnquoted) {
+  Table t({"a", "b"});
+  t.AddRow({std::int64_t{1}, std::string("plain")});
+  std::ostringstream os;
+  t.WriteCsv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,plain\n");
+}
+
+TEST(TableTest, CountsRowsAndCols) {
+  Table t({"a", "b", "c"});
+  EXPECT_EQ(t.num_cols(), 3u);
+  EXPECT_EQ(t.num_rows(), 0u);
+  t.AddRow({std::int64_t{1}, std::int64_t{2}, std::int64_t{3}});
+  EXPECT_EQ(t.num_rows(), 1u);
+}
+
+// ---------- Flags ----------
+
+TEST(FlagsTest, MissingEnvReturnsFallback) {
+  ::unsetenv("REJECTO_TEST_FLAG");
+  EXPECT_EQ(GetEnvInt("REJECTO_TEST_FLAG", 7), 7);
+  EXPECT_EQ(GetEnvDouble("REJECTO_TEST_FLAG", 2.5), 2.5);
+  EXPECT_TRUE(GetEnvBool("REJECTO_TEST_FLAG", true));
+  EXPECT_FALSE(GetEnvString("REJECTO_TEST_FLAG").has_value());
+}
+
+TEST(FlagsTest, ParsesValues) {
+  ::setenv("REJECTO_TEST_FLAG", "123", 1);
+  EXPECT_EQ(GetEnvInt("REJECTO_TEST_FLAG", 0), 123);
+  ::setenv("REJECTO_TEST_FLAG", "1.5", 1);
+  EXPECT_DOUBLE_EQ(GetEnvDouble("REJECTO_TEST_FLAG", 0), 1.5);
+  ::setenv("REJECTO_TEST_FLAG", "true", 1);
+  EXPECT_TRUE(GetEnvBool("REJECTO_TEST_FLAG", false));
+  ::setenv("REJECTO_TEST_FLAG", "0", 1);
+  EXPECT_FALSE(GetEnvBool("REJECTO_TEST_FLAG", true));
+  ::unsetenv("REJECTO_TEST_FLAG");
+}
+
+TEST(FlagsTest, MalformedIntFallsBack) {
+  ::setenv("REJECTO_TEST_FLAG", "not-a-number", 1);
+  EXPECT_EQ(GetEnvInt("REJECTO_TEST_FLAG", -9), -9);
+  ::unsetenv("REJECTO_TEST_FLAG");
+}
+
+TEST(FlagsTest, ExperimentSeedDefaultsTo42) {
+  ::unsetenv("REJECTO_SEED");
+  EXPECT_EQ(ExperimentSeed(), 42u);
+  ::setenv("REJECTO_SEED", "99", 1);
+  EXPECT_EQ(ExperimentSeed(), 99u);
+  ::unsetenv("REJECTO_SEED");
+}
+
+}  // namespace
+}  // namespace rejecto::util

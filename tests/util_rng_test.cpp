@@ -1,0 +1,243 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <unordered_set>
+#include <vector>
+
+namespace rejecto::util {
+namespace {
+
+TEST(SplitMix64Test, KnownSequenceIsDeterministic) {
+  SplitMix64 a(1234);
+  SplitMix64 b(1234);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(SplitMix64Test, DifferentSeedsDiverge) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  EXPECT_NE(a.Next(), b.Next());
+}
+
+TEST(Xoshiro256Test, MinMaxBounds) {
+  EXPECT_EQ(Xoshiro256::min(), 0u);
+  EXPECT_EQ(Xoshiro256::max(), std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(Xoshiro256Test, ReproducibleStream) {
+  Xoshiro256 a(99), b(99);
+  for (int i = 0; i < 1000; ++i) ASSERT_EQ(a(), b());
+}
+
+TEST(Xoshiro256Test, JumpProducesDisjointStream) {
+  Xoshiro256 a(7), b(7);
+  b.Jump();
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 3);  // collisions are astronomically unlikely
+}
+
+TEST(RngTest, NextUIntRespectsBound) {
+  Rng rng(5);
+  for (std::uint64_t bound : {1ull, 2ull, 7ull, 100ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.NextUInt(bound), bound);
+  }
+}
+
+TEST(RngTest, NextUIntZeroBoundThrows) {
+  Rng rng(5);
+  EXPECT_THROW(rng.NextUInt(0), std::invalid_argument);
+}
+
+TEST(RngTest, NextUIntBoundOneAlwaysZero) {
+  Rng rng(5);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.NextUInt(1), 0u);
+}
+
+TEST(RngTest, NextUIntCoversSmallRangeUniformly) {
+  Rng rng(11);
+  std::vector<int> counts(8, 0);
+  constexpr int kDraws = 80'000;
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.NextUInt(8)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, kDraws / 8, kDraws / 8 * 0.1);
+  }
+}
+
+TEST(RngTest, NextIntInclusiveRange) {
+  Rng rng(5);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.NextInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NextIntReversedThrows) {
+  Rng rng(5);
+  EXPECT_THROW(rng.NextInt(3, 2), std::invalid_argument);
+}
+
+TEST(RngTest, NextDoubleInHalfOpenUnit) {
+  Rng rng(13);
+  for (int i = 0; i < 10'000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, NextDoubleRangeRespected) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.NextDouble(2.5, 4.0);
+    EXPECT_GE(d, 2.5);
+    EXPECT_LT(d, 4.0);
+  }
+}
+
+TEST(RngTest, NextBoolMatchesProbability) {
+  Rng rng(17);
+  int trues = 0;
+  constexpr int kDraws = 50'000;
+  for (int i = 0; i < kDraws; ++i) trues += rng.NextBool(0.3);
+  EXPECT_NEAR(trues, kDraws * 0.3, kDraws * 0.02);
+}
+
+TEST(RngTest, NextBoolEdgeProbabilities) {
+  Rng rng(17);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.NextBool(0.0));
+    EXPECT_TRUE(rng.NextBool(1.0));
+  }
+}
+
+TEST(RngTest, GaussianMomentsApproximatelyStandard) {
+  Rng rng(19);
+  double sum = 0, sq = 0;
+  constexpr int kDraws = 50'000;
+  for (int i = 0; i < kDraws; ++i) {
+    const double g = rng.NextGaussian();
+    sum += g;
+    sq += g * g;
+  }
+  EXPECT_NEAR(sum / kDraws, 0.0, 0.03);
+  EXPECT_NEAR(sq / kDraws, 1.0, 0.05);
+}
+
+TEST(RngTest, LogNormalIsPositive) {
+  Rng rng(23);
+  for (int i = 0; i < 1000; ++i) EXPECT_GT(rng.NextLogNormal(0.0, 1.0), 0.0);
+}
+
+TEST(RngTest, GeometricMeanMatchesTheory) {
+  Rng rng(29);
+  const double p = 0.25;
+  double sum = 0;
+  constexpr int kDraws = 50'000;
+  for (int i = 0; i < kDraws; ++i) {
+    sum += static_cast<double>(rng.NextGeometric(p));
+  }
+  // E[failures before success] = (1-p)/p = 3.
+  EXPECT_NEAR(sum / kDraws, 3.0, 0.15);
+}
+
+TEST(RngTest, GeometricPOneIsZero) {
+  Rng rng(29);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.NextGeometric(1.0), 0u);
+}
+
+TEST(RngTest, GeometricInvalidPThrows) {
+  Rng rng(29);
+  EXPECT_THROW(rng.NextGeometric(0.0), std::invalid_argument);
+  EXPECT_THROW(rng.NextGeometric(-0.5), std::invalid_argument);
+  EXPECT_THROW(rng.NextGeometric(1.5), std::invalid_argument);
+}
+
+TEST(RngTest, ShufflePreservesMultiset) {
+  Rng rng(31);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8, 9};
+  auto sorted = v;
+  rng.Shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(RngTest, ShuffleActuallyPermutes) {
+  Rng rng(31);
+  std::vector<int> v(50);
+  for (int i = 0; i < 50; ++i) v[static_cast<std::size_t>(i)] = i;
+  const auto original = v;
+  rng.Shuffle(v);
+  EXPECT_NE(v, original);  // probability of identity is 1/50! ~ 0
+}
+
+TEST(RngTest, ForkStreamsAreIndependent) {
+  Rng parent(41);
+  Rng child = parent.Fork();
+  Rng child2 = parent.Fork();
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (child() == child2()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+class SampleWithoutReplacementTest
+    : public ::testing::TestWithParam<std::pair<std::uint64_t, std::uint64_t>> {
+};
+
+TEST_P(SampleWithoutReplacementTest, DistinctInRangeCorrectCount) {
+  const auto [n, k] = GetParam();
+  Rng rng(n * 1000 + k);
+  const auto sample = rng.SampleWithoutReplacement(n, k);
+  EXPECT_EQ(sample.size(), k);
+  std::unordered_set<std::uint64_t> seen;
+  for (std::uint64_t v : sample) {
+    EXPECT_LT(v, n);
+    EXPECT_TRUE(seen.insert(v).second) << "duplicate " << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SampleWithoutReplacementTest,
+    ::testing::Values(std::pair<std::uint64_t, std::uint64_t>{1, 0},
+                      std::pair<std::uint64_t, std::uint64_t>{1, 1},
+                      std::pair<std::uint64_t, std::uint64_t>{10, 3},
+                      std::pair<std::uint64_t, std::uint64_t>{10, 10},
+                      std::pair<std::uint64_t, std::uint64_t>{1000, 5},
+                      std::pair<std::uint64_t, std::uint64_t>{1000, 999},
+                      std::pair<std::uint64_t, std::uint64_t>{100000, 50},
+                      std::pair<std::uint64_t, std::uint64_t>{64, 32}));
+
+TEST(SampleWithoutReplacementErrorTest, KGreaterThanNThrows) {
+  Rng rng(1);
+  EXPECT_THROW(rng.SampleWithoutReplacement(3, 4), std::invalid_argument);
+}
+
+TEST(SampleWithoutReplacementStatTest, MarginalIsUniform) {
+  // Each element of [0, 10) should appear in a 3-sample with prob 3/10.
+  Rng rng(77);
+  std::vector<int> counts(10, 0);
+  constexpr int kTrials = 30'000;
+  for (int t = 0; t < kTrials; ++t) {
+    for (std::uint64_t v : rng.SampleWithoutReplacement(10, 3)) {
+      ++counts[static_cast<std::size_t>(v)];
+    }
+  }
+  for (int c : counts) EXPECT_NEAR(c, kTrials * 0.3, kTrials * 0.3 * 0.08);
+}
+
+}  // namespace
+}  // namespace rejecto::util
