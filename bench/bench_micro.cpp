@@ -1,19 +1,27 @@
 // Micro-benchmarks (google-benchmark): data-structure and algorithm
 // throughput underlying the headline numbers — bucket-list operations, the
-// incremental partition switch, a full extended-KL solve, generator
-// throughput, and the engine's fetch path.
+// incremental partition switch, a full extended-KL solve, the parallel MAAR
+// sweep, generator throughput, and the engine's fetch path. After the
+// registered benchmarks run, main() executes a serial-vs-parallel MAAR
+// speedup probe and appends it to BENCH_maar.json (see bench/harness.h).
 #include <benchmark/benchmark.h>
+
+#include <algorithm>
 
 #include "detect/bucket_list.h"
 #include "detect/extended_kl.h"
+#include "detect/maar.h"
 #include "detect/partition.h"
 #include "engine/cluster.h"
 #include "engine/prefetch.h"
 #include "engine/shard_store.h"
 #include "gen/barabasi_albert.h"
 #include "gen/holme_kim.h"
+#include "harness.h"
 #include "sim/scenario.h"
+#include "util/flags.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace {
 
@@ -90,6 +98,22 @@ void BM_ExtendedKlSolve(benchmark::State& state) {
 }
 BENCHMARK(BM_ExtendedKlSolve)->Arg(5'000)->Arg(20'000)->Unit(benchmark::kMillisecond);
 
+void BM_MaarSolve(benchmark::State& state) {
+  // The full k-sweep grid (default 11 k values × 4 inits) at the given
+  // thread count; Arg(0) resolves to hardware concurrency.
+  const auto scenario = MakeScenario(10'000, 1'000);
+  detect::MaarConfig cfg;
+  cfg.num_random_inits = 3;
+  cfg.num_threads = static_cast<int>(state.range(0));
+  cfg.seed = 17;
+  for (auto _ : state) {
+    detect::MaarSolver solver(scenario.graph, {}, cfg);
+    benchmark::DoNotOptimize(solver.Solve());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MaarSolve)->Arg(1)->Arg(2)->Arg(4)->Arg(0)->Unit(benchmark::kMillisecond);
+
 void BM_BarabasiAlbert(benchmark::State& state) {
   const auto n = static_cast<graph::NodeId>(state.range(0));
   std::uint64_t seed = 1;
@@ -152,4 +176,26 @@ BENCHMARK(BM_PrefetchBufferGet);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  // Serial-vs-parallel speedup record: the acceptance grid (default k sweep,
+  // num_random_inits = 3) at 1/2/4/hardware threads, appended to
+  // BENCH_maar.json with bit-identical-cut verification.
+  const bool fast = rejecto::util::FastBenchMode();
+  const auto scenario =
+      MakeScenario(fast ? 4'000 : 20'000, fast ? 400 : 2'000);
+  rejecto::detect::MaarConfig cfg;
+  cfg.num_random_inits = 3;
+  cfg.seed = 21;
+  std::vector<int> threads = {
+      1, 2, 4, static_cast<int>(rejecto::util::HardwareThreads())};
+  std::sort(threads.begin(), threads.end());
+  threads.erase(std::unique(threads.begin(), threads.end()), threads.end());
+  rejecto::bench::RunMaarSpeedupProbe("bench_micro", scenario.graph, cfg,
+                                      threads);
+  return 0;
+}

@@ -18,6 +18,7 @@
 #include "gen/barabasi_albert.h"
 #include "harness.h"
 #include "sim/scenario.h"
+#include "util/flags.h"
 #include "util/table.h"
 #include "util/timer.h"
 
@@ -70,6 +71,17 @@ int main() {
     const auto result = engine::SolveMaarDistributed(scenario.graph, store,
                                                      cluster, {}, maar);
     const double secs = timer.Seconds();
+
+    // The same reduced sweep in-process, serial vs parallel, appended to
+    // BENCH_maar.json — the single-machine counterpart of this table's
+    // cluster scaling numbers.
+    detect::MaarConfig probe = maar;
+    probe.num_random_inits = 3;
+    const int parallel = detect::EffectiveThreads(util::ThreadCount());
+    std::vector<int> threads = {1};
+    if (parallel > 1) threads.push_back(parallel);
+    bench::RunMaarSpeedupProbe("bench_table2_scaling", scenario.graph, probe,
+                               threads);
 
     t.AddRow({static_cast<std::int64_t>(n),
               static_cast<std::int64_t>(

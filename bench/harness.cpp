@@ -1,9 +1,13 @@
 #include "harness.h"
 
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <sstream>
 
 #include "baseline/votetrust.h"
 #include "metrics/classification.h"
@@ -49,6 +53,9 @@ detect::IterativeConfig PaperDetectorConfig(const ExperimentContext& ctx,
   detect::IterativeConfig cfg;
   cfg.target_detections = target;
   cfg.maar.seed = ctx.seed * 7919 + 13;
+  // REJECTO_THREADS (0 = hardware); bit-identical results either way, so
+  // every bench may run its sweeps parallel by default.
+  cfg.maar.num_threads = util::ThreadCount();
   return cfg;
 }
 
@@ -106,6 +113,88 @@ std::vector<std::string> AppendixDatasets(const ExperimentContext& ctx) {
   if (ctx.fast) return {"ca-HepTh"};
   return {"ca-HepTh",      "ca-AstroPh",  "email-Enron",
           "soc-Epinions",  "soc-Slashdot", "synthetic"};
+}
+
+void AppendMaarBenchJson(const std::vector<MaarBenchRecord>& records) {
+  if (records.empty()) return;
+  const std::string dir =
+      util::GetEnvString("REJECTO_JSON_DIR").value_or(".");
+  const std::string path = dir + "/BENCH_maar.json";
+
+  std::string existing;
+  {
+    std::ifstream in(path);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    existing = ss.str();
+  }
+  auto rtrim = [](std::string& s) {
+    while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+      s.pop_back();
+    }
+  };
+  rtrim(existing);
+
+  std::ostringstream body;
+  bool first = true;
+  if (!existing.empty() && existing.front() == '[' &&
+      existing.back() == ']') {
+    existing.pop_back();  // reopen the array to append
+    rtrim(existing);
+    body << existing;
+    first = existing == "[";
+  } else {
+    body << "[";  // missing or malformed: start fresh
+  }
+  body.precision(6);
+  body << std::fixed;
+  for (const auto& r : records) {
+    if (!first) body << ",";
+    first = false;
+    body << "\n  {\"bench\": \"" << r.bench << "\", \"users\": " << r.users
+         << ", \"edges\": " << r.edges << ", \"threads\": " << r.threads
+         << ", \"seconds\": " << r.seconds << ", \"kl_runs\": " << r.kl_runs
+         << ", \"speedup\": " << r.speedup << "}";
+  }
+  body << "\n]\n";
+  std::ofstream out(path, std::ios::trunc);
+  out << body.str();
+}
+
+void RunMaarSpeedupProbe(const std::string& bench_name,
+                         const graph::AugmentedGraph& g,
+                         detect::MaarConfig config,
+                         const std::vector<int>& threads_list) {
+  std::vector<MaarBenchRecord> records;
+  double serial_seconds = 0.0;
+  std::vector<char> reference_mask;
+  for (int t : threads_list) {
+    config.num_threads = t;
+    detect::MaarSolver solver(g, {}, config);
+    const detect::MaarCut cut = solver.Solve();
+    if (records.empty()) {
+      serial_seconds = cut.total_seconds;
+      reference_mask = cut.in_u;
+    } else if (cut.in_u != reference_mask) {
+      std::cerr << bench_name << ": PARALLEL SWEEP DETERMINISM VIOLATION at "
+                << t << " threads\n";
+      std::abort();
+    }
+    MaarBenchRecord r;
+    r.bench = bench_name;
+    r.users = static_cast<std::int64_t>(g.NumNodes());
+    r.edges = static_cast<std::int64_t>(g.Friendships().NumEdges());
+    r.threads = t;
+    r.seconds = cut.total_seconds;
+    r.kl_runs = cut.kl_runs;
+    r.speedup = serial_seconds / std::max(cut.total_seconds, 1e-9);
+    std::cout << bench_name << " MAAR sweep: users=" << r.users
+              << " threads=" << t << " seconds=" << r.seconds
+              << " kl_runs=" << r.kl_runs << " speedup=" << r.speedup
+              << "\n";
+    records.push_back(std::move(r));
+  }
+  AppendMaarBenchJson(records);
 }
 
 }  // namespace rejecto::bench

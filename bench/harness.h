@@ -7,6 +7,8 @@
 //   REJECTO_BENCH_FAST=1  reduced sweeps / smaller attack for CI
 //   REJECTO_SEED=<u64>    experiment seed (default 42)
 //   REJECTO_CSV_DIR=<dir> additionally write each table as CSV
+//   REJECTO_THREADS=<n>   MAAR sweep threads (0 = hardware concurrency)
+//   REJECTO_JSON_DIR=<dir> where BENCH_maar.json is written (default cwd)
 #pragma once
 
 #include <optional>
@@ -67,5 +69,30 @@ std::vector<double> Sweep(std::vector<double> full,
 // Dataset list for the appendix figures: the six non-facebook graphs (full
 // mode) or just ca-HepTh (fast mode).
 std::vector<std::string> AppendixDatasets(const ExperimentContext& ctx);
+
+// One MAAR-sweep timing sample for the serial-vs-parallel speedup record.
+struct MaarBenchRecord {
+  std::string bench;     // emitting binary, e.g. "bench_micro"
+  std::int64_t users = 0;
+  std::int64_t edges = 0;
+  int threads = 1;
+  double seconds = 0.0;
+  int kl_runs = 0;
+  double speedup = 1.0;  // serial (threads=1) seconds / this run's seconds
+};
+
+// Appends the records to <REJECTO_JSON_DIR or cwd>/BENCH_maar.json, kept as
+// one flat JSON array so bench_micro and bench_table2_scaling can both
+// contribute to the same machine-readable file.
+void AppendMaarBenchJson(const std::vector<MaarBenchRecord>& records);
+
+// Runs MaarSolver::Solve over `threads_list` on the scenario graph with the
+// given config, asserts the cuts are bit-identical to the threads=1 run
+// (aborting the bench otherwise), appends one record per thread count under
+// `bench_name`, and prints a short speedup summary to stdout.
+void RunMaarSpeedupProbe(const std::string& bench_name,
+                         const graph::AugmentedGraph& g,
+                         detect::MaarConfig config,
+                         const std::vector<int>& threads_list);
 
 }  // namespace rejecto::bench

@@ -15,6 +15,7 @@
 #include "graph/subgraph.h"
 #include "metrics/ranking.h"
 #include "sim/scenario.h"
+#include "util/flags.h"
 
 namespace {
 
@@ -57,6 +58,7 @@ int main() {
   // Layer 1: Rejecto removes the friend spammers and their edges.
   detect::IterativeConfig cfg;
   cfg.target_detections = attack.num_fakes / 2;
+  cfg.maar.num_threads = util::ThreadCount();  // REJECTO_THREADS, 0=auto
   const auto detection =
       detect::DetectFriendSpammers(scenario.graph, seeds, cfg);
   std::printf("Rejecto removed %zu friend spammers in %zu round(s)\n",

@@ -21,6 +21,7 @@
 #include "gen/holme_kim.h"
 #include "graph/io.h"
 #include "sim/scenario.h"
+#include "util/flags.h"
 #include "util/rng.h"
 
 namespace {
@@ -42,6 +43,7 @@ int RunDemo() {
   const auto seeds = scenario.SampleSeeds(20, 5, seed_rng);
   detect::IterativeConfig cfg;
   cfg.target_detections = attack.num_fakes;
+  cfg.maar.num_threads = util::ThreadCount();
   const auto result =
       detect::DetectFriendSpammers(scenario.graph, seeds, cfg);
   std::fprintf(stderr, "demo: flagged %zu accounts (%u fakes injected)\n",
@@ -86,11 +88,17 @@ int main(int argc, char** argv) {
 
     detect::IterativeConfig cfg;
     cfg.target_detections = std::stoull(argv[3]);
+    cfg.maar.num_threads = util::ThreadCount();  // REJECTO_THREADS, 0=auto
     const auto result =
         detect::DetectFriendSpammers(loaded.graph, seeds, cfg);
 
-    std::fprintf(stderr, "flagged %zu accounts across %zu round(s)\n",
-                 result.detected.size(), result.rounds.size());
+    std::fprintf(stderr,
+                 "flagged %zu accounts across %zu round(s) in %.3fs "
+                 "(%llu KL runs on %d thread(s))\n",
+                 result.detected.size(), result.rounds.size(),
+                 result.total_seconds,
+                 static_cast<unsigned long long>(result.total_kl_runs),
+                 result.threads_used);
     for (const auto& round : result.rounds) {
       std::fprintf(stderr,
                    "  round: %zu accounts, ratio %.4f, acceptance %.4f\n",

@@ -15,6 +15,7 @@
 #include "detect/iterative.h"
 #include "metrics/classification.h"
 #include "sim/temporal.h"
+#include "util/flags.h"
 #include "util/rng.h"
 
 int main() {
@@ -53,6 +54,7 @@ int main() {
     // wide cuts in otherwise-clean intervals.
     dcfg.maar.max_region_fraction = 0.2;
     dcfg.maar.seed = 31;
+    dcfg.maar.num_threads = util::ThreadCount();  // REJECTO_THREADS, 0=auto
     const auto result = detect::DetectFriendSpammers(g, seeds, dcfg);
 
     const auto cm =

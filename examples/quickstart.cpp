@@ -12,6 +12,7 @@
 #include "gen/holme_kim.h"
 #include "metrics/classification.h"
 #include "sim/scenario.h"
+#include "util/flags.h"
 #include "util/rng.h"
 
 int main() {
@@ -45,13 +46,19 @@ int main() {
                                                    /*spammer=*/8, seed_rng);
   detect::IterativeConfig config;
   config.target_detections = attack.num_fakes;  // OSN estimate
+  config.maar.num_threads = util::ThreadCount();  // REJECTO_THREADS, 0=auto
   const detect::DetectionResult result =
       detect::DetectFriendSpammers(scenario.graph, seeds, config);
 
   // 4. Score.
   const auto cm = metrics::EvaluateDetection(scenario.is_fake, result.detected);
-  std::printf("Detected %zu accounts in %zu round(s)\n",
-              result.detected.size(), result.rounds.size());
+  std::printf(
+      "Detected %zu accounts in %zu round(s) — %.3fs, %llu KL runs, "
+      "%llu switches, %d sweep thread(s)\n",
+      result.detected.size(), result.rounds.size(), result.total_seconds,
+      static_cast<unsigned long long>(result.total_kl_runs),
+      static_cast<unsigned long long>(result.total_switches),
+      result.threads_used);
   for (const auto& round : result.rounds) {
     std::printf(
         "  round: %zu accounts, friends-to-rejections ratio %.3f, aggregate "

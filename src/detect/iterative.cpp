@@ -1,10 +1,13 @@
 #include "detect/iterative.h"
 
 #include <algorithm>
+#include <memory>
 #include <numeric>
 #include <stdexcept>
 
 #include "graph/subgraph.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
 
 namespace rejecto::detect {
 namespace {
@@ -23,12 +26,20 @@ double Suspicion(const graph::AugmentedGraph& g, graph::NodeId v) {
 DetectionResult DetectFriendSpammers(const graph::AugmentedGraph& g,
                                      const Seeds& seeds,
                                      const IterativeConfig& config) {
+  // One pool for the whole pipeline: rounds reuse it instead of paying
+  // thread construction per residual solve.
+  const int threads = EffectiveThreads(config.maar.num_threads);
+  std::shared_ptr<util::ThreadPool> pool;
+  if (threads > 1) {
+    pool = std::make_shared<util::ThreadPool>(
+        static_cast<std::size_t>(threads));
+  }
   return DetectFriendSpammers(
       g, seeds, config,
-      [](const graph::AugmentedGraph& residual, const Seeds& s,
-         const MaarConfig& maar) {
+      [pool](const graph::AugmentedGraph& residual, const Seeds& s,
+             const MaarConfig& maar) {
         MaarSolver solver(residual, s, maar);
-        return solver.Solve();
+        return solver.Solve(pool.get());
       });
 }
 
@@ -37,6 +48,7 @@ DetectionResult DetectFriendSpammers(const graph::AugmentedGraph& g,
                                      const IterativeConfig& config,
                                      const MaarRunner& solve) {
   seeds.Validate(g.NumNodes());
+  util::WallTimer total_timer;
   DetectionResult result;
 
   // Residual graph plus the mapping of its dense ids back to g's ids.
@@ -59,7 +71,12 @@ DetectionResult DetectFriendSpammers(const graph::AugmentedGraph& g,
 
     MaarConfig maar = config.maar;
     maar.seed = config.maar.seed + static_cast<std::uint64_t>(round) * 0x9e37ULL;
+    util::WallTimer round_timer;
     const MaarCut cut = solve(residual, cur_seeds, maar);
+    const double round_seconds = round_timer.Seconds();
+    result.total_kl_runs += static_cast<std::uint64_t>(cut.kl_runs);
+    result.total_switches += cut.switches;
+    result.threads_used = std::max(result.threads_used, cut.threads_used);
     if (!cut.valid) break;
 
     const double acceptance = cut.cut.AcceptanceRate();
@@ -73,6 +90,9 @@ DetectionResult DetectFriendSpammers(const graph::AugmentedGraph& g,
     info.ratio = cut.ratio;
     info.acceptance_rate = acceptance;
     info.k = cut.k;
+    info.solve_seconds = round_seconds;
+    info.kl_runs = cut.kl_runs;
+    info.switches = cut.switches;
 
     // Collect this round's suspicious nodes (residual ids).
     std::vector<graph::NodeId> flagged;
@@ -139,6 +159,7 @@ DetectionResult DetectFriendSpammers(const graph::AugmentedGraph& g,
       result.detected.size() >= config.target_detections) {
     result.hit_target = true;
   }
+  result.total_seconds = total_timer.Seconds();
   return result;
 }
 

@@ -23,6 +23,9 @@
 namespace rejecto::detect {
 
 struct IterativeConfig {
+  // Per-round MAAR solver configuration. maar.num_threads also governs the
+  // pipeline: the serial overload builds one ThreadPool up front and reuses
+  // it for every round's parallel sweep.
   MaarConfig maar;
 
   // Stop once at least this many accounts are flagged (the paper uses the
@@ -48,12 +51,24 @@ struct RoundInfo {
   double ratio = 0.0;
   double acceptance_rate = 0.0;
   double k = 0.0;
+
+  // Per-round instrumentation, copied from the round's MaarCut.
+  double solve_seconds = 0.0;           // the round's MAAR solve
+  int kl_runs = 0;
+  std::uint64_t switches = 0;
 };
 
 struct DetectionResult {
   std::vector<graph::NodeId> detected;  // all flagged accounts, original ids
   std::vector<RoundInfo> rounds;
   bool hit_target = false;
+
+  // Pipeline instrumentation: totals include the final round whose cut was
+  // invalid or rejected by the acceptance threshold (work still done).
+  double total_seconds = 0.0;           // whole DetectFriendSpammers call
+  std::uint64_t total_kl_runs = 0;
+  std::uint64_t total_switches = 0;
+  int threads_used = 1;                 // pool width of the MAAR sweeps
 };
 
 // Runs the full Rejecto pipeline on an augmented social graph.

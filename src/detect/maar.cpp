@@ -3,9 +3,19 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <memory>
 #include <stdexcept>
 
+#include "util/timer.h"
+
 namespace rejecto::detect {
+
+int EffectiveThreads(int num_threads) {
+  if (num_threads == 0) {
+    return static_cast<int>(util::HardwareThreads());
+  }
+  return std::max(1, num_threads);
+}
 
 MaarSolver::MaarSolver(const graph::AugmentedGraph& g, Seeds seeds,
                        MaarConfig config)
@@ -77,16 +87,30 @@ bool MaarSolver::IsValid(const std::vector<char>& in_u,
          cut.rejections_into_u > 0;
 }
 
-MaarCut MaarSolver::Solve() {
+std::vector<double> MaarSolver::SweepKs() const {
+  std::vector<double> ks;
+  for (double k = config_.k_min; k <= config_.k_max * (1.0 + 1e-9);
+       k *= config_.k_scale) {
+    ks.push_back(k);
+  }
+  return ks;
+}
+
+MaarCut MaarSolver::Solve() { return Solve(nullptr); }
+
+MaarCut MaarSolver::Solve(util::ThreadPool* pool) {
+  util::WallTimer total_timer;
   util::Rng rng(config_.seed);
   const auto inits = InitialPartitions(rng);
+  const auto ks = SweepKs();
+  const std::size_t cells = ks.size() * inits.size();
 
   MaarCut best;
   best.ratio = std::numeric_limits<double>::infinity();
-  int kl_runs = 0;
 
   auto consider = [&](KlResult&& r, double k) {
-    ++kl_runs;
+    ++best.kl_runs;
+    best.switches += r.stats.switches_applied;
     if (!IsValid(r.in_u, r.cut)) return false;
     const double ratio = r.cut.FriendsToRejectionsRatio();
     const bool better =
@@ -104,18 +128,53 @@ MaarCut MaarSolver::Solve() {
     return false;
   };
 
-  KlConfig kl = config_.kl;
-  for (double k = config_.k_min; k <= config_.k_max * (1.0 + 1e-9);
-       k *= config_.k_scale) {
-    kl.k = k;
-    for (const auto& init : inits) {
-      consider(kl_runner_(g_, init, locked_, kl), k);
-    }
+  // Phase 1 — the (k × init) grid. Every cell is an independent KL run;
+  // grid[c] is written by exactly one task, so the only coordination is the
+  // ParallelFor barrier.
+  util::WallTimer sweep_timer;
+  std::unique_ptr<util::ThreadPool> owned_pool;
+  if (pool == nullptr && cells > 1 &&
+      EffectiveThreads(config_.num_threads) > 1) {
+    owned_pool = std::make_unique<util::ThreadPool>(
+        static_cast<std::size_t>(EffectiveThreads(config_.num_threads)));
+    pool = owned_pool.get();
+  }
+  best.threads_used = pool == nullptr ? 1 : static_cast<int>(pool->size());
+
+  std::vector<KlResult> grid(cells);
+  auto run_cell = [&](std::size_t c) {
+    KlConfig cell_kl = config_.kl;
+    cell_kl.k = ks[c / inits.size()];
+    grid[c] = kl_runner_(g_, inits[c % inits.size()], locked_, cell_kl);
+  };
+  if (pool != nullptr && cells > 1) {
+    pool->ParallelFor(cells, run_cell);
+  } else {
+    for (std::size_t c = 0; c < cells; ++c) run_cell(c);
   }
 
-  // Dinkelbach refinement: with k set to the best cut's own ratio, the cut's
-  // objective is exactly 0, so any strictly-negative-objective cut found by
-  // KL has a strictly smaller ratio.
+  // Phase 2 — deterministic reduction in sweep order (k outer, init inner),
+  // interleaved with the serial warm-start tail: once every cell at k_i has
+  // been reduced, the incumbent mask seeds one extra KL run at k_{i+1}.
+  // Everything here depends only on the cell results, never on the order
+  // the pool produced them, so thread count cannot change the winner.
+  KlConfig kl = config_.kl;
+  for (std::size_t ki = 0; ki < ks.size(); ++ki) {
+    for (std::size_t ii = 0; ii < inits.size(); ++ii) {
+      consider(std::move(grid[ki * inits.size() + ii]), ks[ki]);
+    }
+    if (config_.warm_start && best.valid && ki + 1 < ks.size()) {
+      kl.k = ks[ki + 1];
+      ++best.warm_start_runs;
+      consider(kl_runner_(g_, best.in_u, locked_, kl), ks[ki + 1]);
+    }
+  }
+  best.sweep_seconds = sweep_timer.Seconds();
+
+  // Phase 3 — Dinkelbach refinement: with k set to the best cut's own
+  // ratio, the cut's objective is exactly 0, so any strictly-negative-
+  // objective cut found by KL has a strictly smaller ratio.
+  util::WallTimer refine_timer;
   for (int round = 0; round < config_.dinkelbach_rounds && best.valid;
        ++round) {
     const double k = best.ratio;
@@ -123,8 +182,9 @@ MaarCut MaarSolver::Solve() {
     kl.k = k;
     if (!consider(kl_runner_(g_, best.in_u, locked_, kl), k)) break;
   }
+  best.refine_seconds = refine_timer.Seconds();
 
-  best.kl_runs = kl_runs;
+  best.total_seconds = total_timer.Seconds();
   return best;
 }
 

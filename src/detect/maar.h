@@ -13,6 +13,16 @@
 //      rejections).
 // A cut is valid when both regions meet the minimum size and U receives at
 // least one rejection.
+//
+// Parallel sweep (the paper's Spark prototype parallelizes exactly this
+// grid, §V/Table II): every (k, init) cell of the sweep is an independent
+// KL run, so Solve() fans the grid out over a util::ThreadPool and then
+// reduces the per-cell results serially in fixed sweep order — the winner,
+// tie-breaking included, is a pure function of the cell results, so any
+// thread count produces bit-identical cuts. Warm starts (the incumbent
+// best mask injected as one extra init at the next k) and the Dinkelbach
+// rounds are inherently sequential and run as a short serial tail on top
+// of the reduced grid, preserving that guarantee.
 #pragma once
 
 #include <cstdint>
@@ -23,8 +33,13 @@
 #include "detect/seeds.h"
 #include "graph/augmented_graph.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace rejecto::detect {
+
+// Resolves a num_threads config value: 0 → util::HardwareThreads(),
+// anything below 1 clamps to 1.
+int EffectiveThreads(int num_threads);
 
 struct MaarConfig {
   // Geometric k sweep: k_min, k_min*k_scale, ... up to k_max (inclusive-ish).
@@ -51,6 +66,16 @@ struct MaarConfig {
   KlConfig kl;  // kl.k is overwritten by the sweep
 
   std::uint64_t seed = 1;
+
+  // Worker threads for the (k × init) grid: 0 = util::HardwareThreads(),
+  // values < 0 clamp to 1. Any setting yields bit-identical cuts (see the
+  // header comment); threads only change wall-clock time.
+  int num_threads = 0;
+
+  // After the grid cells at k_i are reduced, re-run KL once at k_{i+1}
+  // seeded with the incumbent best mask. Adds candidates only, so it can
+  // never worsen the returned cut.
+  bool warm_start = true;
 };
 
 struct MaarCut {
@@ -59,7 +84,15 @@ struct MaarCut {
   graph::CutQuantities cut;
   double ratio = 0.0;           // |F(Ū,U)| / |R⃗(Ū,U)|
   double k = 0.0;               // weight that produced the cut
+
+  // Instrumentation (benchmarks report speedup from these).
   int kl_runs = 0;              // total ExtendedKl invocations
+  int warm_start_runs = 0;      // subset of kl_runs from the warm tail
+  std::uint64_t switches = 0;   // KL switches applied, summed over runs
+  int threads_used = 1;         // pool width the grid actually ran on
+  double sweep_seconds = 0.0;   // parallel grid + reduction + warm tail
+  double refine_seconds = 0.0;  // Dinkelbach rounds
+  double total_seconds = 0.0;   // whole Solve() call
 };
 
 class MaarSolver {
@@ -76,10 +109,17 @@ class MaarSolver {
   MaarSolver(const graph::AugmentedGraph& g, Seeds seeds, MaarConfig config,
              KlRunner kl_runner);
 
+  // Creates a private pool when config.num_threads resolves to > 1.
   MaarCut Solve();
+  // Runs the grid on `pool` (callers amortize pool construction across many
+  // solves, e.g. DetectFriendSpammers across rounds); nullptr behaves like
+  // Solve(). When the grid runs on a pool the kl_runner must be safe to
+  // invoke concurrently (the default ExtendedKl runner is pure).
+  MaarCut Solve(util::ThreadPool* pool);
 
  private:
   std::vector<std::vector<char>> InitialPartitions(util::Rng& rng) const;
+  std::vector<double> SweepKs() const;
   bool IsValid(const std::vector<char>& in_u,
                const graph::CutQuantities& cut) const;
 

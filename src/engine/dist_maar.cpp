@@ -23,7 +23,13 @@ DistMaarResult SolveMaarDistributed(const graph::AugmentedGraph& g,
     result.io.simulated_network_us += r.io.simulated_network_us;
     return std::move(r.kl);
   };
-  detect::MaarSolver solver(g, seeds, config, runner);
+  // The sweep must stay serial here: DistributedKl drives the cluster's
+  // shared prefetch buffer and the runner above accumulates IoStats without
+  // locking. Determinism of the sweep makes the cut identical either way —
+  // on this substrate the parallelism is the simulated workers'.
+  detect::MaarConfig serial_config = config;
+  serial_config.num_threads = 1;
+  detect::MaarSolver solver(g, seeds, serial_config, runner);
   result.cut = solver.Solve();
   return result;
 }

@@ -1,5 +1,6 @@
 #include "graph/augmented_graph.h"
 
+#include <algorithm>
 #include <limits>
 #include <stdexcept>
 
@@ -20,6 +21,12 @@ AugmentedGraph::AugmentedGraph(SocialGraph friendships,
     throw std::invalid_argument(
         "AugmentedGraph: friendship and rejection graphs must share the node "
         "set");
+  }
+  max_friendship_degree_ = friendships_.MaxDegree();
+  for (NodeId v = 0; v < NumNodes(); ++v) {
+    const std::uint64_t r = static_cast<std::uint64_t>(
+        rejections_.InDegree(v) + rejections_.OutDegree(v));
+    max_rejection_degree_ = std::max(max_rejection_degree_, r);
   }
 }
 

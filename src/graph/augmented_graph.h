@@ -51,6 +51,18 @@ class AugmentedGraph {
   const SocialGraph& Friendships() const noexcept { return friendships_; }
   const RejectionGraph& Rejections() const noexcept { return rejections_; }
 
+  // Degree maxima over V, computed once at construction (so also at every
+  // subgraph compaction, which rebuilds the graph). ExtendedKl derives its
+  // per-run gain bound max_F + k·max_R from these in O(1) instead of
+  // rescanning all nodes on every KL invocation of the MAAR sweep.
+  std::uint64_t MaxFriendshipDegree() const noexcept {
+    return max_friendship_degree_;
+  }
+  // max over v of InDegree(v) + OutDegree(v) on the rejection graph.
+  std::uint64_t MaxRejectionDegree() const noexcept {
+    return max_rejection_degree_;
+  }
+
   // O(E+R) reference computation of the cut quantities for suspicious set
   // U = { u : in_u[u] }. Precondition: in_u.size() == NumNodes().
   CutQuantities ComputeCut(const std::vector<char>& in_u) const;
@@ -58,6 +70,8 @@ class AugmentedGraph {
  private:
   SocialGraph friendships_;
   RejectionGraph rejections_;
+  std::uint64_t max_friendship_degree_ = 0;
+  std::uint64_t max_rejection_degree_ = 0;
 };
 
 }  // namespace rejecto::graph

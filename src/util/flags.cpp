@@ -42,4 +42,8 @@ std::uint64_t ExperimentSeed() {
   return static_cast<std::uint64_t>(GetEnvInt("REJECTO_SEED", 42));
 }
 
+int ThreadCount() {
+  return static_cast<int>(GetEnvInt("REJECTO_THREADS", 0));
+}
+
 }  // namespace rejecto::util

@@ -4,6 +4,7 @@
 //   REJECTO_BENCH_FAST=1   -> reduced sweeps (CI-friendly)
 //   REJECTO_SEED=<u64>     -> global experiment seed override
 //   REJECTO_CSV_DIR=<dir>  -> also write each table as CSV into <dir>
+//   REJECTO_THREADS=<int>  -> MAAR sweep threads (0 = hardware concurrency)
 #pragma once
 
 #include <cstdint>
@@ -22,5 +23,10 @@ bool FastBenchMode();
 
 // Global experiment seed (REJECTO_SEED or 42).
 std::uint64_t ExperimentSeed();
+
+// The --threads knob for every binary that runs MAAR sweeps: REJECTO_THREADS,
+// defaulting to 0 (resolve to hardware concurrency). Results are identical
+// for any value — the sweep's reduction is deterministic.
+int ThreadCount();
 
 }  // namespace rejecto::util

@@ -4,6 +4,11 @@
 
 namespace rejecto::util {
 
+std::size_t HardwareThreads() noexcept {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<std::size_t>(n);
+}
+
 ThreadPool::ThreadPool(std::size_t num_threads) {
   if (num_threads == 0) {
     throw std::invalid_argument("ThreadPool: num_threads must be > 0");
@@ -14,13 +19,18 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+void ThreadPool::Shutdown() {
   {
     std::lock_guard<std::mutex> lock(mu_);
+    if (stopped_) return;
     stopped_ = true;
   }
   cv_.notify_all();
-  for (auto& w : workers_) w.join();
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
 }
 
 void ThreadPool::WorkerLoop() {
@@ -52,7 +62,19 @@ void ThreadPool::ParallelFor(std::size_t n,
       for (std::size_t i = lo; i < hi; ++i) fn(i);
     }));
   }
-  for (auto& f : futs) f.get();  // propagates the first exception
+  // Wait for every block before rethrowing: the tasks capture `fn` by
+  // reference, so no block may outlive this frame, and draining them all
+  // makes the propagated exception (lowest-indexed failing block) stable
+  // across worker schedules.
+  std::exception_ptr first;
+  for (auto& f : futs) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first) first = std::current_exception();
+    }
+  }
+  if (first) std::rethrow_exception(first);
 }
 
 }  // namespace rejecto::util

@@ -1,6 +1,6 @@
 // Fixed-size thread pool used by the distributed-execution substrate
-// (src/engine) to model cluster workers, and by graph statistics for
-// parallel BFS sweeps.
+// (src/engine) to model cluster workers, by graph statistics for parallel
+// BFS sweeps, and by the detect::MaarSolver parallel (k × init) sweep.
 #pragma once
 
 #include <condition_variable>
@@ -14,6 +14,10 @@
 
 namespace rejecto::util {
 
+// std::thread::hardware_concurrency() clamped to >= 1 (the standard allows
+// it to return 0 when the count is unknowable).
+std::size_t HardwareThreads() noexcept;
+
 class ThreadPool {
  public:
   // Precondition: num_threads > 0.
@@ -24,6 +28,10 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   std::size_t size() const noexcept { return workers_.size(); }
+
+  // Drains the queued tasks and joins all workers. Idempotent; called by
+  // the destructor. After Shutdown, Submit/ParallelFor throw.
+  void Shutdown();
 
   // Enqueues a task; the returned future observes its result or exception.
   template <typename F>
@@ -44,7 +52,10 @@ class ThreadPool {
   }
 
   // Runs fn(i) for i in [0, n), partitioned into size() contiguous blocks.
-  // Blocks until all iterations complete; rethrows the first exception.
+  // n == 0 returns immediately without touching the queue. Blocks until all
+  // iterations complete; when several blocks throw, the exception from the
+  // lowest-indexed block is rethrown (deterministic regardless of worker
+  // scheduling — every block runs to completion before the rethrow).
   void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& fn);
 
  private:

@@ -1,0 +1,160 @@
+// Parallel MAAR sweep: thread count is an execution detail, never an
+// algorithmic one — any num_threads must produce bit-identical cuts.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "detect/iterative.h"
+#include "detect/maar.h"
+#include "gen/planted_partition.h"
+#include "sim/scenario.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace rejecto::detect {
+namespace {
+
+// A planted-partition legit graph with an overlaid friend-spam attack:
+// enough structure that the sweep's KL runs do real work across many k.
+sim::Scenario PlantedScenario() {
+  util::Rng rng(31);
+  const auto legit = gen::PlantedPartition({.num_nodes = 600,
+                                           .num_communities = 3,
+                                           .p_in = 0.05,
+                                           .p_out = 0.005},
+                                          rng)
+                         .graph;
+  sim::ScenarioConfig cfg;
+  cfg.seed = 23;
+  cfg.num_fakes = 120;
+  cfg.requests_per_spammer = 15;
+  return sim::BuildScenario(legit, cfg);
+}
+
+MaarConfig GridConfig() {
+  MaarConfig cfg;
+  cfg.num_random_inits = 3;  // 4 inits x 11 k values: a real grid
+  cfg.seed = 9;
+  return cfg;
+}
+
+TEST(ParallelMaarTest, ThreadCountNeverChangesTheCut) {
+  const auto scenario = PlantedScenario();
+  MaarCut reference;
+  for (const int threads : {1, 2, 8}) {
+    MaarConfig cfg = GridConfig();
+    cfg.num_threads = threads;
+    MaarSolver solver(scenario.graph, {}, cfg);
+    const MaarCut cut = solver.Solve();
+    ASSERT_TRUE(cut.valid) << threads << " threads";
+    EXPECT_EQ(cut.threads_used, threads);
+    if (threads == 1) {
+      reference = cut;
+      continue;
+    }
+    EXPECT_EQ(cut.in_u, reference.in_u) << threads << " threads";
+    EXPECT_EQ(cut.ratio, reference.ratio) << threads << " threads";
+    EXPECT_EQ(cut.k, reference.k) << threads << " threads";
+    EXPECT_EQ(cut.kl_runs, reference.kl_runs) << threads << " threads";
+    EXPECT_EQ(cut.switches, reference.switches) << threads << " threads";
+  }
+}
+
+TEST(ParallelMaarTest, ExternalPoolMatchesOwnedPool) {
+  const auto scenario = PlantedScenario();
+  MaarConfig cfg = GridConfig();
+  cfg.num_threads = 3;
+  MaarSolver own(scenario.graph, {}, cfg);
+  const MaarCut a = own.Solve();
+
+  util::ThreadPool pool(3);
+  MaarSolver ext(scenario.graph, {}, cfg);
+  const MaarCut b = ext.Solve(&pool);
+  EXPECT_EQ(a.in_u, b.in_u);
+  EXPECT_EQ(a.ratio, b.ratio);
+  EXPECT_EQ(b.threads_used, 3);
+}
+
+TEST(ParallelMaarTest, PipelineDeterministicAcrossThreadCounts) {
+  const auto scenario = PlantedScenario();
+  util::Rng seed_rng(7);
+  const auto seeds = scenario.SampleSeeds(20, 6, seed_rng);
+
+  DetectionResult reference;
+  for (const int threads : {1, 4}) {
+    IterativeConfig cfg;
+    cfg.maar = GridConfig();
+    cfg.maar.num_threads = threads;
+    cfg.target_detections = scenario.num_fakes;
+    const auto result =
+        DetectFriendSpammers(scenario.graph, seeds, cfg);
+    if (threads == 1) {
+      reference = result;
+      continue;
+    }
+    EXPECT_EQ(result.detected, reference.detected);
+    EXPECT_EQ(result.rounds.size(), reference.rounds.size());
+    EXPECT_EQ(result.total_kl_runs, reference.total_kl_runs);
+    EXPECT_EQ(result.total_switches, reference.total_switches);
+    EXPECT_EQ(result.threads_used, 4);
+  }
+  EXPECT_GT(reference.total_kl_runs, 0u);
+  EXPECT_GE(reference.total_seconds, 0.0);
+}
+
+TEST(ParallelMaarTest, WarmStartNeverWorsensTheRatio) {
+  const auto scenario = PlantedScenario();
+  MaarConfig cold = GridConfig();
+  cold.warm_start = false;
+  MaarConfig warm = GridConfig();
+  warm.warm_start = true;
+  const MaarCut a = MaarSolver(scenario.graph, {}, cold).Solve();
+  const MaarCut b = MaarSolver(scenario.graph, {}, warm).Solve();
+  ASSERT_TRUE(a.valid);
+  ASSERT_TRUE(b.valid);
+  EXPECT_LE(b.ratio, a.ratio + 1e-12);
+  EXPECT_EQ(a.warm_start_runs, 0);
+  EXPECT_GT(b.warm_start_runs, 0);
+  EXPECT_EQ(b.kl_runs, a.kl_runs + b.warm_start_runs);
+}
+
+TEST(ParallelMaarTest, InstrumentationIsCoherent) {
+  const auto scenario = PlantedScenario();
+  MaarConfig cfg = GridConfig();
+  cfg.num_threads = 2;
+  const MaarCut cut = MaarSolver(scenario.graph, {}, cfg).Solve();
+  ASSERT_TRUE(cut.valid);
+  EXPECT_GT(cut.kl_runs, 0);
+  EXPECT_GE(cut.kl_runs, cut.warm_start_runs);
+  EXPECT_GT(cut.switches, 0u);
+  EXPECT_GE(cut.sweep_seconds, 0.0);
+  EXPECT_GE(cut.refine_seconds, 0.0);
+  EXPECT_GE(cut.total_seconds, cut.sweep_seconds + cut.refine_seconds);
+}
+
+TEST(ParallelMaarTest, EffectiveThreadsResolvesAndClamps) {
+  EXPECT_GE(EffectiveThreads(0), 1);  // 0 = hardware concurrency
+  EXPECT_EQ(EffectiveThreads(1), 1);
+  EXPECT_EQ(EffectiveThreads(6), 6);
+  EXPECT_EQ(EffectiveThreads(-3), 1);
+}
+
+TEST(ParallelMaarTest, GainBoundMaximaMatchBruteForce) {
+  // The cached degree maxima GainBound relies on (computed at graph build /
+  // compaction) must agree with a direct scan.
+  const auto scenario = PlantedScenario();
+  const auto& g = scenario.graph;
+  std::uint64_t max_f = 0, max_r = 0;
+  for (graph::NodeId v = 0; v < g.NumNodes(); ++v) {
+    max_f = std::max<std::uint64_t>(max_f, g.Friendships().Degree(v));
+    max_r = std::max<std::uint64_t>(
+        max_r, static_cast<std::uint64_t>(g.Rejections().InDegree(v) +
+                                          g.Rejections().OutDegree(v)));
+  }
+  EXPECT_EQ(g.MaxFriendshipDegree(), max_f);
+  EXPECT_EQ(g.MaxRejectionDegree(), max_r);
+  EXPECT_GT(max_r, 0u);  // the scenario actually planted rejections
+}
+
+}  // namespace
+}  // namespace rejecto::detect

@@ -72,6 +72,38 @@ TEST(ThreadPoolTest, ParallelForFewerItemsThanThreads) {
   EXPECT_EQ(count.load(), 3);
 }
 
+TEST(ThreadPoolTest, SubmitAfterShutdownThrows) {
+  ThreadPool pool(2);
+  auto f = pool.Submit([] { return 1; });
+  EXPECT_EQ(f.get(), 1);
+  pool.Shutdown();
+  pool.Shutdown();  // idempotent
+  EXPECT_THROW(pool.Submit([] { return 2; }), std::runtime_error);
+  EXPECT_THROW(pool.ParallelFor(4, [](std::size_t) {}), std::runtime_error);
+  pool.ParallelFor(0, [](std::size_t) {});  // n == 0 stays a no-op
+}
+
+TEST(ThreadPoolTest, ParallelForPropagatesLowestBlockException) {
+  // With 2 workers and 10 indices, blocks are [0,5) and [5,10); both throw,
+  // and the block-0 exception must win regardless of worker scheduling.
+  ThreadPool pool(2);
+  for (int attempt = 0; attempt < 20; ++attempt) {
+    try {
+      pool.ParallelFor(10, [](std::size_t i) {
+        if (i == 0) throw std::runtime_error("first-block");
+        if (i == 5) throw std::runtime_error("second-block");
+      });
+      FAIL() << "expected an exception";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "first-block");
+    }
+  }
+}
+
+TEST(ThreadPoolTest, HardwareThreadsAtLeastOne) {
+  EXPECT_GE(HardwareThreads(), 1u);
+}
+
 // ---------- WallTimer ----------
 
 TEST(WallTimerTest, MonotoneNonNegative) {
