@@ -115,8 +115,13 @@ std::vector<std::string> AppendixDatasets(const ExperimentContext& ctx) {
           "soc-Epinions",  "soc-Slashdot", "synthetic"};
 }
 
-void AppendMaarBenchJson(const std::vector<MaarBenchRecord>& records) {
-  if (records.empty()) return;
+namespace {
+
+// Reopens the flat JSON array in <REJECTO_JSON_DIR or cwd>/BENCH_maar.json
+// and appends the pre-rendered record objects (one per string, no leading
+// whitespace or trailing comma).
+void AppendBenchJsonRecords(const std::vector<std::string>& rendered) {
+  if (rendered.empty()) return;
   const std::string dir =
       util::GetEnvString("REJECTO_JSON_DIR").value_or(".");
   const std::string path = dir + "/BENCH_maar.json";
@@ -146,19 +151,49 @@ void AppendMaarBenchJson(const std::vector<MaarBenchRecord>& records) {
   } else {
     body << "[";  // missing or malformed: start fresh
   }
-  body.precision(6);
-  body << std::fixed;
-  for (const auto& r : records) {
+  for (const auto& r : rendered) {
     if (!first) body << ",";
     first = false;
-    body << "\n  {\"bench\": \"" << r.bench << "\", \"users\": " << r.users
-         << ", \"edges\": " << r.edges << ", \"threads\": " << r.threads
-         << ", \"seconds\": " << r.seconds << ", \"kl_runs\": " << r.kl_runs
-         << ", \"speedup\": " << r.speedup << "}";
+    body << "\n  " << r;
   }
   body << "\n]\n";
   std::ofstream out(path, std::ios::trunc);
   out << body.str();
+}
+
+}  // namespace
+
+void AppendMaarBenchJson(const std::vector<MaarBenchRecord>& records) {
+  std::vector<std::string> rendered;
+  rendered.reserve(records.size());
+  for (const auto& r : records) {
+    std::ostringstream os;
+    os.precision(6);
+    os << std::fixed;
+    os << "{\"bench\": \"" << r.bench << "\", \"users\": " << r.users
+       << ", \"edges\": " << r.edges << ", \"threads\": " << r.threads
+       << ", \"seconds\": " << r.seconds << ", \"kl_runs\": " << r.kl_runs
+       << ", \"speedup\": " << r.speedup << "}";
+    rendered.push_back(os.str());
+  }
+  AppendBenchJsonRecords(rendered);
+}
+
+void AppendKernelBenchJson(const std::vector<KernelBenchRecord>& records) {
+  std::vector<std::string> rendered;
+  rendered.reserve(records.size());
+  for (const auto& r : records) {
+    std::ostringstream os;
+    os.precision(6);
+    os << std::fixed;
+    os << "{\"bench\": \"" << r.bench << "\", \"kernel\": \"" << r.kernel
+       << "\", \"users\": " << r.users << ", \"edges\": " << r.edges
+       << ", \"items\": " << r.items << ", \"seconds\": " << r.seconds
+       << ", \"throughput\": " << r.throughput
+       << ", \"speedup\": " << r.speedup << "}";
+    rendered.push_back(os.str());
+  }
+  AppendBenchJsonRecords(rendered);
 }
 
 void RunMaarSpeedupProbe(const std::string& bench_name,

@@ -86,6 +86,24 @@ struct MaarBenchRecord {
 // contribute to the same machine-readable file.
 void AppendMaarBenchJson(const std::vector<MaarBenchRecord>& records);
 
+// One data-structure kernel timing sample: the fused-vs-unfused KL switch
+// kernel and the CSR-filter-vs-GraphBuilder compaction, appended to the
+// same BENCH_maar.json array as the MAAR sweep records (records are
+// distinguished by the presence of the "kernel" key).
+struct KernelBenchRecord {
+  std::string bench;          // emitting binary, e.g. "bench_micro"
+  std::string kernel;         // "kl_switch_old", "kl_switch_fused",
+                              // "compact_builder", "compact_csr"
+  std::int64_t users = 0;
+  std::int64_t edges = 0;
+  std::int64_t items = 0;     // work units: switches applied / nodes kept
+  double seconds = 0.0;
+  double throughput = 0.0;    // items / seconds
+  double speedup = 1.0;       // old-kernel seconds / this kernel's seconds
+};
+
+void AppendKernelBenchJson(const std::vector<KernelBenchRecord>& records);
+
 // Runs MaarSolver::Solve over `threads_list` on the scenario graph with the
 // given config, asserts the cuts are bit-identical to the threads=1 run
 // (aborting the bench otherwise), appends one record per thread count under

@@ -1,72 +1,91 @@
 #include "detect/bucket_list.h"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
 namespace rejecto::detect {
 
 BucketList::BucketList(graph::NodeId num_nodes, double max_abs_gain,
-                       double resolution)
-    : resolution_(resolution) {
+                       double resolution) {
+  Reset(num_nodes, max_abs_gain, resolution);
+}
+
+void BucketList::Reset(graph::NodeId num_nodes, double max_abs_gain,
+                       double resolution) {
   if (resolution <= 0.0 || !std::isfinite(max_abs_gain) || max_abs_gain < 0) {
     throw std::invalid_argument("BucketList: bad resolution or gain bound");
   }
+  resolution_ = resolution;
   max_bucket_ = static_cast<std::int32_t>(
       std::llround(std::ceil(max_abs_gain * resolution))) + 1;
-  heads_.assign(static_cast<std::size_t>(2 * max_bucket_) + 1, kNil);
-  next_.assign(num_nodes, kNil);
-  prev_.assign(num_nodes, kNil);
-  bucket_of_.assign(num_nodes, kAbsent);
+  const std::size_t num_buckets =
+      static_cast<std::size_t>(2 * max_bucket_) + 1;
+  const std::size_t nodes = static_cast<std::size_t>(num_nodes);
+  if (size_ != 0) {
+    // Dirty workspace (a pass was abandoned mid-way): wipe everything.
+    heads_.assign(std::max(num_buckets, heads_.size()), kNil);
+    links_.assign(std::max(nodes, links_.size()), NodeLink{});
+    size_ = 0;
+  } else {
+    // Empty invariant: Unlink leaves every head at kNil and every bucket
+    // index at kAbsent, so existing capacity needs no touch-up and a
+    // steady-state Reset allocates nothing.
+    if (heads_.size() < num_buckets) heads_.resize(num_buckets, kNil);
+    if (links_.size() < nodes) links_.resize(nodes, NodeLink{});
+  }
   cur_max_ = -max_bucket_;
 }
 
-std::int32_t BucketList::QuantizeClamped(double gain) const noexcept {
-  const double scaled = gain * resolution_;
-  if (scaled >= static_cast<double>(max_bucket_)) return max_bucket_;
-  if (scaled <= static_cast<double>(-max_bucket_)) return -max_bucket_;
-  return static_cast<std::int32_t>(std::llround(scaled));
+std::int32_t BucketList::Quantize(double gain) const noexcept {
+  return QuantizeClamped(gain);
 }
 
 void BucketList::Insert(graph::NodeId v, double gain) {
-  if (bucket_of_[v] != kAbsent) {
+  NodeLink& lv = links_[v];
+  if (lv.bucket != kAbsent) {
     throw std::invalid_argument("BucketList::Insert: node already present");
   }
   const std::int32_t b = QuantizeClamped(gain);
-  bucket_of_[v] = b;
+  lv.bucket = b;
   const std::size_t h = static_cast<std::size_t>(b + max_bucket_);
-  next_[v] = heads_[h];
-  prev_[v] = kNil;
-  if (heads_[h] != kNil) prev_[static_cast<std::size_t>(heads_[h])] = static_cast<std::int32_t>(v);
+  lv.next = heads_[h];
+  lv.prev = kNil;
+  if (heads_[h] != kNil) {
+    links_[static_cast<std::size_t>(heads_[h])].prev =
+        static_cast<std::int32_t>(v);
+  }
   heads_[h] = static_cast<std::int32_t>(v);
   if (b > cur_max_) cur_max_ = b;
   ++size_;
 }
 
 void BucketList::Unlink(graph::NodeId v) {
-  const std::size_t h = static_cast<std::size_t>(bucket_of_[v] + max_bucket_);
-  if (prev_[v] != kNil) {
-    next_[static_cast<std::size_t>(prev_[v])] = next_[v];
+  NodeLink& lv = links_[v];
+  const std::size_t h = static_cast<std::size_t>(lv.bucket + max_bucket_);
+  if (lv.prev != kNil) {
+    links_[static_cast<std::size_t>(lv.prev)].next = lv.next;
   } else {
-    heads_[h] = next_[v];
+    heads_[h] = lv.next;
   }
-  if (next_[v] != kNil) prev_[static_cast<std::size_t>(next_[v])] = prev_[v];
-  bucket_of_[v] = kAbsent;
+  if (lv.next != kNil) links_[static_cast<std::size_t>(lv.next)].prev = lv.prev;
+  lv.bucket = kAbsent;
   --size_;
 }
 
 void BucketList::Remove(graph::NodeId v) {
-  if (bucket_of_[v] == kAbsent) {
+  if (links_[v].bucket == kAbsent) {
     throw std::invalid_argument("BucketList::Remove: node not present");
   }
   Unlink(v);
 }
 
 void BucketList::Update(graph::NodeId v, double new_gain) {
-  if (bucket_of_[v] == kAbsent) {
+  if (links_[v].bucket == kAbsent) {
     throw std::invalid_argument("BucketList::Update: node not present");
   }
   const std::int32_t b = QuantizeClamped(new_gain);
-  if (b == bucket_of_[v]) return;
+  if (b == links_[v].bucket) return;
   Unlink(v);
   Insert(v, new_gain);
 }
@@ -86,7 +105,7 @@ void BucketList::CollectTop(std::size_t k,
   for (std::int32_t b = cur_max_; b >= -max_bucket_ && collected < k; --b) {
     for (std::int32_t v = heads_[static_cast<std::size_t>(b + max_bucket_)];
          v != kNil && collected < k;
-         v = next_[static_cast<std::size_t>(v)]) {
+         v = links_[static_cast<std::size_t>(v)].next) {
       out.push_back(static_cast<graph::NodeId>(v));
       ++collected;
     }

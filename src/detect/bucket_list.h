@@ -9,6 +9,7 @@
 // DESIGN.md). Within a bucket order is LIFO, the classic FM policy.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <vector>
 
@@ -18,19 +19,72 @@ namespace rejecto::detect {
 
 class BucketList {
  public:
+  // An empty workspace with no node or bucket capacity; call Reset before
+  // use. Lets callers keep one BucketList alive across many KL passes.
+  BucketList() = default;
+
   // `num_nodes` bounds the node-id universe; `max_abs_gain` is the largest
   // |gain| that maps to a distinct bucket (larger gains clamp to the end
   // buckets); `resolution` is buckets per unit gain.
   BucketList(graph::NodeId num_nodes, double max_abs_gain, double resolution);
 
+  // Re-targets the structure to a (possibly different) geometry, reusing
+  // the existing arrays. When the list is empty — the normal case between
+  // KL passes, since every pass drains it via PopMax — this is O(growth):
+  // an emptied list already has every head at kNil and every bucket_of_ at
+  // kAbsent, so only capacity growth needs initialization. A non-empty
+  // list is wiped in O(capacity).
+  void Reset(graph::NodeId num_nodes, double max_abs_gain, double resolution);
+
   bool Empty() const noexcept { return size_ == 0; }
   graph::NodeId Size() const noexcept { return size_; }
-  bool Contains(graph::NodeId v) const { return bucket_of_[v] != kAbsent; }
+  bool Contains(graph::NodeId v) const { return links_[v].bucket != kAbsent; }
+
+  // Hints the cache that v's link record is about to be touched. The fused
+  // switch calls this while traversing adjacency, one sweep ahead of the
+  // Adjust calls that will read links_[v].
+  void PrefetchNode(graph::NodeId v) const noexcept {
+    __builtin_prefetch(&links_[v]);
+  }
 
   // Precondition for Insert: !Contains(v). For Remove/Update: Contains(v).
   void Insert(graph::NodeId v, double gain);
   void Remove(graph::NodeId v);
   void Update(graph::NodeId v, double new_gain);
+
+  // Update for the fused-switch hot path: moves v to the bucket of
+  // new_gain, a no-op when v is absent (locked or already switched) or when
+  // the quantized bucket is unchanged. Identical relink position (bucket
+  // head, LIFO) to Remove+Insert, without the presence-check branches.
+  // Defined inline: this runs once per touched neighbor per switch, and the
+  // call overhead of the out-of-line Update/Unlink/Insert trio is a
+  // measurable fraction of the old kernel's cost.
+  void Adjust(graph::NodeId v, double new_gain) noexcept {
+    NodeLink& lv = links_[v];
+    const std::int32_t cur = lv.bucket;
+    if (cur == kAbsent) return;  // locked, or already switched this pass
+    const std::int32_t b = QuantizeClamped(new_gain);
+    if (b == cur) return;
+    // Unlink from the current bucket; size_ is unchanged net of the relink.
+    const std::size_t old_h = static_cast<std::size_t>(cur + max_bucket_);
+    if (lv.prev != kNil) {
+      links_[static_cast<std::size_t>(lv.prev)].next = lv.next;
+    } else {
+      heads_[old_h] = lv.next;
+    }
+    if (lv.next != kNil) links_[static_cast<std::size_t>(lv.next)].prev = lv.prev;
+    // Relink at the head of bucket b — the exact position Insert would pick.
+    lv.bucket = b;
+    const std::size_t h = static_cast<std::size_t>(b + max_bucket_);
+    lv.next = heads_[h];
+    lv.prev = kNil;
+    if (heads_[h] != kNil) {
+      links_[static_cast<std::size_t>(heads_[h])].prev =
+          static_cast<std::int32_t>(v);
+    }
+    heads_[h] = static_cast<std::int32_t>(v);
+    if (b > cur_max_) cur_max_ = b;
+  }
 
   // Returns a node with the maximal quantized gain without removing it, or
   // graph::kInvalidNode when empty.
@@ -44,20 +98,38 @@ class BucketList {
   // engine (§V): the nodes most likely to be switched soonest.
   void CollectTop(std::size_t k, std::vector<graph::NodeId>& out) const;
 
+  // Introspection for tests and capacity-reuse assertions.
+  std::int32_t Quantize(double gain) const noexcept;
+  // Quantized bucket of v; only meaningful when Contains(v).
+  std::int32_t BucketOf(graph::NodeId v) const { return links_[v].bucket; }
+  std::size_t NodeCapacity() const noexcept { return links_.size(); }
+  std::size_t BucketCapacity() const noexcept { return heads_.size(); }
+
  private:
   static constexpr std::int32_t kAbsent = INT32_MIN;
   static constexpr std::int32_t kNil = -1;
 
-  std::int32_t QuantizeClamped(double gain) const noexcept;
+  // Per-node intrusive links and bucket index, packed so a relink touches
+  // one cache line per involved node instead of three parallel arrays.
+  struct NodeLink {
+    std::int32_t next = kNil;
+    std::int32_t prev = kNil;
+    std::int32_t bucket = kAbsent;  // kAbsent when not in the structure
+  };
+
+  std::int32_t QuantizeClamped(double gain) const noexcept {
+    const double scaled = gain * resolution_;
+    if (scaled >= static_cast<double>(max_bucket_)) return max_bucket_;
+    if (scaled <= static_cast<double>(-max_bucket_)) return -max_bucket_;
+    return static_cast<std::int32_t>(std::llround(scaled));
+  }
   void Unlink(graph::NodeId v);
 
-  double resolution_;
-  std::int32_t max_bucket_;               // buckets span [-max_bucket_, +max_bucket_]
+  double resolution_ = 1.0;
+  std::int32_t max_bucket_ = 0;           // buckets span [-max_bucket_, +max_bucket_]
   std::vector<std::int32_t> heads_;       // per-bucket head node (kNil if empty)
-  std::vector<std::int32_t> next_;        // intrusive links (kNil terminated)
-  std::vector<std::int32_t> prev_;
-  std::vector<std::int32_t> bucket_of_;   // kAbsent when not in the structure
-  std::int32_t cur_max_;                  // highest possibly-non-empty bucket
+  std::vector<NodeLink> links_;           // kNil-terminated intrusive lists
+  std::int32_t cur_max_ = 0;              // highest possibly-non-empty bucket
   graph::NodeId size_ = 0;
 };
 

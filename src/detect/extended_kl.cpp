@@ -4,9 +4,6 @@
 #include <cmath>
 #include <stdexcept>
 
-#include "detect/bucket_list.h"
-#include "detect/partition.h"
-
 namespace rejecto::detect {
 namespace {
 
@@ -29,8 +26,9 @@ double GainBound(const graph::AugmentedGraph& g, double k) {
 }  // namespace
 
 KlResult ExtendedKl(const graph::AugmentedGraph& g,
-                    std::vector<char> init_in_u,
-                    const std::vector<char>& locked, const KlConfig& config) {
+                    const std::vector<char>& init_in_u,
+                    const std::vector<char>& locked, const KlConfig& config,
+                    KlScratch* scratch) {
   const graph::NodeId n = g.NumNodes();
   if (config.k <= 0.0) {
     throw std::invalid_argument("ExtendedKl: k must be positive");
@@ -42,53 +40,53 @@ KlResult ExtendedKl(const graph::AugmentedGraph& g,
     return !locked.empty() && locked[v] != 0;
   };
 
-  Partition p(g, std::move(init_in_u));
+  KlScratch local;
+  KlScratch& ws = scratch != nullptr ? *scratch : local;
+  ws.partition.Reset(g, init_in_u);
+  Partition& p = ws.partition;
+
   const double k = config.k;
   const double gain_bound = GainBound(g, k);
-  const auto& fr = g.Friendships();
-  const auto& rej = g.Rejections();
 
   KlStats stats;
-  std::vector<graph::NodeId> seq;
-  seq.reserve(n);
+  ws.seq.reserve(n);
+  // One switch touches at most deg(v) + rejdeg(v) neighbors; reserving once
+  // here keeps SwitchFused's push_backs allocation-free for the whole call.
+  ws.touched.reserve(static_cast<std::size_t>(g.MaxFriendshipDegree() +
+                                              g.MaxRejectionDegree()));
 
   for (int pass = 0; pass < config.max_passes; ++pass) {
     ++stats.passes;
-    BucketList bl(n, gain_bound, config.gain_resolution);
+    ws.bucket.Reset(n, gain_bound, config.gain_resolution);
+    BucketList& bl = ws.bucket;
     for (graph::NodeId v = 0; v < n; ++v) {
       if (!is_locked(v)) bl.Insert(v, -p.DeltaObjective(v, k));
     }
 
-    seq.clear();
+    ws.seq.clear();
     double cum = 0.0;
     double best_cum = 0.0;
     std::size_t best_prefix = 0;  // number of leading switches to keep
 
-    auto refresh = [&](graph::NodeId w) {
-      if (bl.Contains(w)) bl.Update(w, -p.DeltaObjective(w, k));
-    };
-
     while (!bl.Empty()) {
       const graph::NodeId v = bl.PopMax();
       const double gain = -p.DeltaObjective(v, k);
-      p.Switch(v);
-      seq.push_back(v);
+      p.SwitchFused(v, k, bl, ws.touched);
+      ws.seq.push_back(v);
       cum += gain;
       if (cum > best_cum + kGainEps) {
         best_cum = cum;
-        best_prefix = seq.size();
+        best_prefix = ws.seq.size();
       }
-      for (graph::NodeId w : fr.Neighbors(v)) refresh(w);
-      for (graph::NodeId w : rej.Rejectors(v)) refresh(w);
-      for (graph::NodeId w : rej.Rejectees(v)) refresh(w);
     }
 
     // Roll back everything after the best prefix (or everything, if no
-    // positive prefix exists). Reverse order is not required for
+    // positive prefix exists). The bucket list is drained, so the plain
+    // (bucket-free) Switch suffices. Reverse order is not required for
     // correctness — switches commute on the membership mask — but keeps the
     // incremental aggregates exercised symmetrically.
-    for (std::size_t i = seq.size(); i > best_prefix; --i) {
-      p.Switch(seq[i - 1]);
+    for (std::size_t i = ws.seq.size(); i > best_prefix; --i) {
+      p.Switch(ws.seq[i - 1]);
     }
     stats.switches_applied += best_prefix;
     if (best_prefix == 0) break;  // converged: no improving prefix

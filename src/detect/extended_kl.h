@@ -8,11 +8,22 @@
 // minima), then applies the switch-sequence prefix with the largest positive
 // cumulative gain. Passes repeat until no improving prefix exists. Locked
 // nodes (seeds, §IV-F) never enter the bucket list.
+//
+// The inner loop is the classic FM delta-gain kernel: a switch makes ONE
+// traversal of the node's friends/rejectors/rejectees
+// (Partition::SwitchFused), fusing the aggregate updates with bucket
+// maintenance, and a node only relinks when its quantized bucket actually
+// changes (BucketList::Adjust). All working state lives in a KlScratch that
+// callers may reuse across invocations; the steady-state pass loop then
+// performs no heap allocation at all (the only allocation per call is the
+// result mask copy).
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
+#include "detect/bucket_list.h"
+#include "detect/partition.h"
 #include "graph/augmented_graph.h"
 
 namespace rejecto::detect {
@@ -35,10 +46,24 @@ struct KlResult {
   KlStats stats;
 };
 
+// Reusable workspace for ExtendedKl. Default-constructed empty; every
+// ExtendedKl call Reset()s it for the given graph, growing capacity only
+// when the graph is larger than any seen before. Not thread-safe — use one
+// scratch per thread (MaarSolver keeps one per pool block).
+struct KlScratch {
+  Partition partition;
+  BucketList bucket;
+  std::vector<graph::NodeId> seq;      // this pass's switch sequence
+  std::vector<graph::NodeId> touched;  // neighbors hit by the current switch
+};
+
 // `locked` may be empty (nothing pinned); otherwise size must equal
-// g.NumNodes(). init_in_u must already respect the lock placement.
+// g.NumNodes(). init_in_u must already respect the lock placement. When
+// `scratch` is null a call-local workspace is used; results are identical
+// either way, and identical whatever graph the scratch last served.
 KlResult ExtendedKl(const graph::AugmentedGraph& g,
-                    std::vector<char> init_in_u,
-                    const std::vector<char>& locked, const KlConfig& config);
+                    const std::vector<char>& init_in_u,
+                    const std::vector<char>& locked, const KlConfig& config,
+                    KlScratch* scratch = nullptr);
 
 }  // namespace rejecto::detect

@@ -40,19 +40,23 @@ DetectionResult DetectFriendSpammers(const graph::AugmentedGraph& g,
              const MaarConfig& maar) {
         MaarSolver solver(residual, s, maar);
         return solver.Solve(pool.get());
-      });
+      },
+      pool.get());
 }
 
 DetectionResult DetectFriendSpammers(const graph::AugmentedGraph& g,
                                      const Seeds& seeds,
                                      const IterativeConfig& config,
-                                     const MaarRunner& solve) {
+                                     const MaarRunner& solve,
+                                     util::ThreadPool* pool) {
   seeds.Validate(g.NumNodes());
   util::WallTimer total_timer;
   DetectionResult result;
 
-  // Residual graph plus the mapping of its dense ids back to g's ids.
-  graph::AugmentedGraph residual = g;
+  // Round 0 solves on g directly; only the compacted rounds materialize a
+  // residual graph of their own (skipping the up-front full graph copy).
+  const graph::AugmentedGraph* residual = &g;
+  graph::AugmentedGraph residual_storage;
   std::vector<graph::NodeId> to_original(g.NumNodes());
   std::iota(to_original.begin(), to_original.end(), 0);
   Seeds cur_seeds = seeds;
@@ -66,13 +70,13 @@ DetectionResult DetectFriendSpammers(const graph::AugmentedGraph& g,
     // Mirror MaarSolver's clamp of the minimum region size.
     const graph::NodeId min_region = std::max<graph::NodeId>(
         1, std::min<graph::NodeId>(config.maar.min_region_size,
-                                   residual.NumNodes() / 2));
-    if (residual.NumNodes() < 2 * min_region) break;
+                                   residual->NumNodes() / 2));
+    if (residual->NumNodes() < 2 * min_region) break;
 
     MaarConfig maar = config.maar;
     maar.seed = config.maar.seed + static_cast<std::uint64_t>(round) * 0x9e37ULL;
     util::WallTimer round_timer;
-    const MaarCut cut = solve(residual, cur_seeds, maar);
+    const MaarCut cut = solve(*residual, cur_seeds, maar);
     const double round_seconds = round_timer.Seconds();
     result.total_kl_runs += static_cast<std::uint64_t>(cut.kl_runs);
     result.total_switches += cut.switches;
@@ -96,12 +100,15 @@ DetectionResult DetectFriendSpammers(const graph::AugmentedGraph& g,
 
     // Collect this round's suspicious nodes (residual ids).
     std::vector<graph::NodeId> flagged;
-    for (graph::NodeId v = 0; v < residual.NumNodes(); ++v) {
+    for (graph::NodeId v = 0; v < residual->NumNodes(); ++v) {
       if (cut.in_u[v]) flagged.push_back(v);
     }
 
     // Trim a final-round overshoot to the exact target, most suspicious
-    // first, so precision@target is well defined.
+    // first, so precision@target is well defined. Suspicion is computed
+    // once per candidate, not once per comparison; the stable index sort
+    // keeps ties in flagged (= node id) order, exactly as sorting the node
+    // list directly did.
     const bool overshoots =
         config.target_detections != 0 && config.trim_to_target &&
         result.detected.size() + flagged.size() > config.target_detections;
@@ -109,11 +116,19 @@ DetectionResult DetectFriendSpammers(const graph::AugmentedGraph& g,
       const std::size_t room =
           static_cast<std::size_t>(config.target_detections) -
           result.detected.size();
-      std::stable_sort(flagged.begin(), flagged.end(),
-                       [&](graph::NodeId a, graph::NodeId b) {
-                         return Suspicion(residual, a) > Suspicion(residual, b);
+      std::vector<double> susp(flagged.size());
+      for (std::size_t i = 0; i < flagged.size(); ++i) {
+        susp[i] = Suspicion(*residual, flagged[i]);
+      }
+      std::vector<std::size_t> order(flagged.size());
+      std::iota(order.begin(), order.end(), 0);
+      std::stable_sort(order.begin(), order.end(),
+                       [&](std::size_t a, std::size_t b) {
+                         return susp[a] > susp[b];
                        });
-      flagged.resize(room);
+      std::vector<graph::NodeId> trimmed(room);
+      for (std::size_t i = 0; i < room; ++i) trimmed[i] = flagged[order[i]];
+      flagged = std::move(trimmed);
     }
 
     info.detected.reserve(flagged.size());
@@ -125,13 +140,15 @@ DetectionResult DetectFriendSpammers(const graph::AugmentedGraph& g,
 
     // Prune the *entire* U region (not the trimmed set) with its links and
     // rejections, then remap the surviving seeds.
-    std::vector<char> keep(residual.NumNodes(), 1);
-    for (graph::NodeId v = 0; v < residual.NumNodes(); ++v) {
+    std::vector<char> keep(residual->NumNodes(), 1);
+    for (graph::NodeId v = 0; v < residual->NumNodes(); ++v) {
       if (cut.in_u[v]) keep[v] = 0;
     }
-    graph::CompactedGraph compacted = graph::InducedSubgraph(residual, keep);
+    graph::CompactedGraph compacted =
+        graph::InducedSubgraph(*residual, keep, pool);
 
-    std::vector<graph::NodeId> new_id(residual.NumNodes(), graph::kInvalidNode);
+    std::vector<graph::NodeId> new_id(residual->NumNodes(),
+                                      graph::kInvalidNode);
     for (graph::NodeId nid = 0;
          nid < static_cast<graph::NodeId>(compacted.parent_id.size()); ++nid) {
       new_id[compacted.parent_id[nid]] = nid;
@@ -150,7 +167,8 @@ DetectionResult DetectFriendSpammers(const graph::AugmentedGraph& g,
          nid < static_cast<graph::NodeId>(compacted.parent_id.size()); ++nid) {
       next_to_original[nid] = to_original[compacted.parent_id[nid]];
     }
-    residual = std::move(compacted.graph);
+    residual_storage = std::move(compacted.graph);
+    residual = &residual_storage;
     to_original = std::move(next_to_original);
     cur_seeds = std::move(next_seeds);
   }

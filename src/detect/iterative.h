@@ -80,13 +80,17 @@ DetectionResult DetectFriendSpammers(const graph::AugmentedGraph& g,
 // graph (the serial overload passes MaarSolver::Solve). The distributed
 // engine injects engine::SolveMaarDistributed so the entire iterative
 // pipeline — sweep, refinement, pruning rounds — runs against the cluster
-// substrate with identical results.
+// substrate with identical results. `pool`, when given, parallelizes the
+// per-round residual compaction (graph::InducedSubgraph); it does not
+// affect `solve`, which captures its own pool if it wants one. Results are
+// identical with or without a pool.
 using MaarRunner = std::function<MaarCut(
     const graph::AugmentedGraph& residual, const Seeds& seeds,
     const MaarConfig& config)>;
 DetectionResult DetectFriendSpammers(const graph::AugmentedGraph& g,
                                      const Seeds& seeds,
                                      const IterativeConfig& config,
-                                     const MaarRunner& solve);
+                                     const MaarRunner& solve,
+                                     util::ThreadPool* pool = nullptr);
 
 }  // namespace rejecto::detect

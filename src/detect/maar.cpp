@@ -21,9 +21,10 @@ MaarSolver::MaarSolver(const graph::AugmentedGraph& g, Seeds seeds,
                        MaarConfig config)
     : MaarSolver(g, std::move(seeds), config,
                  [](const graph::AugmentedGraph& graph,
-                    std::vector<char> init, const std::vector<char>& locked,
-                    const KlConfig& kl) {
-                   return ExtendedKl(graph, std::move(init), locked, kl);
+                    const std::vector<char>& init,
+                    const std::vector<char>& locked, const KlConfig& kl,
+                    KlScratch* scratch) {
+                   return ExtendedKl(graph, init, locked, kl, scratch);
                  }) {}
 
 MaarSolver::MaarSolver(const graph::AugmentedGraph& g, Seeds seeds,
@@ -141,16 +142,21 @@ MaarCut MaarSolver::Solve(util::ThreadPool* pool) {
   }
   best.threads_used = pool == nullptr ? 1 : static_cast<int>(pool->size());
 
+  // One reusable KL workspace per pool block: a block runs as exactly one
+  // task, so its scratch is never shared, and every KL run inside the block
+  // reuses the same buffers instead of reallocating per cell.
+  std::vector<KlScratch> scratches(pool != nullptr ? pool->size() : 1);
   std::vector<KlResult> grid(cells);
-  auto run_cell = [&](std::size_t c) {
+  auto run_cell = [&](std::size_t block, std::size_t c) {
     KlConfig cell_kl = config_.kl;
     cell_kl.k = ks[c / inits.size()];
-    grid[c] = kl_runner_(g_, inits[c % inits.size()], locked_, cell_kl);
+    grid[c] = kl_runner_(g_, inits[c % inits.size()], locked_, cell_kl,
+                         &scratches[block]);
   };
   if (pool != nullptr && cells > 1) {
     pool->ParallelFor(cells, run_cell);
   } else {
-    for (std::size_t c = 0; c < cells; ++c) run_cell(c);
+    for (std::size_t c = 0; c < cells; ++c) run_cell(0, c);
   }
 
   // Phase 2 — deterministic reduction in sweep order (k outer, init inner),
@@ -166,7 +172,8 @@ MaarCut MaarSolver::Solve(util::ThreadPool* pool) {
     if (config_.warm_start && best.valid && ki + 1 < ks.size()) {
       kl.k = ks[ki + 1];
       ++best.warm_start_runs;
-      consider(kl_runner_(g_, best.in_u, locked_, kl), ks[ki + 1]);
+      consider(kl_runner_(g_, best.in_u, locked_, kl, &scratches[0]),
+               ks[ki + 1]);
     }
   }
   best.sweep_seconds = sweep_timer.Seconds();
@@ -180,7 +187,9 @@ MaarCut MaarSolver::Solve(util::ThreadPool* pool) {
     const double k = best.ratio;
     if (!(k > 0) || !std::isfinite(k)) break;  // perfect cut; cannot improve
     kl.k = k;
-    if (!consider(kl_runner_(g_, best.in_u, locked_, kl), k)) break;
+    if (!consider(kl_runner_(g_, best.in_u, locked_, kl, &scratches[0]), k)) {
+      break;
+    }
   }
   best.refine_seconds = refine_timer.Seconds();
 

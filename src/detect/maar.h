@@ -100,9 +100,12 @@ class MaarSolver {
   // Pluggable inner solver: the serial detect::ExtendedKl by default; the
   // distributed engine injects engine::DistributedKl (same signature, same
   // bit-exact results) so the whole k-sweep runs on the cluster substrate.
+  // The KlScratch* is a per-thread reusable workspace owned by the solver
+  // (one per pool block, so no locking); runners that keep their own state
+  // may ignore it. It may be null.
   using KlRunner = std::function<KlResult(
-      const graph::AugmentedGraph&, std::vector<char> init_in_u,
-      const std::vector<char>& locked, const KlConfig&)>;
+      const graph::AugmentedGraph&, const std::vector<char>& init_in_u,
+      const std::vector<char>& locked, const KlConfig&, KlScratch* scratch)>;
 
   // The graph must outlive the solver. Seeds are validated on construction.
   MaarSolver(const graph::AugmentedGraph& g, Seeds seeds, MaarConfig config);

@@ -2,36 +2,56 @@
 
 #include <stdexcept>
 
+#include "detect/bucket_list.h"
+#include "util/dcheck.h"
+
 namespace rejecto::detect {
 
 Partition::Partition(const graph::AugmentedGraph& g, std::vector<char> in_u)
     : g_(&g), in_u_(std::move(in_u)) {
-  const graph::NodeId n = g.NumNodes();
-  if (in_u_.size() != n) {
+  if (in_u_.size() != g.NumNodes()) {
     throw std::invalid_argument("Partition: mask size mismatch");
   }
-  cross_friends_.assign(n, 0);
-  in_from_w_.assign(n, 0);
-  out_to_u_.assign(n, 0);
+  InitAggregates();
+}
 
-  const auto& fr = g.Friendships();
-  const auto& rej = g.Rejections();
+void Partition::Reset(const graph::AugmentedGraph& g,
+                      const std::vector<char>& in_u) {
+  if (in_u.size() != g.NumNodes()) {
+    throw std::invalid_argument("Partition: mask size mismatch");
+  }
+  g_ = &g;
+  in_u_ = in_u;  // copy-assign reuses the existing capacity
+  InitAggregates();
+}
+
+void Partition::InitAggregates() {
+  const graph::NodeId n = static_cast<graph::NodeId>(in_u_.size());
+  size_u_ = 0;
+  cross_friendships_ = 0;
+  rejections_into_u_ = 0;
+  agg_.assign(n, NodeAggregates{});
+
+  const auto& fr = g_->Friendships();
+  const auto& rej = g_->Rejections();
   for (graph::NodeId v = 0; v < n; ++v) {
     if (in_u_[v]) ++size_u_;
+    NodeAggregates& a = agg_[v];
+    a.deg = fr.Degree(v) | (in_u_[v] ? kSideBit : 0u);
     for (graph::NodeId w : fr.Neighbors(v)) {
-      if (in_u_[v] != in_u_[w]) ++cross_friends_[v];
+      if (in_u_[v] != in_u_[w]) ++a.cross_friends;
     }
     for (graph::NodeId x : rej.Rejectors(v)) {
-      if (!in_u_[x]) ++in_from_w_[v];
+      if (!in_u_[x]) ++a.in_from_w;
     }
     for (graph::NodeId y : rej.Rejectees(v)) {
-      if (in_u_[y]) ++out_to_u_[v];
+      if (in_u_[y]) ++a.out_to_u;
     }
   }
   for (graph::NodeId v = 0; v < n; ++v) {
     if (in_u_[v]) {
-      cross_friendships_ += cross_friends_[v];
-      rejections_into_u_ += in_from_w_[v];
+      cross_friendships_ += agg_[v].cross_friends;
+      rejections_into_u_ += agg_[v].in_from_w;
     }
   }
 }
@@ -47,17 +67,19 @@ void Partition::Switch(graph::NodeId v) {
   const bool was_in_u = InU(v);
   in_u_[v] = was_in_u ? 0 : 1;
   size_u_ += was_in_u ? -1 : 1;
+  agg_[v].deg ^= kSideBit;
 
   const auto& fr = g_->Friendships();
   const auto& rej = g_->Rejections();
 
   // v's own cross-friend count flips; partners' counts shift by one.
-  cross_friends_[v] = fr.Degree(v) - cross_friends_[v];
+  agg_[v].cross_friends = (agg_[v].deg & kDegMask) - agg_[v].cross_friends;
+  const std::uint32_t v_side = agg_[v].deg & kSideBit;
   for (graph::NodeId w : fr.Neighbors(v)) {
-    if (in_u_[v] != in_u_[w]) {
-      ++cross_friends_[w];
+    if (v_side != (agg_[w].deg & kSideBit)) {
+      ++agg_[w].cross_friends;
     } else {
-      --cross_friends_[w];
+      --agg_[w].cross_friends;
     }
   }
   // v entering U (resp. leaving) makes each rejector x of v gain (lose) an
@@ -65,12 +87,73 @@ void Partition::Switch(graph::NodeId v) {
   // v leaves U (resp. enters).
   const std::int32_t into_u = was_in_u ? -1 : 1;
   for (graph::NodeId x : rej.Rejectors(v)) {
-    out_to_u_[x] = static_cast<std::uint32_t>(
-        static_cast<std::int32_t>(out_to_u_[x]) + into_u);
+    agg_[x].out_to_u = static_cast<std::uint32_t>(
+        static_cast<std::int32_t>(agg_[x].out_to_u) + into_u);
   }
   for (graph::NodeId y : rej.Rejectees(v)) {
-    in_from_w_[y] = static_cast<std::uint32_t>(
-        static_cast<std::int32_t>(in_from_w_[y]) - into_u);
+    agg_[y].in_from_w = static_cast<std::uint32_t>(
+        static_cast<std::int32_t>(agg_[y].in_from_w) - into_u);
+  }
+}
+
+void Partition::SwitchFused(graph::NodeId v, double k, BucketList& bl,
+                            std::vector<graph::NodeId>& touched) {
+  REJECTO_DCHECK(v < NumNodes(), "Partition::SwitchFused: node id");
+  touched.clear();
+
+  cross_friendships_ = static_cast<std::uint64_t>(
+      static_cast<std::int64_t>(cross_friendships_) + DeltaFriends(v));
+  rejections_into_u_ = static_cast<std::uint64_t>(
+      static_cast<std::int64_t>(rejections_into_u_) + DeltaRejections(v));
+
+  const bool was_in_u = InU(v);
+  in_u_[v] = was_in_u ? 0 : 1;
+  size_u_ += was_in_u ? -1 : 1;
+  agg_[v].deg ^= kSideBit;
+
+  const auto& fr = g_->Friendships();
+  const auto& rej = g_->Rejections();
+
+  // Single traversal: apply the aggregate deltas (as in Switch) and record
+  // each touched neighbor. Duplicates (a node that is both friend and
+  // rejector/rejectee of v) stay in the buffer; the deferred sweep makes
+  // them no-ops.
+  agg_[v].cross_friends = (agg_[v].deg & kDegMask) - agg_[v].cross_friends;
+  const std::uint32_t v_side = agg_[v].deg & kSideBit;
+  for (graph::NodeId w : fr.Neighbors(v)) {
+    NodeAggregates& aw = agg_[w];
+    if (v_side != (aw.deg & kSideBit)) {
+      ++aw.cross_friends;
+    } else {
+      --aw.cross_friends;
+    }
+    bl.PrefetchNode(w);
+    touched.push_back(w);
+  }
+  const std::int32_t into_u = was_in_u ? -1 : 1;
+  for (graph::NodeId x : rej.Rejectors(v)) {
+    agg_[x].out_to_u = static_cast<std::uint32_t>(
+        static_cast<std::int32_t>(agg_[x].out_to_u) + into_u);
+    bl.PrefetchNode(x);
+    touched.push_back(x);
+  }
+  for (graph::NodeId y : rej.Rejectees(v)) {
+    agg_[y].in_from_w = static_cast<std::uint32_t>(
+        static_cast<std::int32_t>(agg_[y].in_from_w) - into_u);
+    bl.PrefetchNode(y);
+    touched.push_back(y);
+  }
+
+  // Deferred bucket maintenance with the final aggregates: the first
+  // occurrence of each neighbor relinks it (head of its new bucket), later
+  // occurrences and unchanged buckets are no-ops inside Adjust — the exact
+  // relink sequence of the unfused refresh loop. The gain is recomputed
+  // from the integer aggregates (never accumulated in floating point), so
+  // quantization and pick order match the unfused path bit for bit. The
+  // Contains guard skips the gain recompute for nodes already popped or
+  // locked — Adjust would ignore them anyway.
+  for (graph::NodeId w : touched) {
+    if (bl.Contains(w)) bl.Adjust(w, -DeltaObjective(w, k));
   }
 }
 
@@ -84,7 +167,7 @@ graph::CutQuantities Partition::Quantities() const noexcept {
   std::uint64_t from_u = 0;
   for (graph::NodeId v = 0; v < NumNodes(); ++v) {
     if (!in_u_[v]) {
-      from_u += g_->Rejections().InDegree(v) - in_from_w_[v];
+      from_u += g_->Rejections().InDegree(v) - agg_[v].in_from_w;
     }
   }
   q.rejections_from_u = from_u;

@@ -3,10 +3,13 @@
 // Rejecto minimizes, for a fixed weight k > 0, the linear objective
 //     W(U) = |F(Ū,U)| − k · |R⃗(Ū,U)|                     (paper §IV-D)
 // where U is the suspicious region and R⃗(Ū,U) are rejections cast from
-// outside U onto U. Partition tracks, per node v:
-//     cross_friends_[v] — v's friends on the other side
-//     in_from_w_[v]     — rejections v received from nodes currently in Ū
-//     out_to_u_[v]      — rejections v cast onto nodes currently in U
+// outside U onto U. Partition tracks, per node v (packed in one 16-byte
+// NodeAggregates record so a gain read touches a single cache line, the
+// same line a neighbor update just wrote):
+//     deg           — v's friendship degree (immutable per graph)
+//     cross_friends — v's friends on the other side
+//     in_from_w     — rejections v received from nodes currently in Ū
+//     out_to_u      — rejections v cast onto nodes currently in U
 // which make both the switch gain of any node and the global cut totals
 // O(1) to read, and a node switch O(deg + rejdeg) to apply. The exact
 // O(E+R) recomputation in AugmentedGraph::ComputeCut is the test oracle.
@@ -20,11 +23,23 @@
 
 namespace rejecto::detect {
 
+class BucketList;
+
 class Partition {
  public:
+  // An empty shell; call Reset before use. Lets a KL scratch workspace keep
+  // one Partition alive across passes and graphs.
+  Partition() = default;
+
   // in_u[v] != 0 places v in the suspicious region U.
   // The graph must outlive the partition.
   Partition(const graph::AugmentedGraph& g, std::vector<char> in_u);
+
+  // Re-seeds the partition for (a possibly different) graph and mask,
+  // reusing the aggregate arrays' capacity. Equivalent to constructing
+  // Partition(g, in_u) but without fresh allocations once the workspace has
+  // seen a graph at least as large.
+  void Reset(const graph::AugmentedGraph& g, const std::vector<char>& in_u);
 
   graph::NodeId NumNodes() const noexcept {
     return static_cast<graph::NodeId>(in_u_.size());
@@ -34,6 +49,19 @@ class Partition {
 
   // Moves v to the other side, updating all aggregates.
   void Switch(graph::NodeId v);
+
+  // Fused FM switch: one traversal of v's friends, rejectors and rejectees
+  // applies the aggregate deltas AND maintains the gain buckets. Neighbor
+  // ids are recorded into `touched` (cleared here; duplicates kept) during
+  // the delta sweep; bucket moves are then applied in a deferred sweep via
+  // BucketList::Adjust with the *final* aggregates, so a node reachable
+  // through several of v's adjacency lists relinks exactly once, at its
+  // first occurrence — the same intra-bucket LIFO order the unfused
+  // Switch-then-refresh loop produces. Gains are recomputed from the
+  // integer aggregates with the same expression as DeltaObjective, never
+  // accumulated in floating point, keeping cuts bit-identical.
+  void SwitchFused(graph::NodeId v, double k, BucketList& bl,
+                   std::vector<graph::NodeId>& touched);
 
   // Change of W(U) if v switched now: ΔW(v) = ΔF(v) − k·ΔR(v) with
   //   ΔF(v) = deg(v) − 2·cross_friends(v)
@@ -45,14 +73,14 @@ class Partition {
   }
 
   std::int64_t DeltaFriends(graph::NodeId v) const {
-    return static_cast<std::int64_t>(g_->Friendships().Degree(v)) -
-           2 * static_cast<std::int64_t>(cross_friends_[v]);
+    return static_cast<std::int64_t>(agg_[v].deg & kDegMask) -
+           2 * static_cast<std::int64_t>(agg_[v].cross_friends);
   }
 
   std::int64_t DeltaRejections(graph::NodeId v) const {
-    const std::int64_t d = static_cast<std::int64_t>(out_to_u_[v]) -
-                           static_cast<std::int64_t>(in_from_w_[v]);
-    return InU(v) ? d : -d;
+    const std::int64_t d = static_cast<std::int64_t>(agg_[v].out_to_u) -
+                           static_cast<std::int64_t>(agg_[v].in_from_w);
+    return (agg_[v].deg & kSideBit) ? d : -d;
   }
 
   // Current cut totals (kept in lockstep with switches).
@@ -68,13 +96,29 @@ class Partition {
   const std::vector<char>& Mask() const noexcept { return in_u_; }
 
  private:
-  const graph::AugmentedGraph* g_;
+  // Per-node aggregates, packed so the switch traversal's write and the
+  // subsequent gain recompute share a cache line. 16 bytes, 4 per line.
+  // The top bit of `deg` caches the node's side (set ⇔ v ∈ U), so the hot
+  // loops never take a second random access into in_u_ for a neighbor —
+  // in_u_ stays authoritative and is kept in lockstep at each switch.
+  static constexpr std::uint32_t kSideBit = 0x8000'0000u;
+  static constexpr std::uint32_t kDegMask = ~kSideBit;
+  struct NodeAggregates {
+    std::uint32_t deg = 0;            // friendship degree | side bit
+    std::uint32_t cross_friends = 0;  // friends on the other side
+    std::uint32_t out_to_u = 0;       // rejections cast onto U
+    std::uint32_t in_from_w = 0;      // rejections received from Ū
+  };
+
+  // Recomputes size_u_, the per-node aggregates and the cut totals from
+  // g_ and in_u_ (which must already be set and size-consistent).
+  void InitAggregates();
+
+  const graph::AugmentedGraph* g_ = nullptr;
   std::vector<char> in_u_;
   graph::NodeId size_u_ = 0;
 
-  std::vector<std::uint32_t> cross_friends_;
-  std::vector<std::uint32_t> in_from_w_;
-  std::vector<std::uint32_t> out_to_u_;
+  std::vector<NodeAggregates> agg_;
 
   std::uint64_t cross_friendships_ = 0;  // |F(Ū,U)|
   std::uint64_t rejections_into_u_ = 0;  // |R⃗(Ū,U)|

@@ -157,9 +157,10 @@ DistKlResult DistributedKl(const ShardedGraphStore& store,
     double best_cum = 0.0;
     std::size_t best_prefix = 0;
 
-    auto refresh = [&](graph::NodeId w) {
-      if (bl.Contains(w)) bl.Update(w, st.Gain(w, k));
-    };
+    // Adjust is the branch-light Contains+Update: absent nodes (locked or
+    // already switched) no-op, and a node only relinks when its quantized
+    // bucket actually changes.
+    auto refresh = [&](graph::NodeId w) { bl.Adjust(w, st.Gain(w, k)); };
     auto supplier = [&](std::size_t want, std::vector<graph::NodeId>& out) {
       bl.CollectTop(want, out);
     };

@@ -11,10 +11,11 @@ DistMaarResult SolveMaarDistributed(const graph::AugmentedGraph& g,
                                     const detect::MaarConfig& config) {
   DistMaarResult result;
   auto runner = [&](const graph::AugmentedGraph& /*graph*/,
-                    std::vector<char> init, const std::vector<char>& locked,
-                    const detect::KlConfig& kl) {
-    DistKlResult r =
-        DistributedKl(store, std::move(init), locked, kl, cluster);
+                    const std::vector<char>& init,
+                    const std::vector<char>& locked,
+                    const detect::KlConfig& kl,
+                    detect::KlScratch* /*scratch*/) {
+    DistKlResult r = DistributedKl(store, init, locked, kl, cluster);
     result.io.fetch_requests += r.io.fetch_requests;
     result.io.nodes_fetched += r.io.nodes_fetched;
     result.io.bytes_transferred += r.io.bytes_transferred;

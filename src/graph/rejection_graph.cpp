@@ -1,7 +1,6 @@
 #include "graph/rejection_graph.h"
 
 #include <algorithm>
-#include <stdexcept>
 
 namespace rejecto::graph {
 
@@ -16,12 +15,6 @@ RejectionGraph::RejectionGraph(NodeId num_nodes,
       out_adj_(std::move(out_adj)),
       in_offsets_(std::move(in_offsets)),
       in_adj_(std::move(in_adj)) {}
-
-void RejectionGraph::CheckNode(NodeId u) const {
-  if (u >= num_nodes_) {
-    throw std::out_of_range("RejectionGraph: node id out of range");
-  }
-}
 
 bool RejectionGraph::HasArc(NodeId from, NodeId to) const {
   CheckNode(from);

@@ -6,7 +6,8 @@
 // collapsed to a single arc, as in the paper. Both adjacency directions are
 // materialized because the extended-KL gain computation needs a node's
 // rejectors *and* rejectees (§IV-D), and VoteTrust needs the request graph
-// in both directions.
+// in both directions. Bounds checks on the accessors are debug-only
+// (REJECTO_DCHECK) — Rejectors()/Rejectees() are on the KL hot path.
 #pragma once
 
 #include <cstddef>
@@ -14,12 +15,28 @@
 #include <vector>
 
 #include "graph/types.h"
+#include "util/dcheck.h"
 
 namespace rejecto::graph {
 
 class RejectionGraph {
  public:
   RejectionGraph() = default;
+
+  // Freezes already-valid CSR arrays: both offset arrays sized
+  // num_nodes + 1 and monotone from 0, rows sorted, and the in-adjacency an
+  // exact mirror of the (deduplicated, self-loop-free) out-adjacency.
+  // Preconditions are NOT validated — raw path for CSR filtering
+  // (graph::InducedSubgraph); everything else goes through GraphBuilder.
+  static RejectionGraph FromCsr(NodeId num_nodes,
+                                std::vector<std::size_t> out_offsets,
+                                std::vector<NodeId> out_adj,
+                                std::vector<std::size_t> in_offsets,
+                                std::vector<NodeId> in_adj) {
+    return RejectionGraph(num_nodes, std::move(out_offsets),
+                          std::move(out_adj), std::move(in_offsets),
+                          std::move(in_adj));
+  }
 
   NodeId NumNodes() const noexcept { return num_nodes_; }
   EdgeId NumArcs() const noexcept { return num_arcs_; }
@@ -61,7 +78,9 @@ class RejectionGraph {
                  std::vector<std::size_t> in_offsets,
                  std::vector<NodeId> in_adj);
 
-  void CheckNode(NodeId u) const;
+  void CheckNode([[maybe_unused]] NodeId u) const {
+    REJECTO_DCHECK(u < num_nodes_, "RejectionGraph: node id out of range");
+  }
 
   NodeId num_nodes_ = 0;
   EdgeId num_arcs_ = 0;

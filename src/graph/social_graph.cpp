@@ -1,7 +1,6 @@
 #include "graph/social_graph.h"
 
 #include <algorithm>
-#include <stdexcept>
 
 namespace rejecto::graph {
 
@@ -14,12 +13,6 @@ SocialGraph::SocialGraph(NodeId num_nodes, std::vector<std::size_t> offsets,
   for (NodeId u = 0; u < num_nodes_; ++u) {
     max_degree_ = std::max(
         max_degree_, static_cast<std::uint32_t>(offsets_[u + 1] - offsets_[u]));
-  }
-}
-
-void SocialGraph::CheckNode(NodeId u) const {
-  if (u >= num_nodes_) {
-    throw std::out_of_range("SocialGraph: node id out of range");
   }
 }
 

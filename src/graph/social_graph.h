@@ -3,7 +3,11 @@
 // Nodes are dense ids [0, NumNodes()). Neighbor lists are sorted, enabling
 // O(log deg) membership tests and cache-friendly scans. Construction goes
 // through graph::GraphBuilder, which deduplicates edges and removes
-// self-loops.
+// self-loops, or — for callers that already hold a valid CSR, like the
+// induced-subgraph compaction — through the unchecked FromCsr factory.
+// Bounds checks on the accessors are debug-only (REJECTO_DCHECK):
+// Degree()/Neighbors() sit inside the innermost KL loops and must compile
+// to straight offset arithmetic in Release.
 #pragma once
 
 #include <cstddef>
@@ -11,12 +15,26 @@
 #include <vector>
 
 #include "graph/types.h"
+#include "util/dcheck.h"
 
 namespace rejecto::graph {
 
 class SocialGraph {
  public:
   SocialGraph() = default;
+
+  // Freezes an already-valid CSR: offsets.size() == num_nodes + 1,
+  // offsets[0] == 0, offsets monotone with offsets[num_nodes] ==
+  // adjacency.size(), each row sorted and self-loop-free, and every edge
+  // present in both endpoint rows (adjacency.size() is even). Preconditions
+  // are NOT validated — this is the raw path for code that filters an
+  // existing graph's CSR (graph::InducedSubgraph); everything else should
+  // go through GraphBuilder.
+  static SocialGraph FromCsr(NodeId num_nodes,
+                             std::vector<std::size_t> offsets,
+                             std::vector<NodeId> adjacency) {
+    return SocialGraph(num_nodes, std::move(offsets), std::move(adjacency));
+  }
 
   NodeId NumNodes() const noexcept { return num_nodes_; }
   EdgeId NumEdges() const noexcept { return num_edges_; }
@@ -46,7 +64,9 @@ class SocialGraph {
   SocialGraph(NodeId num_nodes, std::vector<std::size_t> offsets,
               std::vector<NodeId> adjacency);
 
-  void CheckNode(NodeId u) const;
+  void CheckNode([[maybe_unused]] NodeId u) const {
+    REJECTO_DCHECK(u < num_nodes_, "SocialGraph: node id out of range");
+  }
 
   NodeId num_nodes_ = 0;
   EdgeId num_edges_ = 0;

@@ -1,13 +1,39 @@
 #include "graph/subgraph.h"
 
+#include <cstddef>
+#include <functional>
 #include <stdexcept>
+#include <utility>
 
-#include "graph/builder.h"
+#include "util/thread_pool.h"
 
 namespace rejecto::graph {
 
+namespace {
+
+// Runs fn(i) for i in [0, n), on the pool when one is given.
+void ForEachNode(util::ThreadPool* pool, std::size_t n,
+                 const std::function<void(std::size_t)>& fn) {
+  if (pool != nullptr && pool->size() > 1) {
+    pool->ParallelFor(n, fn);
+  } else {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+  }
+}
+
+// offsets[i+1] holds the count for new node i on entry; exclusive prefix
+// sum in place turns it into a CSR offset array.
+void PrefixSum(std::vector<std::size_t>& offsets) {
+  for (std::size_t i = 1; i < offsets.size(); ++i) {
+    offsets[i] += offsets[i - 1];
+  }
+}
+
+}  // namespace
+
 CompactedGraph InducedSubgraph(const AugmentedGraph& g,
-                               const std::vector<char>& keep) {
+                               const std::vector<char>& keep,
+                               util::ThreadPool* pool) {
   if (keep.size() != g.NumNodes()) {
     throw std::invalid_argument("InducedSubgraph: mask size mismatch");
   }
@@ -19,22 +45,57 @@ CompactedGraph InducedSubgraph(const AugmentedGraph& g,
       out.parent_id.push_back(u);
     }
   }
-  GraphBuilder builder(static_cast<NodeId>(out.parent_id.size()));
-  const auto& fr = g.Friendships();
-  for (NodeId u = 0; u < g.NumNodes(); ++u) {
-    if (!keep[u]) continue;
+  const std::size_t m = out.parent_id.size();
+  const SocialGraph& fr = g.Friendships();
+  const RejectionGraph& rej = g.Rejections();
+
+  std::vector<std::size_t> fr_off(m + 1, 0);
+  std::vector<std::size_t> out_off(m + 1, 0);
+  std::vector<std::size_t> in_off(m + 1, 0);
+  ForEachNode(pool, m, [&](std::size_t nid) {
+    const NodeId u = out.parent_id[nid];
+    std::size_t c = 0;
+    for (NodeId v : fr.Neighbors(u)) c += keep[v] != 0;
+    fr_off[nid + 1] = c;
+    c = 0;
+    for (NodeId v : rej.Rejectees(u)) c += keep[v] != 0;
+    out_off[nid + 1] = c;
+    c = 0;
+    for (NodeId v : rej.Rejectors(u)) c += keep[v] != 0;
+    in_off[nid + 1] = c;
+  });
+  PrefixSum(fr_off);
+  PrefixSum(out_off);
+  PrefixSum(in_off);
+
+  std::vector<NodeId> fr_adj(fr_off[m]);
+  std::vector<NodeId> out_adj(out_off[m]);
+  std::vector<NodeId> in_adj(in_off[m]);
+  // new_id is monotone in the old id and the source rows are sorted, so
+  // each filtered row lands already sorted; the in-adjacency stays the
+  // exact mirror of the out-adjacency because both sides drop the same
+  // arcs. Rows are disjoint ranges, so block-parallel fills don't race.
+  ForEachNode(pool, m, [&](std::size_t nid) {
+    const NodeId u = out.parent_id[nid];
+    std::size_t w = fr_off[nid];
     for (NodeId v : fr.Neighbors(u)) {
-      if (u < v && keep[v]) builder.AddFriendship(new_id[u], new_id[v]);
+      if (keep[v]) fr_adj[w++] = new_id[v];
     }
-  }
-  const auto& rej = g.Rejections();
-  for (NodeId u = 0; u < g.NumNodes(); ++u) {
-    if (!keep[u]) continue;
+    w = out_off[nid];
     for (NodeId v : rej.Rejectees(u)) {
-      if (keep[v]) builder.AddRejection(new_id[u], new_id[v]);
+      if (keep[v]) out_adj[w++] = new_id[v];
     }
-  }
-  out.graph = builder.BuildAugmented();
+    w = in_off[nid];
+    for (NodeId v : rej.Rejectors(u)) {
+      if (keep[v]) in_adj[w++] = new_id[v];
+    }
+  });
+
+  const NodeId num_new = static_cast<NodeId>(m);
+  out.graph = AugmentedGraph(
+      SocialGraph::FromCsr(num_new, std::move(fr_off), std::move(fr_adj)),
+      RejectionGraph::FromCsr(num_new, std::move(out_off), std::move(out_adj),
+                              std::move(in_off), std::move(in_adj)));
   return out;
 }
 

@@ -1,0 +1,26 @@
+// Debug-only invariant checks for hot paths.
+//
+// REJECTO_DCHECK compiles to nothing under NDEBUG (the default Release
+// build), so bounds checks that sit inside the innermost KL loops —
+// SocialGraph::Degree/Neighbors, RejectionGraph::Rejectors/Rejectees —
+// cost no branch in optimized builds. Debug builds keep the historical
+// contract: a failed check throws std::out_of_range, which the graph
+// bounds-check tests assert.
+#pragma once
+
+#ifdef NDEBUG
+
+#define REJECTO_DCHECK(cond, msg) ((void)0)
+
+#else  // !NDEBUG
+
+#include <stdexcept>
+
+#define REJECTO_DCHECK(cond, msg) \
+  do {                            \
+    if (!(cond)) {                \
+      throw std::out_of_range(msg); \
+    }                             \
+  } while (0)
+
+#endif  // NDEBUG

@@ -49,6 +49,12 @@ void ThreadPool::WorkerLoop() {
 
 void ThreadPool::ParallelFor(std::size_t n,
                              const std::function<void(std::size_t)>& fn) {
+  ParallelFor(n, std::function<void(std::size_t, std::size_t)>(
+                     [&fn](std::size_t, std::size_t i) { fn(i); }));
+}
+
+void ThreadPool::ParallelFor(
+    std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn) {
   if (n == 0) return;
   const std::size_t blocks = std::min(n, size());
   const std::size_t chunk = (n + blocks - 1) / blocks;
@@ -58,8 +64,8 @@ void ThreadPool::ParallelFor(std::size_t n,
     const std::size_t lo = b * chunk;
     const std::size_t hi = std::min(n, lo + chunk);
     if (lo >= hi) break;
-    futs.push_back(Submit([lo, hi, &fn] {
-      for (std::size_t i = lo; i < hi; ++i) fn(i);
+    futs.push_back(Submit([b, lo, hi, &fn] {
+      for (std::size_t i = lo; i < hi; ++i) fn(b, i);
     }));
   }
   // Wait for every block before rethrowing: the tasks capture `fn` by

@@ -1,0 +1,125 @@
+// Verifies the tentpole "zero heap allocations in the steady-state pass
+// loop" claim with a counting global allocator: once a KlScratch has been
+// warmed on a graph, a second ExtendedKl run on the same graph may allocate
+// only the returned result mask (≤ 2 allocations end to end, nothing per
+// pass or per switch). Lives in its own test binary because the operator
+// new/delete replacements are global.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include "detect/extended_kl.h"
+#include "graph/builder.h"
+#include "util/rng.h"
+
+namespace {
+std::atomic<std::uint64_t> g_allocations{0};
+
+void* CountedAlloc(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size == 0 ? 1 : size);
+}
+
+void* CountedAlignedAlloc(std::size_t size, std::size_t align) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t padded = (size + align - 1) / align * align;
+  return std::aligned_alloc(align, padded == 0 ? align : padded);
+}
+}  // namespace
+
+void* operator new(std::size_t size) {
+  if (void* p = CountedAlloc(size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) {
+  if (void* p = CountedAlloc(size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return CountedAlloc(size);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return CountedAlloc(size);
+}
+void* operator new(std::size_t size, std::align_val_t align) {
+  if (void* p = CountedAlignedAlloc(size, static_cast<std::size_t>(align))) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  if (void* p = CountedAlignedAlloc(size, static_cast<std::size_t>(align))) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace rejecto::detect {
+namespace {
+
+graph::AugmentedGraph BuildGraph(graph::NodeId n, util::Rng& rng) {
+  graph::GraphBuilder b(n);
+  for (std::size_t e = 0; e < static_cast<std::size_t>(4) * n; ++e) {
+    const auto u = static_cast<graph::NodeId>(rng.NextUInt(n));
+    auto v = static_cast<graph::NodeId>(rng.NextUInt(n));
+    if (u == v) v = (v + 1) % n;
+    b.AddFriendship(u, v);
+    if (rng.NextBool(0.4)) b.AddRejection(u, v);
+  }
+  return b.BuildAugmented();
+}
+
+TEST(KlAllocationTest, SteadyStateRunAllocatesOnlyTheResultMask) {
+  util::Rng rng(17);
+  const graph::NodeId n = 200;
+  const auto g = BuildGraph(n, rng);
+  std::vector<char> init(n, 0);
+  for (auto& c : init) c = rng.NextBool(0.3) ? 1 : 0;
+  const std::vector<char> locked;
+  const KlConfig cfg{.k = 1.0};
+
+  KlScratch scratch;
+  const auto warm = ExtendedKl(g, init, locked, cfg, &scratch);
+  ASSERT_GT(warm.stats.passes, 0);
+
+  const std::uint64_t before = g_allocations.load(std::memory_order_relaxed);
+  const auto second = ExtendedKl(g, init, locked, cfg, &scratch);
+  const std::uint64_t delta =
+      g_allocations.load(std::memory_order_relaxed) - before;
+
+  // The workspace is warm: partition arrays, bucket arrays, seq and touched
+  // all reuse capacity, so the entire call may allocate at most the
+  // returned mask copy (one vector, counted once; allow one spare for the
+  // result's move-out).
+  EXPECT_LE(delta, 2u) << "steady-state ExtendedKl allocated " << delta
+                       << " times";
+  EXPECT_EQ(second.in_u, warm.in_u);
+  EXPECT_EQ(second.cut.cross_friendships, warm.cut.cross_friendships);
+  EXPECT_EQ(second.cut.rejections_into_u, warm.cut.rejections_into_u);
+}
+
+TEST(KlAllocationTest, CounterObservesOrdinaryAllocations) {
+  const std::uint64_t before = g_allocations.load(std::memory_order_relaxed);
+  std::vector<int>* v = new std::vector<int>(100);
+  delete v;
+  EXPECT_GT(g_allocations.load(std::memory_order_relaxed), before);
+}
+
+}  // namespace
+}  // namespace rejecto::detect

@@ -9,6 +9,8 @@
 #include "graph/rejection_graph.h"
 #include "graph/social_graph.h"
 #include "graph/subgraph.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace rejecto::graph {
 namespace {
@@ -81,6 +83,10 @@ TEST(SocialGraphTest, HasEdgeSymmetric) {
   EXPECT_FALSE(g.HasEdge(0, 2));
 }
 
+// Accessor bounds checks are REJECTO_DCHECKs: they throw in debug builds
+// and compile out entirely under NDEBUG (Release), so the contract is only
+// testable when NDEBUG is off.
+#ifndef NDEBUG
 TEST(SocialGraphTest, OutOfRangeNodeThrows) {
   GraphBuilder b(2);
   b.AddFriendship(0, 1);
@@ -89,6 +95,7 @@ TEST(SocialGraphTest, OutOfRangeNodeThrows) {
   EXPECT_THROW(g.Neighbors(9), std::out_of_range);
   EXPECT_THROW((void)g.HasEdge(0, 5), std::out_of_range);
 }
+#endif  // NDEBUG
 
 TEST(SocialGraphTest, EdgesReportsEachOnceNormalized) {
   GraphBuilder b(4);
@@ -168,6 +175,7 @@ TEST(RejectionGraphTest, ArcsEnumerationMatchesCount) {
   EXPECT_EQ(r.Arcs().size(), r.NumArcs());
 }
 
+#ifndef NDEBUG
 TEST(RejectionGraphTest, OutOfRangeThrows) {
   GraphBuilder b(2);
   b.AddRejection(0, 1);
@@ -175,6 +183,7 @@ TEST(RejectionGraphTest, OutOfRangeThrows) {
   EXPECT_THROW(r.Rejectors(5), std::out_of_range);
   EXPECT_THROW(r.InDegree(2), std::out_of_range);
 }
+#endif  // NDEBUG
 
 // ---------- AugmentedGraph ----------
 
@@ -292,6 +301,110 @@ TEST(SubgraphTest, ParentIdsMapBack) {
   EXPECT_EQ(c.parent_id, (std::vector<NodeId>{1, 3, 4}));
   // Edge 3-4 in the parent is 1-2 in the child.
   EXPECT_TRUE(c.graph.Friendships().HasEdge(1, 2));
+}
+
+// Reference compaction through GraphBuilder — the implementation the CSR
+// filter replaced. The builder path re-sorts and re-deduplicates, so
+// agreement here proves the filter preserves the full CSR contract.
+CompactedGraph BuilderInducedSubgraph(const AugmentedGraph& g,
+                                      const std::vector<char>& keep) {
+  std::vector<NodeId> new_id(g.NumNodes(), kInvalidNode);
+  CompactedGraph out;
+  for (NodeId u = 0; u < g.NumNodes(); ++u) {
+    if (keep[u]) {
+      new_id[u] = static_cast<NodeId>(out.parent_id.size());
+      out.parent_id.push_back(u);
+    }
+  }
+  GraphBuilder builder(static_cast<NodeId>(out.parent_id.size()));
+  const auto& fr = g.Friendships();
+  for (NodeId u = 0; u < g.NumNodes(); ++u) {
+    if (!keep[u]) continue;
+    for (NodeId v : fr.Neighbors(u)) {
+      if (u < v && keep[v]) builder.AddFriendship(new_id[u], new_id[v]);
+    }
+  }
+  const auto& rej = g.Rejections();
+  for (NodeId u = 0; u < g.NumNodes(); ++u) {
+    if (!keep[u]) continue;
+    for (NodeId v : rej.Rejectees(u)) {
+      if (keep[v]) builder.AddRejection(new_id[u], new_id[v]);
+    }
+  }
+  out.graph = builder.BuildAugmented();
+  return out;
+}
+
+// Full structural equality, not just counts: per-node adjacency in both
+// graphs and both rejection directions, plus the cached degree maxima the
+// KL gain bound depends on.
+void ExpectSameCompaction(const CompactedGraph& a, const CompactedGraph& b) {
+  ASSERT_EQ(a.parent_id, b.parent_id);
+  ASSERT_EQ(a.graph.NumNodes(), b.graph.NumNodes());
+  const auto& fa = a.graph.Friendships();
+  const auto& fb = b.graph.Friendships();
+  ASSERT_EQ(fa.NumEdges(), fb.NumEdges());
+  EXPECT_EQ(fa.MaxDegree(), fb.MaxDegree());
+  EXPECT_EQ(a.graph.MaxFriendshipDegree(), b.graph.MaxFriendshipDegree());
+  EXPECT_EQ(a.graph.MaxRejectionDegree(), b.graph.MaxRejectionDegree());
+  const auto& ra = a.graph.Rejections();
+  const auto& rb = b.graph.Rejections();
+  ASSERT_EQ(ra.NumArcs(), rb.NumArcs());
+  for (NodeId v = 0; v < a.graph.NumNodes(); ++v) {
+    ASSERT_TRUE(std::equal(fa.Neighbors(v).begin(), fa.Neighbors(v).end(),
+                           fb.Neighbors(v).begin(), fb.Neighbors(v).end()))
+        << "friend row " << v;
+    ASSERT_TRUE(std::equal(ra.Rejectees(v).begin(), ra.Rejectees(v).end(),
+                           rb.Rejectees(v).begin(), rb.Rejectees(v).end()))
+        << "rejectee row " << v;
+    ASSERT_TRUE(std::equal(ra.Rejectors(v).begin(), ra.Rejectors(v).end(),
+                           rb.Rejectors(v).begin(), rb.Rejectors(v).end()))
+        << "rejector row " << v;
+  }
+}
+
+AugmentedGraph RandomAugmentedForSubgraph(NodeId n, EdgeId edges,
+                                          std::size_t arcs, util::Rng& rng) {
+  GraphBuilder b(n);
+  for (EdgeId e = 0; e < edges; ++e) {
+    const auto u = static_cast<NodeId>(rng.NextUInt(n));
+    auto v = static_cast<NodeId>(rng.NextUInt(n));
+    if (u == v) v = (v + 1) % n;
+    b.AddFriendship(u, v);
+  }
+  for (std::size_t i = 0; i < arcs; ++i) {
+    const auto u = static_cast<NodeId>(rng.NextUInt(n));
+    auto v = static_cast<NodeId>(rng.NextUInt(n));
+    if (u == v) v = (v + 1) % n;
+    b.AddRejection(u, v);
+  }
+  return b.BuildAugmented();
+}
+
+TEST(SubgraphTest, CsrFilterMatchesBuilderOnRandomMasks) {
+  util::Rng rng(99);
+  const AugmentedGraph g = RandomAugmentedForSubgraph(60, 200, 150, rng);
+  for (int trial = 0; trial < 110; ++trial) {
+    std::vector<char> keep(g.NumNodes(), 0);
+    const double p = rng.NextDouble();  // densities from ~empty to ~full
+    for (auto& c : keep) c = rng.NextBool(p) ? 1 : 0;
+    const CompactedGraph csr = InducedSubgraph(g, keep);
+    const CompactedGraph ref = BuilderInducedSubgraph(g, keep);
+    ExpectSameCompaction(csr, ref);
+  }
+}
+
+TEST(SubgraphTest, PoolParityOnRandomMasks) {
+  util::Rng rng(123);
+  const AugmentedGraph g = RandomAugmentedForSubgraph(120, 500, 400, rng);
+  util::ThreadPool pool(4);
+  for (int trial = 0; trial < 25; ++trial) {
+    std::vector<char> keep(g.NumNodes(), 0);
+    for (auto& c : keep) c = rng.NextBool(0.6) ? 1 : 0;
+    const CompactedGraph serial = InducedSubgraph(g, keep, nullptr);
+    const CompactedGraph parallel = InducedSubgraph(g, keep, &pool);
+    ExpectSameCompaction(serial, parallel);
+  }
 }
 
 }  // namespace
