@@ -9,11 +9,19 @@
 // intervals of organic churn with a 200-account block compromised before
 // the last one.
 //
+// Each interval is driven through the streaming engine::EpochDetector (the
+// interval's request log replayed as a mutation stream, then one detection
+// epoch) with warm starts off, so the results are bit-identical to running
+// the batch pipeline on the interval's graph — pinned by
+// tests/integration_test.cpp (IntervalDetectionUnchangedUnderEpochDetector).
+//
 // Build & run:  cmake --build build && ./build/examples/interval_detection
 #include <cstdio>
 
 #include "detect/iterative.h"
+#include "engine/epoch_detector.h"
 #include "metrics/classification.h"
+#include "sim/stream_feed.h"
 #include "sim/temporal.h"
 #include "util/flags.h"
 #include "util/rng.h"
@@ -34,7 +42,6 @@ int main() {
 
   for (int interval = 0; interval < cfg.num_intervals; ++interval) {
     const auto& log = scenario.intervals[static_cast<std::size_t>(interval)];
-    const auto g = log.BuildAugmentedGraph();
 
     // A few known-good accounts pin the KL search away from legit-region
     // cuts (SIV-F); termination is the acceptance-rate threshold (SIV-E) —
@@ -46,16 +53,23 @@ int main() {
         seeds.legit.push_back(static_cast<graph::NodeId>(v));
       }
     }
-    detect::IterativeConfig dcfg;
-    dcfg.target_detections = 0;
-    dcfg.acceptance_rate_threshold = 0.40;
+    engine::EpochConfig ecfg;
+    ecfg.detect.target_detections = 0;
+    ecfg.detect.acceptance_rate_threshold = 0.40;
     // Compromised accounts are a small minority; the provider encodes that
     // prior as a cap on the suspicious region, which rules out spurious
     // wide cuts in otherwise-clean intervals.
-    dcfg.maar.max_region_fraction = 0.2;
-    dcfg.maar.seed = 31;
-    dcfg.maar.num_threads = util::ThreadCount();  // REJECTO_THREADS, 0=auto
-    const auto result = detect::DetectFriendSpammers(g, seeds, dcfg);
+    ecfg.detect.maar.max_region_fraction = 0.2;
+    ecfg.detect.maar.seed = 31;
+    ecfg.detect.maar.num_threads = util::ThreadCount();  // REJECTO_THREADS
+    ecfg.warm_start = false;  // keep batch-identical results per interval
+    ecfg.events_per_epoch = 0;  // one explicit epoch per interval
+
+    // Replay the interval's requests as a mutation stream, then detect.
+    engine::EpochDetector detector(cfg.num_users, seeds, ecfg);
+    detector.IngestAll(sim::ToMutationLog(log).Events());
+    detector.RunEpoch();
+    const auto& result = detector.LastResult();
 
     const auto cm =
         metrics::EvaluateDetection(scenario.is_compromised, result.detected);

@@ -1,0 +1,87 @@
+// Continuous detection over a live event stream (paper §III, §V).
+//
+// An OSN does not hand Rejecto a frozen graph: friend requests,
+// acceptances, rejections, and account removals arrive continuously. This
+// example feeds a churned event stream (duplicates, reordering,
+// accept-after-reject flips, node removals) into engine::EpochDetector,
+// which absorbs events into a stream::DeltaGraph overlay, compacts it into
+// fresh CSRs as it grows, and re-runs the full iterative pipeline every
+// `events_per_epoch` events — warm-starting each epoch's MAAR sweep from
+// the previous epoch's cut.
+//
+// Self-checking: exits nonzero if the final epoch's precision regresses or
+// the streamed graph diverges from batch-building the same events.
+//
+// Build & run:  cmake --build build && ./build/examples/streaming_detect
+#include <cstdio>
+
+#include "engine/epoch_detector.h"
+#include "gen/holme_kim.h"
+#include "metrics/classification.h"
+#include "sim/scenario.h"
+#include "sim/stream_feed.h"
+#include "util/flags.h"
+
+int main() {
+  using namespace rejecto;
+
+  // The paper's attack overlaid on an organic graph, then serialized as an
+  // adversarially messy event stream.
+  util::Rng rng(util::ExperimentSeed());
+  const auto legit = gen::HolmeKim(
+      {.num_nodes = 2'000, .edges_per_node = 4, .triad_probability = 0.5},
+      rng);
+  sim::ScenarioConfig cfg;
+  cfg.seed = util::ExperimentSeed() + 1;
+  cfg.num_fakes = 400;
+  const auto scenario = sim::BuildScenario(legit, cfg);
+  util::Rng seed_rng(23);
+  const auto seeds = scenario.SampleSeeds(20, 8, seed_rng);
+  sim::ChurnConfig churn;
+  churn.seed = util::ExperimentSeed() + 2;
+  const auto log = sim::GenerateChurnLog(scenario.log, churn);
+
+  engine::EpochConfig ecfg;
+  ecfg.detect.target_detections = cfg.num_fakes;
+  ecfg.detect.maar.seed = 31;
+  ecfg.detect.maar.num_threads = util::ThreadCount();  // REJECTO_THREADS
+  ecfg.events_per_epoch = log.NumEvents() / 3 + 1;     // ~3 epochs
+  engine::EpochDetector detector(log.NumNodes(), seeds, ecfg);
+
+  std::printf("streaming %zu events over %u accounts...\n\n",
+              log.NumEvents(), log.NumNodes());
+  detector.IngestAll(log.Events());
+  detector.RunEpoch();  // drain the tail
+
+  for (const auto& e : detector.History()) {
+    std::printf(
+        "epoch %d (%s): %llu events (%llu no-op), %llu compactions, "
+        "ingest %.3fs, detect %.3fs, %zu flagged, %d rounds, cut ratios:",
+        e.epoch, e.warm_started ? "warm" : "cold",
+        static_cast<unsigned long long>(e.events_absorbed),
+        static_cast<unsigned long long>(e.events_noop),
+        static_cast<unsigned long long>(e.compactions),
+        e.ingest_seconds, e.detect_seconds, e.num_detected, e.rounds);
+    for (double r : e.round_ratios) std::printf(" %.4f", r);
+    std::printf("\n");
+  }
+
+  // Divergence guard: the streamed graph must equal batch construction.
+  if (detector.Graph().Graph() != log.BuildAugmentedGraph()) {
+    std::printf("\nFAIL: streamed graph diverged from batch construction\n");
+    return 1;
+  }
+
+  const auto cm = metrics::EvaluateDetection(scenario.is_fake,
+                                             detector.LastResult().detected);
+  std::printf("\nfinal epoch: precision %.3f, recall %.3f\n", cm.Precision(),
+              cm.Recall());
+  std::printf(
+      "Expected: later epochs warm-start from the previous cut and finish"
+      " with far fewer KL runs; the final precision stays near-perfect.\n");
+  if (cm.Precision() < 0.9) {
+    std::printf("FAIL: streaming detection precision regressed below 0.9\n");
+    return 1;
+  }
+  return 0;
+}

@@ -41,6 +41,10 @@ MaarSolver::MaarSolver(const graph::AugmentedGraph& g, Seeds seeds,
   if (!kl_runner_) {
     throw std::invalid_argument("MaarSolver: null KL runner");
   }
+  if (!config_.extra_init.empty() &&
+      config_.extra_init.size() != g.NumNodes()) {
+    throw std::invalid_argument("MaarSolver: extra_init size mismatch");
+  }
   locked_ = BuildLockedMask(g.NumNodes(), seeds_);
 }
 
@@ -65,6 +69,14 @@ std::vector<std::vector<char>> MaarSolver::InitialPartitions(
     }
     ApplySeedPlacement(mask, seeds_);
     inits.push_back(std::move(mask));
+  }
+
+  // Caller-provided warm mask (e.g. the previous epoch's cut), appended
+  // last so the sweep's deterministic reduction order is unchanged.
+  if (!config_.extra_init.empty()) {
+    std::vector<char> warm = config_.extra_init;
+    ApplySeedPlacement(warm, seeds_);
+    inits.push_back(std::move(warm));
   }
   return inits;
 }

@@ -65,6 +65,14 @@ struct MaarConfig {
 
   KlConfig kl;  // kl.k is overwritten by the sweep
 
+  // Optional extra initial partition appended (after the heuristic and the
+  // random inits) to every k cell of the sweep — the streaming engine's
+  // warm start injects the previous epoch's cut mask here. Must be empty or
+  // sized to the graph's node count; seed placement is forced onto it like
+  // any other init. Appending at a fixed position keeps the reduction order
+  // deterministic, so thread count still cannot change the winner.
+  std::vector<char> extra_init;
+
   std::uint64_t seed = 1;
 
   // Worker threads for the (k × init) grid: 0 = util::HardwareThreads(),

@@ -1,0 +1,141 @@
+#include "engine/epoch_detector.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "detect/maar.h"
+#include "graph/builder.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace rejecto::engine {
+
+EpochDetector::EpochDetector(graph::AugmentedGraph base, detect::Seeds seeds,
+                             EpochConfig config)
+    : delta_(std::move(base), config.delta),
+      seeds_(std::move(seeds)),
+      config_(std::move(config)) {
+  seeds_.Validate(delta_.NumNodes());
+  const int threads = detect::EffectiveThreads(config_.detect.maar.num_threads);
+  if (threads > 1) {
+    pool_ = std::make_shared<util::ThreadPool>(
+        static_cast<std::size_t>(threads));
+  }
+  delta_.SetPool(pool_.get());
+}
+
+EpochDetector::EpochDetector(graph::NodeId num_nodes, detect::Seeds seeds,
+                             EpochConfig config)
+    : EpochDetector(graph::GraphBuilder(num_nodes).BuildAugmented(),
+                    std::move(seeds), std::move(config)) {}
+
+EpochDetector::~EpochDetector() = default;
+
+const EpochStats* EpochDetector::Ingest(const stream::Event& e) {
+  util::WallTimer timer;
+  delta_.Apply(e);
+  pending_ingest_seconds_ += timer.Seconds();
+  ++pending_events_;
+  if (config_.events_per_epoch > 0 &&
+      pending_events_ >= config_.events_per_epoch) {
+    return &RunEpoch();
+  }
+  return nullptr;
+}
+
+std::size_t EpochDetector::IngestAll(std::span<const stream::Event> events) {
+  std::size_t epochs = 0;
+  for (const stream::Event& e : events) {
+    if (Ingest(e) != nullptr) ++epochs;
+  }
+  return epochs;
+}
+
+const EpochStats& EpochDetector::RunEpoch() {
+  EpochStats stats;
+  stats.epoch = static_cast<int>(history_.size());
+  stats.events_absorbed = pending_events_;
+  stats.ingest_seconds = pending_ingest_seconds_;
+  stats.events_noop = delta_.Stats().events_noop - noop_at_last_epoch_;
+
+  // Detection consumes the immutable CSR base, so fold the overlay first.
+  util::WallTimer compact_timer;
+  delta_.Compact();
+  stats.compact_seconds = compact_timer.Seconds();
+  stats.compactions = delta_.Stats().compactions - compactions_at_last_epoch_;
+
+  const graph::AugmentedGraph& g = delta_.Graph();
+  const bool warm = config_.warm_start && has_prev_ && prev_k_ > 0.0 &&
+                    std::isfinite(prev_k_);
+  stats.warm_started = warm;
+
+  // One runner for every round; warm narrowing applies to round 0 only (the
+  // later rounds run on pruned residual graphs the previous epoch never
+  // saw). With warm off this runner is exactly the batch pipeline's.
+  int round = 0;
+  std::vector<char> warm_mask;
+  if (warm) {
+    warm_mask = prev_mask_;
+    warm_mask.resize(g.NumNodes(), 0);  // nodes that joined since last epoch
+  }
+  const auto runner = [&](const graph::AugmentedGraph& residual,
+                          const detect::Seeds& s,
+                          const detect::MaarConfig& maar) {
+    detect::MaarConfig cell = maar;
+    if (round++ == 0 && warm) {
+      cell.extra_init = warm_mask;
+      cell.num_random_inits = config_.warm_random_inits;
+      double lo = prev_k_;
+      double hi = prev_k_;
+      for (int i = 0; i < config_.warm_k_halo; ++i) {
+        lo /= maar.k_scale;
+        hi *= maar.k_scale;
+      }
+      cell.k_min = std::max(maar.k_min, lo);
+      cell.k_max = std::min(maar.k_max, hi);
+      if (cell.k_min > cell.k_max) {  // prev k drifted outside the grid
+        cell.k_min = maar.k_min;
+        cell.k_max = maar.k_max;
+      }
+    }
+    detect::MaarSolver solver(residual, s, cell);
+    return solver.Solve(pool_.get());
+  };
+
+  util::WallTimer detect_timer;
+  detect::DetectionResult result =
+      detect::DetectFriendSpammers(g, seeds_, config_.detect, runner,
+                                   pool_.get());
+  stats.detect_seconds = detect_timer.Seconds();
+
+  stats.num_detected = result.detected.size();
+  stats.rounds = static_cast<int>(result.rounds.size());
+  stats.total_kl_runs = result.total_kl_runs;
+  stats.total_switches = result.total_switches;
+  for (const detect::RoundInfo& r : result.rounds) {
+    stats.round_ratios.push_back(r.ratio);
+  }
+  if (!result.rounds.empty()) {
+    stats.first_round_ratio = result.rounds.front().ratio;
+    stats.first_round_acceptance = result.rounds.front().acceptance_rate;
+    // Round 0 runs on the full graph, so its pre-trim detected ids are
+    // graph ids — the next epoch's warm mask.
+    prev_mask_.assign(g.NumNodes(), 0);
+    for (graph::NodeId v : result.rounds.front().detected) {
+      prev_mask_[v] = 1;
+    }
+    prev_k_ = result.rounds.front().k;
+    has_prev_ = true;
+  }
+
+  last_ = std::move(result);
+  pending_events_ = 0;
+  pending_ingest_seconds_ = 0.0;
+  noop_at_last_epoch_ = delta_.Stats().events_noop;
+  compactions_at_last_epoch_ = delta_.Stats().compactions;
+  history_.push_back(std::move(stats));
+  return history_.back();
+}
+
+}  // namespace rejecto::engine

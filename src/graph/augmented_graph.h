@@ -67,6 +67,11 @@ class AugmentedGraph {
   // U = { u : in_u[u] }. Precondition: in_u.size() == NumNodes().
   CutQuantities ComputeCut(const std::vector<char>& in_u) const;
 
+  // Structural equality: both CSR graphs byte-identical (the streaming
+  // differential invariant — replay + compaction vs batch construction).
+  friend bool operator==(const AugmentedGraph&, const AugmentedGraph&) =
+      default;
+
  private:
   SocialGraph friendships_;
   RejectionGraph rejections_;

@@ -71,6 +71,10 @@ class RejectionGraph {
   // All arcs in (from, to) lexicographic order.
   std::vector<Arc> Arcs() const;
 
+  // Structural equality on the CSR arrays (see SocialGraph::operator==).
+  friend bool operator==(const RejectionGraph&, const RejectionGraph&) =
+      default;
+
  private:
   friend class GraphBuilder;
   RejectionGraph(NodeId num_nodes, std::vector<std::size_t> out_offsets,

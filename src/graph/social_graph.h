@@ -59,6 +59,12 @@ class SocialGraph {
 
   std::uint32_t MaxDegree() const noexcept { return max_degree_; }
 
+  // Structural equality: identical node count AND identical CSR arrays.
+  // Because rows are sorted and deduplicated, two graphs over the same edge
+  // set always compare equal — this is the "byte-identical" check the
+  // streaming differential harness relies on.
+  friend bool operator==(const SocialGraph&, const SocialGraph&) = default;
+
  private:
   friend class GraphBuilder;
   SocialGraph(NodeId num_nodes, std::vector<std::size_t> offsets,

@@ -1,0 +1,98 @@
+#include "sim/stream_feed.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace rejecto::sim {
+
+stream::MutationLog ToMutationLog(const RequestLog& log) {
+  stream::MutationLog out(log.NumNodes());
+  for (const FriendRequest& r : log.Requests()) {
+    if (r.response == Response::kAccepted) {
+      out.Accept(r.sender, r.receiver);
+    } else {
+      out.Reject(r.sender, r.receiver);
+    }
+  }
+  return out;
+}
+
+stream::MutationLog GenerateChurnLog(const RequestLog& log,
+                                     const ChurnConfig& config) {
+  util::Rng rng(config.seed);
+  const stream::MutationLog base = ToMutationLog(log);
+  std::vector<stream::Event> events(base.Events().begin(),
+                                    base.Events().end());
+
+  // Local reordering: swap adjacent pairs. Requests between distinct pairs
+  // commute, so this exercises out-of-order delivery without changing the
+  // final edge set (the harness checks the perturbed log against its own
+  // oracle, so even non-commuting swaps would stay consistent).
+  for (std::size_t i = 0; i + 1 < events.size(); ++i) {
+    if (rng.NextBool(config.swap_fraction)) {
+      std::swap(events[i], events[i + 1]);
+    }
+  }
+
+  // Duplicates: re-deliver a copy of an event at a random later position.
+  const std::size_t original = events.size();
+  for (std::size_t i = 0; i < original; ++i) {
+    if (rng.NextBool(config.duplicate_fraction)) {
+      const std::size_t pos =
+          i + 1 + static_cast<std::size_t>(
+                      rng.NextUInt(static_cast<std::uint64_t>(
+                          events.size() - i)));
+      events.insert(events.begin() + static_cast<std::ptrdiff_t>(pos),
+                    events[i]);
+    }
+  }
+
+  // Response flips: a rejected pair later becomes friends anyway. Appended
+  // after the rejection so the stream carries both the arc and the edge.
+  std::vector<stream::Event> flips;
+  for (const stream::Event& e : events) {
+    if (e.type == stream::EventType::kReject &&
+        rng.NextBool(config.flip_fraction)) {
+      flips.push_back({stream::EventType::kAccept, e.u, e.v});
+    }
+  }
+  for (const stream::Event& f : flips) {
+    const std::size_t pos = static_cast<std::size_t>(
+        rng.NextUInt(static_cast<std::uint64_t>(events.size() + 1)));
+    // Only insert at/after the first occurrence of the matching reject so
+    // the accept really lands after it.
+    const auto it = std::find_if(
+        events.begin(), events.end(), [&](const stream::Event& e) {
+          return e.type == stream::EventType::kReject && e.u == f.u &&
+                 e.v == f.v;
+        });
+    const std::size_t lo =
+        static_cast<std::size_t>(it - events.begin()) + 1;
+    events.insert(events.begin() +
+                      static_cast<std::ptrdiff_t>(std::max(pos, lo)),
+                  f);
+  }
+
+  // Node removals at random positions. Later events may re-populate the
+  // node — exactly the churn shape the DeltaGraph must absorb.
+  if (base.NumNodes() > 0) {
+    for (int i = 0; i < config.num_removals; ++i) {
+      const graph::NodeId victim = static_cast<graph::NodeId>(
+          rng.NextUInt(static_cast<std::uint64_t>(base.NumNodes())));
+      const std::size_t pos = static_cast<std::size_t>(
+          rng.NextUInt(static_cast<std::uint64_t>(events.size() + 1)));
+      events.insert(
+          events.begin() + static_cast<std::ptrdiff_t>(pos),
+          {stream::EventType::kRemoveNode, victim, graph::kInvalidNode});
+    }
+  }
+
+  stream::MutationLog out(base.NumNodes());
+  for (const stream::Event& e : events) out.Append(e);
+  return out;
+}
+
+}  // namespace rejecto::sim

@@ -1,0 +1,49 @@
+// Bridges the batch simulator and the streaming subsystem.
+//
+// Scenarios produce a sim::RequestLog (every friend request with its
+// response); the streaming engine consumes a stream::MutationLog.
+// ToMutationLog is the lossless translation: accepted requests become
+// kAccept events, rejected requests become kReject events, in request
+// order, over the same node count — so replaying the translated log yields
+// exactly RequestLog::BuildAugmentedGraph()'s graph.
+//
+// GenerateChurnLog produces adversarial event streams for the differential
+// and property harnesses: it perturbs a translated request log with
+// duplicated events, out-of-order re-insertions, response flips
+// (reject-then-accept pairs), and node removals — the messy shapes a real
+// OSN feed has and the batch pipeline never sees.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/request_log.h"
+#include "stream/mutation_log.h"
+
+namespace rejecto::sim {
+
+// Translates a request log into the equivalent mutation stream (kAccept /
+// kReject per request, in order). The result has the same NumNodes().
+stream::MutationLog ToMutationLog(const RequestLog& log);
+
+struct ChurnConfig {
+  // Fraction of events duplicated verbatim at a random later position.
+  double duplicate_fraction = 0.1;
+  // Fraction of adjacent event pairs swapped (local reordering).
+  double swap_fraction = 0.1;
+  // Fraction of kReject events followed (later) by a kAccept of the same
+  // pair — the accept-after-reject shape that must keep BOTH the edge and
+  // the arc.
+  double flip_fraction = 0.05;
+  // Expected number of kRemoveNode events injected, each targeting a
+  // uniformly random node at a uniformly random position.
+  int num_removals = 4;
+
+  std::uint64_t seed = 1;
+};
+
+// Applies ChurnConfig's perturbations to ToMutationLog(log). Deterministic
+// given the seed; the output is a valid MutationLog over the same node set.
+stream::MutationLog GenerateChurnLog(const RequestLog& log,
+                                     const ChurnConfig& config);
+
+}  // namespace rejecto::sim

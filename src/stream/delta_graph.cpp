@@ -1,0 +1,344 @@
+#include "stream/delta_graph.h"
+
+#include <algorithm>
+#include <functional>
+#include <stdexcept>
+#include <utility>
+
+#include "graph/builder.h"
+#include "util/thread_pool.h"
+
+namespace rejecto::stream {
+
+namespace {
+
+using graph::NodeId;
+
+bool SortedContains(const std::vector<NodeId>& row, NodeId v) {
+  return std::binary_search(row.begin(), row.end(), v);
+}
+
+// Returns false when v was already present.
+bool SortedInsert(std::vector<NodeId>& row, NodeId v) {
+  const auto it = std::lower_bound(row.begin(), row.end(), v);
+  if (it != row.end() && *it == v) return false;
+  row.insert(it, v);
+  return true;
+}
+
+// Returns false when v was absent.
+bool SortedErase(std::vector<NodeId>& row, NodeId v) {
+  const auto it = std::lower_bound(row.begin(), row.end(), v);
+  if (it == row.end() || *it != v) return false;
+  row.erase(it);
+  return true;
+}
+
+// Runs fn(i) for i in [0, n), on the pool when one is given (same pattern
+// as graph::InducedSubgraph — disjoint writes per node, so any thread
+// count produces identical output).
+void ForEachNode(util::ThreadPool* pool, std::size_t n,
+                 const std::function<void(std::size_t)>& fn) {
+  if (pool != nullptr && pool->size() > 1) {
+    pool->ParallelFor(n, fn);
+  } else {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+  }
+}
+
+void PrefixSum(std::vector<std::size_t>& offsets) {
+  for (std::size_t i = 1; i < offsets.size(); ++i) {
+    offsets[i] += offsets[i - 1];
+  }
+}
+
+// Merges (base_row \ removed) with added into out; all inputs sorted,
+// removed ⊆ base_row, added ∩ base_row = ∅, so the merge is a plain
+// two-pointer walk producing a sorted deduplicated row.
+void MergeRow(std::span<const NodeId> base_row,
+              const std::vector<NodeId>& removed,
+              const std::vector<NodeId>& added, NodeId* out) {
+  std::size_t r = 0;
+  std::size_t a = 0;
+  for (NodeId v : base_row) {
+    if (r < removed.size() && removed[r] == v) {
+      ++r;
+      continue;
+    }
+    while (a < added.size() && added[a] < v) *out++ = added[a++];
+    *out++ = v;
+  }
+  while (a < added.size()) *out++ = added[a++];
+}
+
+}  // namespace
+
+DeltaGraph::DeltaGraph(graph::AugmentedGraph base, DeltaConfig config)
+    : base_(std::move(base)), config_(config) {
+  num_nodes_ = base_.NumNodes();
+  num_friendships_ = base_.Friendships().NumEdges();
+  num_arcs_ = base_.Rejections().NumArcs();
+  base_csr_entries_ = static_cast<std::size_t>(2 * num_friendships_) +
+                      static_cast<std::size_t>(2 * num_arcs_);
+  added_fr_.resize(num_nodes_);
+  removed_fr_.resize(num_nodes_);
+  added_out_.resize(num_nodes_);
+  removed_out_.resize(num_nodes_);
+  added_in_.resize(num_nodes_);
+  removed_in_.resize(num_nodes_);
+}
+
+DeltaGraph::DeltaGraph(graph::NodeId num_nodes, DeltaConfig config)
+    : DeltaGraph(graph::GraphBuilder(num_nodes).BuildAugmented(), config) {}
+
+void DeltaGraph::EnsureNode(graph::NodeId u) {
+  if (u < num_nodes_) return;
+  num_nodes_ = u + 1;
+  added_fr_.resize(num_nodes_);
+  removed_fr_.resize(num_nodes_);
+  added_out_.resize(num_nodes_);
+  removed_out_.resize(num_nodes_);
+  added_in_.resize(num_nodes_);
+  removed_in_.resize(num_nodes_);
+}
+
+bool DeltaGraph::BaseHasFriendship(graph::NodeId u, graph::NodeId v) const {
+  if (u >= base_.NumNodes() || v >= base_.NumNodes()) return false;
+  const auto row = base_.Friendships().Neighbors(u);
+  return std::binary_search(row.begin(), row.end(), v);
+}
+
+bool DeltaGraph::BaseHasArc(graph::NodeId from, graph::NodeId to) const {
+  if (from >= base_.NumNodes() || to >= base_.NumNodes()) return false;
+  const auto row = base_.Rejections().Rejectees(from);
+  return std::binary_search(row.begin(), row.end(), to);
+}
+
+std::uint32_t DeltaGraph::FriendshipDegree(graph::NodeId u) const {
+  const std::uint32_t base_deg =
+      u < base_.NumNodes() ? base_.Friendships().Degree(u) : 0;
+  return base_deg - static_cast<std::uint32_t>(removed_fr_[u].size()) +
+         static_cast<std::uint32_t>(added_fr_[u].size());
+}
+
+std::uint32_t DeltaGraph::RejectionOutDegree(graph::NodeId u) const {
+  const std::uint32_t base_deg =
+      u < base_.NumNodes() ? base_.Rejections().OutDegree(u) : 0;
+  return base_deg - static_cast<std::uint32_t>(removed_out_[u].size()) +
+         static_cast<std::uint32_t>(added_out_[u].size());
+}
+
+std::uint32_t DeltaGraph::RejectionInDegree(graph::NodeId u) const {
+  const std::uint32_t base_deg =
+      u < base_.NumNodes() ? base_.Rejections().InDegree(u) : 0;
+  return base_deg - static_cast<std::uint32_t>(removed_in_[u].size()) +
+         static_cast<std::uint32_t>(added_in_[u].size());
+}
+
+bool DeltaGraph::HasFriendship(graph::NodeId u, graph::NodeId v) const {
+  if (u >= num_nodes_ || v >= num_nodes_) return false;
+  if (BaseHasFriendship(u, v)) return !SortedContains(removed_fr_[u], v);
+  return SortedContains(added_fr_[u], v);
+}
+
+bool DeltaGraph::HasArc(graph::NodeId from, graph::NodeId to) const {
+  if (from >= num_nodes_ || to >= num_nodes_) return false;
+  if (BaseHasArc(from, to)) return !SortedContains(removed_out_[from], to);
+  return SortedContains(added_out_[from], to);
+}
+
+bool DeltaGraph::AddFriendship(graph::NodeId u, graph::NodeId v) {
+  if (BaseHasFriendship(u, v)) {
+    // Present in the base: either live (duplicate, no-op) or previously
+    // removed (un-remove — cheaper than re-adding, and keeps added rows
+    // disjoint from the base).
+    if (!SortedErase(removed_fr_[u], v)) return false;
+    SortedErase(removed_fr_[v], u);
+    overlay_size_ -= 2;
+    ++num_friendships_;
+    return true;
+  }
+  if (!SortedInsert(added_fr_[u], v)) return false;
+  SortedInsert(added_fr_[v], u);
+  overlay_size_ += 2;
+  ++num_friendships_;
+  return true;
+}
+
+bool DeltaGraph::RemoveFriendship(graph::NodeId u, graph::NodeId v) {
+  if (BaseHasFriendship(u, v)) {
+    if (!SortedInsert(removed_fr_[u], v)) return false;  // already removed
+    SortedInsert(removed_fr_[v], u);
+    overlay_size_ += 2;
+    --num_friendships_;
+    return true;
+  }
+  if (!SortedErase(added_fr_[u], v)) return false;  // never existed
+  SortedErase(added_fr_[v], u);
+  overlay_size_ -= 2;
+  --num_friendships_;
+  return true;
+}
+
+bool DeltaGraph::AddArc(graph::NodeId from, graph::NodeId to) {
+  if (BaseHasArc(from, to)) {
+    if (!SortedErase(removed_out_[from], to)) return false;
+    SortedErase(removed_in_[to], from);
+    overlay_size_ -= 2;
+    ++num_arcs_;
+    return true;
+  }
+  if (!SortedInsert(added_out_[from], to)) return false;
+  SortedInsert(added_in_[to], from);
+  overlay_size_ += 2;
+  ++num_arcs_;
+  return true;
+}
+
+bool DeltaGraph::RemoveArc(graph::NodeId from, graph::NodeId to) {
+  if (BaseHasArc(from, to)) {
+    if (!SortedInsert(removed_out_[from], to)) return false;
+    SortedInsert(removed_in_[to], from);
+    overlay_size_ += 2;
+    --num_arcs_;
+    return true;
+  }
+  if (!SortedErase(added_out_[from], to)) return false;
+  SortedErase(added_in_[to], from);
+  overlay_size_ -= 2;
+  --num_arcs_;
+  return true;
+}
+
+bool DeltaGraph::RemoveNode(graph::NodeId u) {
+  // Collect the effective incident rows first — the removal loops mutate
+  // the overlay rows being read.
+  std::vector<graph::NodeId> friends;
+  std::vector<graph::NodeId> rejectees;
+  std::vector<graph::NodeId> rejectors;
+  if (u < base_.NumNodes()) {
+    for (graph::NodeId v : base_.Friendships().Neighbors(u)) {
+      if (!SortedContains(removed_fr_[u], v)) friends.push_back(v);
+    }
+    for (graph::NodeId v : base_.Rejections().Rejectees(u)) {
+      if (!SortedContains(removed_out_[u], v)) rejectees.push_back(v);
+    }
+    for (graph::NodeId v : base_.Rejections().Rejectors(u)) {
+      if (!SortedContains(removed_in_[u], v)) rejectors.push_back(v);
+    }
+  }
+  friends.insert(friends.end(), added_fr_[u].begin(), added_fr_[u].end());
+  rejectees.insert(rejectees.end(), added_out_[u].begin(),
+                   added_out_[u].end());
+  rejectors.insert(rejectors.end(), added_in_[u].begin(), added_in_[u].end());
+
+  bool changed = false;
+  for (graph::NodeId v : friends) changed |= RemoveFriendship(u, v);
+  for (graph::NodeId v : rejectees) changed |= RemoveArc(u, v);
+  for (graph::NodeId v : rejectors) changed |= RemoveArc(v, u);
+  return changed;
+}
+
+bool DeltaGraph::Apply(const Event& e) {
+  if (e.type != EventType::kRemoveNode && e.u == e.v) {
+    throw std::invalid_argument("DeltaGraph::Apply: self-edge event");
+  }
+  EnsureNode(e.type == EventType::kRemoveNode ? e.u : std::max(e.u, e.v));
+  bool changed = false;
+  switch (e.type) {
+    case EventType::kAddFriend:
+    case EventType::kAccept:
+      changed = AddFriendship(e.u, e.v);
+      break;
+    case EventType::kReject:
+      changed = AddArc(e.v, e.u);  // v rejected u's request: arc <v, u>
+      break;
+    case EventType::kRemoveNode:
+      changed = RemoveNode(e.u);
+      break;
+  }
+  if (changed) {
+    ++stats_.events_applied;
+    MaybeAutoCompact();
+  } else {
+    ++stats_.events_noop;
+  }
+  return changed;
+}
+
+std::uint64_t DeltaGraph::ApplyAll(std::span<const Event> events) {
+  std::uint64_t changed = 0;
+  for (const Event& e : events) changed += Apply(e) ? 1 : 0;
+  return changed;
+}
+
+void DeltaGraph::MaybeAutoCompact() {
+  if (config_.compact_fraction <= 0.0) return;
+  if (overlay_size_ < config_.min_compact_overlay) return;
+  if (static_cast<double>(overlay_size_) <
+      config_.compact_fraction * static_cast<double>(base_csr_entries_)) {
+    return;
+  }
+  Compact();
+}
+
+void DeltaGraph::Compact() {
+  const std::size_t n = num_nodes_;
+  const graph::NodeId base_n = base_.NumNodes();
+  const graph::SocialGraph& fr = base_.Friendships();
+  const graph::RejectionGraph& rej = base_.Rejections();
+
+  std::vector<std::size_t> fr_off(n + 1, 0);
+  std::vector<std::size_t> out_off(n + 1, 0);
+  std::vector<std::size_t> in_off(n + 1, 0);
+  ForEachNode(pool_, n, [&](std::size_t u) {
+    const auto id = static_cast<graph::NodeId>(u);
+    const std::size_t fr_base = id < base_n ? fr.Degree(id) : 0;
+    const std::size_t out_base = id < base_n ? rej.OutDegree(id) : 0;
+    const std::size_t in_base = id < base_n ? rej.InDegree(id) : 0;
+    fr_off[u + 1] = fr_base - removed_fr_[u].size() + added_fr_[u].size();
+    out_off[u + 1] = out_base - removed_out_[u].size() + added_out_[u].size();
+    in_off[u + 1] = in_base - removed_in_[u].size() + added_in_[u].size();
+  });
+  PrefixSum(fr_off);
+  PrefixSum(out_off);
+  PrefixSum(in_off);
+
+  std::vector<graph::NodeId> fr_adj(fr_off[n]);
+  std::vector<graph::NodeId> out_adj(out_off[n]);
+  std::vector<graph::NodeId> in_adj(in_off[n]);
+  const std::span<const graph::NodeId> empty;
+  ForEachNode(pool_, n, [&](std::size_t u) {
+    const auto id = static_cast<graph::NodeId>(u);
+    MergeRow(id < base_n ? fr.Neighbors(id) : empty, removed_fr_[u],
+             added_fr_[u], fr_adj.data() + fr_off[u]);
+    MergeRow(id < base_n ? rej.Rejectees(id) : empty, removed_out_[u],
+             added_out_[u], out_adj.data() + out_off[u]);
+    MergeRow(id < base_n ? rej.Rejectors(id) : empty, removed_in_[u],
+             added_in_[u], in_adj.data() + in_off[u]);
+  });
+
+  const auto num_new = static_cast<graph::NodeId>(n);
+  base_ = graph::AugmentedGraph(
+      graph::SocialGraph::FromCsr(num_new, std::move(fr_off),
+                                  std::move(fr_adj)),
+      graph::RejectionGraph::FromCsr(num_new, std::move(out_off),
+                                     std::move(out_adj), std::move(in_off),
+                                     std::move(in_adj)));
+
+  for (std::size_t u = 0; u < n; ++u) {
+    added_fr_[u].clear();
+    removed_fr_[u].clear();
+    added_out_[u].clear();
+    removed_out_[u].clear();
+    added_in_[u].clear();
+    removed_in_[u].clear();
+  }
+  overlay_size_ = 0;
+  base_csr_entries_ =
+      static_cast<std::size_t>(2 * base_.Friendships().NumEdges()) +
+      static_cast<std::size_t>(2 * base_.Rejections().NumArcs());
+  ++stats_.compactions;
+}
+
+}  // namespace rejecto::stream

@@ -1,0 +1,135 @@
+// Mutable overlay over an immutable CSR augmented graph.
+//
+// The streaming ingest path cannot afford a full CSR rebuild per event, and
+// the detectors cannot run on a pointer-chasing dynamic graph. DeltaGraph
+// splits the difference: an immutable base AugmentedGraph (the fast CSR
+// substrate everything else in the repo consumes) plus per-node sorted
+// overlay rows recording the edges/arcs added to and removed from the base.
+// Events absorb in O(log deg) per endpoint; when the overlay grows past a
+// configurable fraction of the base it is compacted into a fresh CSR by the
+// same count/prefix-sum/fill machinery as graph::InducedSubgraph — sort-free
+// (a sorted merge of the filtered base row and the sorted overlay row),
+// block-parallel over nodes when a pool is attached, and deterministic at
+// any thread count.
+//
+// Load-bearing invariant (the differential harness pins it): replaying any
+// event log through Apply() — with compactions interleaved at ANY points —
+// and compacting yields a graph byte-identical to batch-building the final
+// edge set (MutationLog::BuildAugmentedGraph). Ids are never remapped:
+// removed nodes become isolated id slots, so masks and seeds stay valid
+// across the whole stream.
+//
+// Overlay row invariants, maintained by Apply:
+//   removed rows ⊆ the matching base row; added rows are disjoint from the
+//   base row; all rows sorted; friendship rows symmetric and rejection
+//   added_in/removed_in exact mirrors of added_out/removed_out.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/augmented_graph.h"
+#include "graph/types.h"
+#include "stream/mutation_log.h"
+
+namespace rejecto::util {
+class ThreadPool;
+}  // namespace rejecto::util
+
+namespace rejecto::stream {
+
+struct DeltaConfig {
+  // Auto-compact when the overlay holds at least compact_fraction × (base
+  // CSR adjacency entries) deltas AND at least min_compact_overlay of them
+  // (absolute floor so tiny graphs don't thrash). A non-positive fraction
+  // disables auto-compaction; Compact() always works explicitly.
+  double compact_fraction = 0.25;
+  std::size_t min_compact_overlay = 1024;
+};
+
+struct DeltaStats {
+  std::uint64_t events_applied = 0;  // events that changed the graph
+  std::uint64_t events_noop = 0;     // duplicates / already-absent removals
+  std::uint64_t compactions = 0;
+};
+
+class DeltaGraph {
+ public:
+  DeltaGraph() : DeltaGraph(graph::AugmentedGraph()) {}
+  explicit DeltaGraph(graph::AugmentedGraph base, DeltaConfig config = {});
+  // Empty base of `num_nodes` isolated nodes.
+  explicit DeltaGraph(graph::NodeId num_nodes, DeltaConfig config = {});
+
+  // Optional pool for the compaction sweeps (not owned; may be null).
+  // Results are identical with or without it.
+  void SetPool(util::ThreadPool* pool) noexcept { pool_ = pool; }
+
+  graph::NodeId NumNodes() const noexcept { return num_nodes_; }
+  graph::EdgeId NumFriendships() const noexcept { return num_friendships_; }
+  graph::EdgeId NumArcs() const noexcept { return num_arcs_; }
+
+  // Effective (base + overlay) accessors.
+  std::uint32_t FriendshipDegree(graph::NodeId u) const;
+  std::uint32_t RejectionOutDegree(graph::NodeId u) const;
+  std::uint32_t RejectionInDegree(graph::NodeId u) const;
+  bool HasFriendship(graph::NodeId u, graph::NodeId v) const;
+  bool HasArc(graph::NodeId from, graph::NodeId to) const;
+
+  // Absorbs one event (the id space grows to cover any new ids). Returns
+  // true when the graph changed — duplicate adds, re-rejections, and
+  // removals of absent state are recorded as no-ops. May trigger an
+  // auto-compaction (see DeltaConfig).
+  bool Apply(const Event& e);
+
+  // Replays a whole span; returns the number of state-changing events.
+  std::uint64_t ApplyAll(std::span<const Event> events);
+
+  // Pending overlay entries (added + removed, counting both mirror sides).
+  std::size_t OverlaySize() const noexcept { return overlay_size_; }
+
+  // Folds the overlay into a fresh CSR base. Afterwards Graph() reflects
+  // every absorbed event and the overlay is empty.
+  void Compact();
+
+  // The immutable CSR base. NOTE: excludes any un-compacted overlay — call
+  // Compact() first when a full snapshot is needed (the epoch detector
+  // does exactly that before every detection run).
+  const graph::AugmentedGraph& Graph() const noexcept { return base_; }
+
+  const DeltaStats& Stats() const noexcept { return stats_; }
+
+ private:
+  void EnsureNode(graph::NodeId u);
+  bool BaseHasFriendship(graph::NodeId u, graph::NodeId v) const;
+  bool BaseHasArc(graph::NodeId from, graph::NodeId to) const;
+  bool AddFriendship(graph::NodeId u, graph::NodeId v);
+  bool RemoveFriendship(graph::NodeId u, graph::NodeId v);
+  bool AddArc(graph::NodeId from, graph::NodeId to);
+  bool RemoveArc(graph::NodeId from, graph::NodeId to);
+  bool RemoveNode(graph::NodeId u);
+  void MaybeAutoCompact();
+
+  graph::AugmentedGraph base_;
+  DeltaConfig config_;
+  util::ThreadPool* pool_ = nullptr;
+
+  graph::NodeId num_nodes_ = 0;       // >= base_.NumNodes() (growth)
+  graph::EdgeId num_friendships_ = 0;  // effective counts
+  graph::EdgeId num_arcs_ = 0;
+  std::size_t overlay_size_ = 0;
+  std::size_t base_csr_entries_ = 0;  // 2E + 2A of the current base
+
+  // Per-node sorted overlay rows (see header invariants).
+  std::vector<std::vector<graph::NodeId>> added_fr_;
+  std::vector<std::vector<graph::NodeId>> removed_fr_;
+  std::vector<std::vector<graph::NodeId>> added_out_;
+  std::vector<std::vector<graph::NodeId>> removed_out_;
+  std::vector<std::vector<graph::NodeId>> added_in_;
+  std::vector<std::vector<graph::NodeId>> removed_in_;
+
+  DeltaStats stats_;
+};
+
+}  // namespace rejecto::stream

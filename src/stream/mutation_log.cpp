@@ -1,0 +1,169 @@
+#include "stream/mutation_log.h"
+
+#include <algorithm>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+#include "graph/builder.h"
+
+namespace rejecto::stream {
+
+void MutationLog::GrowTo(graph::NodeId num_nodes) {
+  if (num_nodes < num_nodes_) {
+    throw std::invalid_argument("MutationLog::GrowTo: cannot shrink");
+  }
+  num_nodes_ = num_nodes;
+}
+
+void MutationLog::Append(const Event& e) {
+  if (e.u == graph::kInvalidNode) {
+    throw std::invalid_argument("MutationLog::Append: invalid node id");
+  }
+  if (e.type != EventType::kRemoveNode) {
+    if (e.v == graph::kInvalidNode) {
+      throw std::invalid_argument("MutationLog::Append: invalid node id");
+    }
+    if (e.u == e.v) {
+      throw std::invalid_argument("MutationLog::Append: self-edge event");
+    }
+    num_nodes_ = std::max(num_nodes_, e.v + 1);
+  }
+  num_nodes_ = std::max(num_nodes_, e.u + 1);
+  events_.push_back(e);
+}
+
+void MutationLog::AddFriend(graph::NodeId u, graph::NodeId v) {
+  Append({EventType::kAddFriend, u, v});
+}
+
+void MutationLog::Accept(graph::NodeId sender, graph::NodeId receiver) {
+  Append({EventType::kAccept, sender, receiver});
+}
+
+void MutationLog::Reject(graph::NodeId sender, graph::NodeId receiver) {
+  Append({EventType::kReject, sender, receiver});
+}
+
+void MutationLog::RemoveNode(graph::NodeId u) {
+  Append({EventType::kRemoveNode, u, graph::kInvalidNode});
+}
+
+graph::AugmentedGraph MutationLog::BuildAugmentedGraph() const {
+  // Reference model: per-node adjacency sets, mutated in event order. Kept
+  // deliberately naive — this is the oracle the streamed DeltaGraph is
+  // differentially verified against, so clarity beats speed.
+  const std::size_t n = num_nodes_;
+  std::vector<std::set<graph::NodeId>> friends(n);
+  std::vector<std::set<graph::NodeId>> rejectees(n);  // u rejected -> those
+  std::vector<std::set<graph::NodeId>> rejectors(n);  // those rejected u
+  for (const Event& e : events_) {
+    switch (e.type) {
+      case EventType::kAddFriend:
+      case EventType::kAccept:
+        friends[e.u].insert(e.v);
+        friends[e.v].insert(e.u);
+        break;
+      case EventType::kReject:
+        // v rejected u's request: arc <v, u>.
+        rejectees[e.v].insert(e.u);
+        rejectors[e.u].insert(e.v);
+        break;
+      case EventType::kRemoveNode:
+        for (graph::NodeId w : friends[e.u]) friends[w].erase(e.u);
+        friends[e.u].clear();
+        for (graph::NodeId w : rejectees[e.u]) rejectors[w].erase(e.u);
+        rejectees[e.u].clear();
+        for (graph::NodeId w : rejectors[e.u]) rejectees[w].erase(e.u);
+        rejectors[e.u].clear();
+        break;
+    }
+  }
+  graph::GraphBuilder builder(num_nodes_);
+  for (graph::NodeId u = 0; u < num_nodes_; ++u) {
+    for (graph::NodeId v : friends[u]) {
+      if (u < v) builder.AddFriendship(u, v);
+    }
+    for (graph::NodeId v : rejectees[u]) builder.AddRejection(u, v);
+  }
+  return builder.BuildAugmented();
+}
+
+void MutationLog::Save(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("MutationLog::Save: cannot open " + path);
+  }
+  out << "# rejecto mutation log: nodes=" << num_nodes_
+      << " events=" << events_.size() << '\n';
+  for (const Event& e : events_) {
+    switch (e.type) {
+      case EventType::kAddFriend:
+        out << "F " << e.u << ' ' << e.v << '\n';
+        break;
+      case EventType::kAccept:
+        out << "A " << e.u << ' ' << e.v << '\n';
+        break;
+      case EventType::kReject:
+        out << "R " << e.u << ' ' << e.v << '\n';
+        break;
+      case EventType::kRemoveNode:
+        out << "D " << e.u << '\n';
+        break;
+    }
+  }
+  if (!out) {
+    throw std::runtime_error("MutationLog::Save: write failure on " + path);
+  }
+}
+
+MutationLog MutationLog::Load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("MutationLog::Load: cannot open " + path);
+  }
+  MutationLog log;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      const auto pos = line.find("nodes=");
+      if (pos != std::string::npos) {
+        log.GrowTo(
+            static_cast<graph::NodeId>(std::stoull(line.substr(pos + 6))));
+      }
+      continue;
+    }
+    std::istringstream ls(line);
+    char tag = 0;
+    graph::NodeId u = 0, v = 0;
+    const auto fail = [&] {
+      throw std::runtime_error("MutationLog::Load: malformed line " +
+                               std::to_string(lineno) + " in " + path);
+    };
+    if (!(ls >> tag >> u)) fail();
+    switch (tag) {
+      case 'F':
+      case 'A':
+      case 'R': {
+        if (!(ls >> v)) fail();
+        const EventType t = tag == 'F'   ? EventType::kAddFriend
+                            : tag == 'A' ? EventType::kAccept
+                                         : EventType::kReject;
+        log.Append({t, u, v});
+        break;
+      }
+      case 'D':
+        log.RemoveNode(u);
+        break;
+      default:
+        fail();
+    }
+  }
+  return log;
+}
+
+}  // namespace rejecto::stream

@@ -1,0 +1,101 @@
+// Append-only typed mutation stream for an evolving augmented social graph.
+//
+// Rejecto is meant to run continuously inside an OSN (paper §III, §V):
+// friend requests, acceptances, rejections, and account removals arrive as
+// a stream, and the operator periodically re-runs detection over the
+// augmented graph. The MutationLog is the canonical serialization of that
+// stream: an ordered sequence of typed events over a grow-only dense id
+// space. It makes no attempt at deduplication — real request streams carry
+// duplicate and out-of-order events, and the consumers (stream::DeltaGraph
+// and the batch oracle BuildAugmentedGraph below) are required to agree on
+// their semantics:
+//
+//   kAddFriend u v   — an undirected friendship u–v exists (backfill /
+//                      out-of-band import). Idempotent.
+//   kAccept    u v   — v accepted a friend request sent by u: the same
+//                      friendship edge u–v, sourced from the request stream.
+//   kReject    u v   — v rejected / ignored / reported a request sent by u:
+//                      the rejection arc <v, u> (paper §III-A). Repeated
+//                      rejections between the same ordered pair collapse to
+//                      one arc, as in the batch GraphBuilder.
+//   kRemoveNode u    — account u leaves the network (deleted or banned):
+//                      every incident friendship and rejection arc (both
+//                      directions) disappears. The id slot remains valid —
+//                      ids are never compacted, so masks, seeds, and
+//                      detection results stay stable across the stream —
+//                      and later events may re-populate the node.
+//
+// An accept after a reject of the same pair yields BOTH the friendship and
+// the rejection arc: the rejection happened and remains evidence (§III-A's
+// arcs record history, not current sentiment). This matches exactly what
+// batch construction over the final event-derived edge/arc sets produces —
+// the property the differential harness pins.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/augmented_graph.h"
+#include "graph/types.h"
+
+namespace rejecto::stream {
+
+enum class EventType : std::uint8_t {
+  kAddFriend,
+  kAccept,
+  kReject,
+  kRemoveNode,
+};
+
+struct Event {
+  EventType type = EventType::kAddFriend;
+  // kAddFriend / kAccept: the endpoints (u sent the request, v accepted).
+  // kReject: u sent the request, v rejected it (arc <v, u>).
+  // kRemoveNode: u is the removed account; v is ignored.
+  graph::NodeId u = graph::kInvalidNode;
+  graph::NodeId v = graph::kInvalidNode;
+
+  friend bool operator==(const Event&, const Event&) = default;
+};
+
+class MutationLog {
+ public:
+  explicit MutationLog(graph::NodeId num_nodes = 0) : num_nodes_(num_nodes) {}
+
+  // Grow-only id space: appending an event touching id x extends the node
+  // range to x+1; GrowTo reserves trailing isolated nodes explicitly.
+  graph::NodeId NumNodes() const noexcept { return num_nodes_; }
+  void GrowTo(graph::NodeId num_nodes);
+
+  // Validating appends (self-edges throw std::invalid_argument).
+  void AddFriend(graph::NodeId u, graph::NodeId v);
+  void Accept(graph::NodeId sender, graph::NodeId receiver);
+  void Reject(graph::NodeId sender, graph::NodeId receiver);
+  void RemoveNode(graph::NodeId u);
+  void Append(const Event& e);
+
+  std::span<const Event> Events() const noexcept { return events_; }
+  std::size_t NumEvents() const noexcept { return events_.size(); }
+
+  // The batch oracle: replays the whole log through a set-based reference
+  // model (honoring removals and duplicates exactly as documented above)
+  // and freezes the final friendship/arc sets with graph::GraphBuilder.
+  // This is the specification the streamed DeltaGraph is differentially
+  // tested against: replay-then-compact must be byte-identical to this.
+  graph::AugmentedGraph BuildAugmentedGraph() const;
+
+  // Text persistence, one event per line ("F u v" / "A u v" / "R u v" /
+  // "D u") with a '#' header carrying the node count, mirroring
+  // sim::RequestLog's format. Throws std::runtime_error on I/O or parse
+  // errors.
+  void Save(const std::string& path) const;
+  static MutationLog Load(const std::string& path);
+
+ private:
+  graph::NodeId num_nodes_ = 0;
+  std::vector<Event> events_;
+};
+
+}  // namespace rejecto::stream

@@ -6,12 +6,15 @@
 #include "baseline/sybilrank.h"
 #include "baseline/votetrust.h"
 #include "detect/iterative.h"
+#include "engine/epoch_detector.h"
 #include "gen/barabasi_albert.h"
 #include "gen/holme_kim.h"
 #include "graph/subgraph.h"
 #include "metrics/classification.h"
 #include "metrics/ranking.h"
 #include "sim/scenario.h"
+#include "sim/stream_feed.h"
+#include "sim/temporal.h"
 
 namespace rejecto {
 namespace {
@@ -163,6 +166,56 @@ TEST(IntegrationTest, DefenseInDepthImprovesSybilRank) {
 
   EXPECT_GT(auc_after, auc_before + 0.05);
   EXPECT_GT(auc_after, 0.9);
+}
+
+TEST(IntegrationTest, IntervalDetectionUnchangedUnderEpochDetector) {
+  // examples/interval_detection.cpp now drives each interval through the
+  // streaming EpochDetector (warm starts off). This pins the port: for
+  // every interval the streamed run must produce exactly the batch
+  // pipeline's output — same detected ids, same round diagnostics — which
+  // is what keeps the example's printed results unchanged.
+  sim::TemporalConfig cfg;
+  cfg.seed = 42;
+  cfg.num_users = 1'200;
+  cfg.num_intervals = 3;
+  cfg.num_compromised = 80;
+  cfg.compromise_interval = 2;
+  const auto scenario = sim::BuildTemporalScenario(cfg);
+
+  for (int interval = 0; interval < cfg.num_intervals; ++interval) {
+    const auto& log = scenario.intervals[static_cast<std::size_t>(interval)];
+
+    detect::Seeds seeds;
+    util::Rng s_rng(900 + static_cast<std::uint64_t>(interval));
+    for (std::uint64_t v : s_rng.SampleWithoutReplacement(cfg.num_users, 40)) {
+      if (!scenario.is_compromised[static_cast<std::size_t>(v)]) {
+        seeds.legit.push_back(static_cast<graph::NodeId>(v));
+      }
+    }
+    detect::IterativeConfig dcfg;
+    dcfg.target_detections = 0;
+    dcfg.acceptance_rate_threshold = 0.40;
+    dcfg.maar.max_region_fraction = 0.2;
+    dcfg.maar.seed = 31;
+
+    const auto batch_graph = log.BuildAugmentedGraph();
+    const auto batch =
+        detect::DetectFriendSpammers(batch_graph, seeds, dcfg);
+
+    engine::EpochConfig ecfg;
+    ecfg.detect = dcfg;
+    ecfg.warm_start = false;  // cold epochs are exactly the batch pipeline
+    ecfg.events_per_epoch = 0;
+    engine::EpochDetector det(cfg.num_users, seeds, ecfg);
+    det.IngestAll(sim::ToMutationLog(log).Events());
+    det.RunEpoch();
+
+    EXPECT_EQ(det.Graph().Graph(), batch_graph) << "interval " << interval;
+    EXPECT_EQ(det.LastResult().detected, batch.detected)
+        << "interval " << interval;
+    EXPECT_EQ(det.LastResult().rounds.size(), batch.rounds.size())
+        << "interval " << interval;
+  }
 }
 
 TEST(IntegrationTest, WholePipelineDeterministic) {

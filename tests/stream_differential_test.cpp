@@ -1,0 +1,210 @@
+// Streaming differential harness — the subsystem's load-bearing invariant:
+// replaying ANY event log through stream::DeltaGraph (with compactions
+// interleaved at arbitrary points, on 1/2/8 threads) and compacting yields
+// a graph byte-identical to batch-building the final edge set, and epoch
+// detection with warm starts disabled yields cuts bit-identical to the
+// batch pipeline on that graph. Warm-started epochs may legitimately
+// differ from a cold batch solve (they see the previous epoch's cut), but
+// must still be bit-identical across thread counts.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "detect/iterative.h"
+#include "engine/epoch_detector.h"
+#include "gen/erdos_renyi.h"
+#include "sim/scenario.h"
+#include "sim/stream_feed.h"
+#include "stream/delta_graph.h"
+#include "stream/mutation_log.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace rejecto {
+namespace {
+
+using stream::DeltaConfig;
+using stream::DeltaGraph;
+using stream::Event;
+using stream::EventType;
+using stream::MutationLog;
+
+// One shared pool per tested width; building 8 threads per test-case
+// iteration would dominate the suite's runtime.
+util::ThreadPool* PoolFor(int threads) {
+  static util::ThreadPool pool2(2);
+  static util::ThreadPool pool8(8);
+  switch (threads) {
+    case 2:
+      return &pool2;
+    case 8:
+      return &pool8;
+    default:
+      return nullptr;  // threads == 1: serial path
+  }
+}
+
+constexpr int kThreadWidths[] = {1, 2, 8};
+
+MutationLog RandomLog(util::Rng& rng, graph::NodeId n, std::size_t events) {
+  MutationLog log(n);
+  for (std::size_t i = 0; i < events; ++i) {
+    const double roll = rng.NextDouble();
+    if (roll < 0.15 && log.NumEvents() > 0) {
+      log.Append(log.Events()[rng.NextUInt(log.NumEvents())]);
+      continue;
+    }
+    const auto u = static_cast<graph::NodeId>(rng.NextUInt(n));
+    if (roll < 0.22) {
+      log.RemoveNode(u);
+      continue;
+    }
+    auto v = static_cast<graph::NodeId>(rng.NextUInt(n - 1));
+    if (v >= u) ++v;
+    if (roll < 0.5) {
+      log.Reject(u, v);
+    } else {
+      log.Accept(u, v);
+    }
+  }
+  return log;
+}
+
+class StreamDifferentialTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(StreamDifferentialTest, ReplayCompactEqualsBatchAtAllWidths) {
+  util::Rng rng(GetParam() * 0x2545f491ULL + 1);
+  const graph::NodeId n =
+      16 + static_cast<graph::NodeId>(rng.NextUInt(64));
+  const MutationLog log = RandomLog(rng, n, 100 + rng.NextUInt(200));
+  const graph::AugmentedGraph batch = log.BuildAugmentedGraph();
+
+  // Split points force mid-stream explicit compactions on top of whatever
+  // the auto-policy triggers.
+  const std::size_t cut_a = rng.NextUInt(log.NumEvents() + 1);
+  const std::size_t cut_b =
+      cut_a + rng.NextUInt(log.NumEvents() - cut_a + 1);
+
+  for (int threads : kThreadWidths) {
+    DeltaConfig cfg;
+    cfg.compact_fraction = rng.NextBool(0.5) ? 0.3 : 0.0;
+    cfg.min_compact_overlay = 16;
+    DeltaGraph d(log.NumNodes(), cfg);
+    d.SetPool(PoolFor(threads));
+    const auto events = log.Events();
+    d.ApplyAll(events.subspan(0, cut_a));
+    d.Compact();
+    d.ApplyAll(events.subspan(cut_a, cut_b - cut_a));
+    d.Compact();
+    d.ApplyAll(events.subspan(cut_b));
+    d.Compact();
+    EXPECT_EQ(d.Graph(), batch) << "threads=" << threads;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomLogs, StreamDifferentialTest,
+                         ::testing::Range<std::uint64_t>(0, 200));
+
+// ---------- epoch detection differential ----------
+
+struct StreamWorkload {
+  MutationLog log;
+  detect::Seeds seeds;
+  graph::NodeId num_fakes = 0;
+};
+
+// A detectable attack scenario translated into a churned event stream
+// (duplicates, local reordering, accept-after-reject flips, removals).
+StreamWorkload MakeWorkload(std::uint64_t seed) {
+  util::Rng rng(seed + 41);
+  const auto legit =
+      gen::ErdosRenyi({.num_nodes = 400, .num_edges = 1600}, rng);
+  sim::ScenarioConfig cfg;
+  cfg.seed = seed * 3 + 7;
+  cfg.num_fakes = 80;
+  const auto scenario = sim::BuildScenario(legit, cfg);
+  util::Rng seed_rng(seed + 5);
+  sim::ChurnConfig churn;
+  churn.seed = seed + 13;
+  return {sim::GenerateChurnLog(scenario.log, churn),
+          scenario.SampleSeeds(15, 5, seed_rng), cfg.num_fakes};
+}
+
+detect::IterativeConfig DetectorConfig(const StreamWorkload& w,
+                                       int threads) {
+  detect::IterativeConfig cfg;
+  cfg.target_detections = w.num_fakes;
+  cfg.maar.seed = 23;
+  cfg.maar.num_threads = threads;
+  return cfg;
+}
+
+class EpochDifferentialTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EpochDifferentialTest, ColdEpochsBitIdenticalToBatchAtAllWidths) {
+  const StreamWorkload w = MakeWorkload(GetParam());
+  const graph::AugmentedGraph batch_graph = w.log.BuildAugmentedGraph();
+
+  for (int threads : kThreadWidths) {
+    const auto batch = detect::DetectFriendSpammers(
+        batch_graph, w.seeds, DetectorConfig(w, threads));
+
+    engine::EpochConfig ecfg;
+    ecfg.detect = DetectorConfig(w, threads);
+    ecfg.warm_start = false;
+    // Several intermediate auto-epochs: the final epoch must still agree
+    // with batch even though earlier detections ran on partial graphs.
+    ecfg.events_per_epoch = w.log.NumEvents() / 3 + 1;
+    engine::EpochDetector det(w.log.NumNodes(), w.seeds, ecfg);
+    det.IngestAll(w.log.Events());
+    const auto& last = det.RunEpoch();
+
+    EXPECT_EQ(det.Graph().Graph(), batch_graph) << "threads=" << threads;
+    EXPECT_EQ(det.LastResult().detected, batch.detected)
+        << "threads=" << threads;
+    ASSERT_EQ(det.LastResult().rounds.size(), batch.rounds.size());
+    for (std::size_t r = 0; r < batch.rounds.size(); ++r) {
+      EXPECT_EQ(det.LastResult().rounds[r].detected,
+                batch.rounds[r].detected);
+      EXPECT_EQ(det.LastResult().rounds[r].ratio, batch.rounds[r].ratio);
+      EXPECT_EQ(det.LastResult().rounds[r].k, batch.rounds[r].k);
+    }
+    EXPECT_FALSE(last.warm_started);
+    EXPECT_EQ(last.num_detected, batch.detected.size());
+  }
+}
+
+TEST_P(EpochDifferentialTest, WarmEpochsThreadInvariant) {
+  const StreamWorkload w = MakeWorkload(GetParam());
+
+  std::vector<std::vector<graph::NodeId>> detected_by_width;
+  std::vector<std::vector<double>> trajectory_by_width;
+  for (int threads : kThreadWidths) {
+    engine::EpochConfig ecfg;
+    ecfg.detect = DetectorConfig(w, threads);
+    ecfg.warm_start = true;
+    ecfg.events_per_epoch = w.log.NumEvents() / 3 + 1;
+    engine::EpochDetector det(w.log.NumNodes(), w.seeds, ecfg);
+    det.IngestAll(w.log.Events());
+    det.RunEpoch();
+    detected_by_width.push_back(det.LastResult().detected);
+    ASSERT_GE(det.History().size(), 2u);  // warm state actually exercised
+    EXPECT_TRUE(det.History().back().warm_started);
+    trajectory_by_width.push_back(det.History().back().round_ratios);
+  }
+  for (std::size_t i = 1; i < detected_by_width.size(); ++i) {
+    EXPECT_EQ(detected_by_width[i], detected_by_width[0])
+        << "threads=" << kThreadWidths[i];
+    EXPECT_EQ(trajectory_by_width[i], trajectory_by_width[0])
+        << "threads=" << kThreadWidths[i];
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Workloads, EpochDifferentialTest,
+                         ::testing::Range<std::uint64_t>(0, 3));
+
+}  // namespace
+}  // namespace rejecto
