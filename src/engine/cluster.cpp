@@ -5,12 +5,45 @@
 namespace rejecto::engine {
 
 Cluster::Cluster(const ClusterConfig& config)
-    : config_(config), pool_(config.num_workers) {
+    : config_(config),
+      pool_(config.num_workers),
+      dead_(config.num_workers, 0) {
   if (config.prefetch_batch == 0 ||
       config.prefetch_batch > config.buffer_capacity) {
     throw std::invalid_argument(
         "Cluster: prefetch_batch must be in [1, buffer_capacity]");
   }
+  if (config.fetch.max_attempts == 0) {
+    throw std::invalid_argument("Cluster: fetch.max_attempts must be >= 1");
+  }
+  if (config.fetch.backoff_us < 0.0 || config.fetch.attempt_timeout_us < 0.0) {
+    throw std::invalid_argument(
+        "Cluster: fetch backoff/timeout must be non-negative");
+  }
+  if (config.fetch.backoff_multiplier < 1.0) {
+    throw std::invalid_argument(
+        "Cluster: fetch.backoff_multiplier must be >= 1");
+  }
+}
+
+void Cluster::KillWorker(std::uint32_t worker) {
+  if (worker >= dead_.size()) {
+    throw std::out_of_range("Cluster::KillWorker: worker index");
+  }
+  dead_[worker] = 1;
+}
+
+void Cluster::ReviveWorker(std::uint32_t worker) {
+  if (worker >= dead_.size()) {
+    throw std::out_of_range("Cluster::ReviveWorker: worker index");
+  }
+  dead_[worker] = 0;
+}
+
+std::uint32_t Cluster::NumDeadWorkers() const noexcept {
+  std::uint32_t n = 0;
+  for (char d : dead_) n += d != 0;
+  return n;
 }
 
 }  // namespace rejecto::engine

@@ -8,7 +8,9 @@
 
 #include <cstdint>
 #include <memory>
+#include <vector>
 
+#include "engine/shard_store.h"
 #include "util/thread_pool.h"
 
 namespace rejecto::engine {
@@ -17,6 +19,9 @@ struct ClusterConfig {
   std::uint32_t num_workers = 4;
   std::size_t prefetch_batch = 64;      // nodes pulled per cache miss
   std::size_t buffer_capacity = 4096;   // adjacencies cached on the master
+  // Retry/backoff/failover knobs for shard fetches (docs/ROBUSTNESS.md);
+  // copied into every ShardedGraphStore the cluster builds.
+  FetchPolicy fetch;
 };
 
 class Cluster {
@@ -26,9 +31,20 @@ class Cluster {
   const ClusterConfig& Config() const noexcept { return config_; }
   util::ThreadPool& Pool() noexcept { return pool_; }
 
+  // Worker-death bookkeeping. A dead worker's partitions are rebuilt as
+  // replicas by every store built afterwards (and by a mid-sweep failover
+  // in stores already live). Master-thread only, like FetchBatch.
+  void KillWorker(std::uint32_t worker);
+  void ReviveWorker(std::uint32_t worker);
+  bool WorkerDead(std::uint32_t worker) const noexcept {
+    return worker < dead_.size() && dead_[worker] != 0;
+  }
+  std::uint32_t NumDeadWorkers() const noexcept;
+
  private:
   ClusterConfig config_;
   util::ThreadPool pool_;
+  std::vector<char> dead_;
 };
 
 }  // namespace rejecto::engine

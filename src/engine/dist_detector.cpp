@@ -8,22 +8,18 @@ DistDetectionResult DetectFriendSpammersDistributed(
     const graph::AugmentedGraph& g, const detect::Seeds& seeds,
     const detect::IterativeConfig& config, Cluster& cluster) {
   DistDetectionResult result;
-  const std::uint32_t shards =
-      static_cast<std::uint32_t>(cluster.Pool().size());
   auto runner = [&](const graph::AugmentedGraph& residual,
                     const detect::Seeds& round_seeds,
                     const detect::MaarConfig& maar) {
     // Re-shard the residual graph — the prototype's per-round RDD rebuild.
-    const ShardedGraphStore store(residual, shards, cluster.Pool());
+    // The cluster-aware store carries the fetch retry/failover policy and
+    // rebuilds dead workers' partitions as replicas up front.
+    const ShardedGraphStore store(residual, cluster);
     ++result.stores_built;
+    result.io.shard_failovers += store.Failovers();
     DistMaarResult r =
         SolveMaarDistributed(residual, store, cluster, round_seeds, maar);
-    result.io.fetch_requests += r.io.fetch_requests;
-    result.io.nodes_fetched += r.io.nodes_fetched;
-    result.io.bytes_transferred += r.io.bytes_transferred;
-    result.io.cache_hits += r.io.cache_hits;
-    result.io.cache_misses += r.io.cache_misses;
-    result.io.simulated_network_us += r.io.simulated_network_us;
+    result.io.Accumulate(r.io);
     return r.cut;
   };
   result.detection = detect::DetectFriendSpammers(g, seeds, config, runner);

@@ -16,12 +16,7 @@ DistMaarResult SolveMaarDistributed(const graph::AugmentedGraph& g,
                     const detect::KlConfig& kl,
                     detect::KlScratch* /*scratch*/) {
     DistKlResult r = DistributedKl(store, init, locked, kl, cluster);
-    result.io.fetch_requests += r.io.fetch_requests;
-    result.io.nodes_fetched += r.io.nodes_fetched;
-    result.io.bytes_transferred += r.io.bytes_transferred;
-    result.io.cache_hits += r.io.cache_hits;
-    result.io.cache_misses += r.io.cache_misses;
-    result.io.simulated_network_us += r.io.simulated_network_us;
+    result.io.Accumulate(r.io);
     return std::move(r.kl);
   };
   // The sweep must stay serial here: DistributedKl drives the cluster's

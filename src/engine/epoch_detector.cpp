@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
+#include <string>
 #include <utility>
 
 #include "detect/maar.h"
 #include "graph/builder.h"
+#include "stream/wal.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
 
@@ -37,6 +40,7 @@ const EpochStats* EpochDetector::Ingest(const stream::Event& e) {
   delta_.Apply(e);
   pending_ingest_seconds_ += timer.Seconds();
   ++pending_events_;
+  ++total_events_ingested_;
   if (config_.events_per_epoch > 0 &&
       pending_events_ >= config_.events_per_epoch) {
     return &RunEpoch();
@@ -54,7 +58,7 @@ std::size_t EpochDetector::IngestAll(std::span<const stream::Event> events) {
 
 const EpochStats& EpochDetector::RunEpoch() {
   EpochStats stats;
-  stats.epoch = static_cast<int>(history_.size());
+  stats.epoch = static_cast<int>(epoch_base_ + history_.size());
   stats.events_absorbed = pending_events_;
   stats.ingest_seconds = pending_ingest_seconds_;
   stats.events_noop = delta_.Stats().events_noop - noop_at_last_epoch_;
@@ -136,6 +140,80 @@ const EpochStats& EpochDetector::RunEpoch() {
   compactions_at_last_epoch_ = delta_.Stats().compactions;
   history_.push_back(std::move(stats));
   return history_.back();
+}
+
+namespace {
+// Version tag for the detector's extra-state section inside the checkpoint
+// payload (the file-level format is versioned separately by its magic).
+constexpr std::uint32_t kEpochStateVersion = 1;
+}  // namespace
+
+void EpochDetector::SaveCheckpoint(const std::string& path) {
+  // The checkpoint stores the compacted CSR; folding the overlay here keeps
+  // the snapshot identical to what the next epoch would detect on.
+  delta_.Compact();
+  const graph::AugmentedGraph& g = delta_.Graph();
+
+  stream::ByteWriter extra;
+  extra.PutU32(kEpochStateVersion);
+  extra.PutU64(total_events_ingested_);
+  extra.PutU64(epoch_base_ + history_.size());
+  extra.PutU8(has_prev_ ? 1 : 0);
+  if (has_prev_) {
+    extra.PutF64(prev_k_);
+    // The mask is indexed by graph id; size it to the snapshot so restore
+    // never has to guess (ids never remap across the stream).
+    std::vector<char> mask = prev_mask_;
+    mask.resize(g.NumNodes(), 0);
+    extra.PutU64(mask.size());
+    extra.PutBytes(mask.data(), mask.size());
+  }
+  stream::SaveCheckpointFile(path, g, &extra);
+}
+
+std::unique_ptr<EpochDetector> EpochDetector::RestoreCheckpoint(
+    const std::string& path, detect::Seeds seeds, EpochConfig config) {
+  std::vector<unsigned char> raw;
+  graph::AugmentedGraph g = stream::LoadCheckpointFile(path, &raw);
+
+  stream::ByteReader extra(raw.data(), raw.size());
+  const std::uint32_t version = extra.GetU32();
+  if (version != kEpochStateVersion) {
+    throw std::runtime_error("checkpoint " + path +
+                             ": unsupported epoch-state version " +
+                             std::to_string(version));
+  }
+  const std::uint64_t events = extra.GetU64();
+  const std::uint64_t epochs = extra.GetU64();
+  const bool has_prev = extra.GetU8() != 0;
+  double prev_k = 0.0;
+  std::vector<char> mask;
+  if (has_prev) {
+    prev_k = extra.GetF64();
+    const std::uint64_t mask_len = extra.GetU64();
+    if (mask_len != g.NumNodes()) {
+      throw std::runtime_error("checkpoint " + path +
+                               ": warm-start mask length " +
+                               std::to_string(mask_len) +
+                               " does not match graph nodes " +
+                               std::to_string(g.NumNodes()));
+    }
+    mask.resize(mask_len);
+    extra.GetBytes(mask.data(), mask.size());
+  }
+  if (extra.Remaining() != 0) {
+    throw std::runtime_error("checkpoint " + path +
+                             ": trailing bytes in epoch state");
+  }
+
+  auto detector = std::unique_ptr<EpochDetector>(new EpochDetector(
+      std::move(g), std::move(seeds), std::move(config)));
+  detector->total_events_ingested_ = events;
+  detector->epoch_base_ = epochs;
+  detector->has_prev_ = has_prev;
+  detector->prev_k_ = prev_k;
+  detector->prev_mask_ = std::move(mask);
+  return detector;
 }
 
 }  // namespace rejecto::engine

@@ -25,6 +25,7 @@
 #include <limits>
 #include <memory>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "detect/iterative.h"
@@ -104,6 +105,21 @@ class EpochDetector {
   // Forces an epoch now: compacts the overlay and re-runs detection.
   const EpochStats& RunEpoch();
 
+  // Durability (docs/ROBUSTNESS.md): compacts the overlay and atomically
+  // writes a CRC-guarded snapshot — the CSR graph plus warm-start state,
+  // the epoch counter, and the total event count. Crash recovery is
+  // RestoreCheckpoint + replaying the WAL tail past EventsIngested():
+  // bit-identical to a detector that never crashed.
+  void SaveCheckpoint(const std::string& path);
+  static std::unique_ptr<EpochDetector> RestoreCheckpoint(
+      const std::string& path, detect::Seeds seeds, EpochConfig config);
+
+  // Events absorbed over the detector's whole lifetime (survives
+  // checkpoint/restore) — the WAL replay cursor.
+  std::uint64_t EventsIngested() const noexcept {
+    return total_events_ingested_;
+  }
+
   const stream::DeltaGraph& Graph() const noexcept { return delta_; }
   const detect::DetectionResult& LastResult() const noexcept { return last_; }
   const std::vector<EpochStats>& History() const noexcept { return history_; }
@@ -124,6 +140,11 @@ class EpochDetector {
   double pending_ingest_seconds_ = 0.0;
   std::uint64_t noop_at_last_epoch_ = 0;
   std::uint64_t compactions_at_last_epoch_ = 0;
+
+  // Durability state: lifetime event counter and the epoch number offset of
+  // a restored detector (History() only holds post-restore epochs).
+  std::uint64_t total_events_ingested_ = 0;
+  std::uint64_t epoch_base_ = 0;
 
   detect::DetectionResult last_;
   std::vector<EpochStats> history_;

@@ -1,35 +1,113 @@
 #include "engine/shard_store.h"
 
 #include <stdexcept>
+#include <string>
+
+#include "engine/cluster.h"
+#include "util/failpoint.h"
 
 namespace rejecto::engine {
 
 ShardedGraphStore::ShardedGraphStore(const graph::AugmentedGraph& g,
                                      std::uint32_t num_shards,
                                      util::ThreadPool& pool,
-                                     const NetworkModel& network)
-    : num_nodes_(g.NumNodes()), pool_(&pool), network_(network) {
+                                     const NetworkModel& network,
+                                     const FetchPolicy& policy)
+    : num_nodes_(g.NumNodes()),
+      source_(&g),
+      pool_(&pool),
+      network_(network),
+      policy_(policy) {
   if (num_shards == 0) {
     throw std::invalid_argument("ShardedGraphStore: num_shards must be > 0");
   }
   shards_.resize(num_shards);
-  for (std::uint32_t s = 0; s < num_shards; ++s) {
-    shards_[s].nodes.resize((num_nodes_ + num_shards - 1 - s) / num_shards);
-  }
+  replica_.assign(num_shards, 0);
   // Shard loading is embarrassingly parallel across shards.
-  pool_->ParallelFor(num_shards, [&](std::size_t s) {
-    Shard& shard = shards_[s];
-    for (graph::NodeId v = static_cast<graph::NodeId>(s); v < num_nodes_;
-         v += num_shards) {
-      NodeAdjacency& a = shard.nodes[v / num_shards];
-      const auto fr = g.Friendships().Neighbors(v);
-      const auto rin = g.Rejections().Rejectors(v);
-      const auto rout = g.Rejections().Rejectees(v);
-      a.friends.assign(fr.begin(), fr.end());
-      a.rejectors.assign(rin.begin(), rin.end());
-      a.rejectees.assign(rout.begin(), rout.end());
+  pool_->ParallelFor(num_shards,
+                     [&](std::size_t s) { BuildShard(static_cast<std::uint32_t>(s)); });
+}
+
+ShardedGraphStore::ShardedGraphStore(const graph::AugmentedGraph& g,
+                                     Cluster& cluster,
+                                     const NetworkModel& network)
+    : ShardedGraphStore(g, static_cast<std::uint32_t>(cluster.Pool().size()),
+                        cluster.Pool(), network, cluster.Config().fetch) {
+  cluster_ = &cluster;
+  // Partitions of already-dead workers start life as failover replicas: the
+  // data was just rebuilt from lineage (the constructor above), which is
+  // exactly the degraded-mode path — but constructing a store for a dead
+  // worker without degraded mode is an operator error.
+  for (std::uint32_t s = 0; s < NumShards(); ++s) {
+    if (cluster.WorkerDead(s)) {
+      if (!policy_.degraded_mode) {
+        throw std::runtime_error(
+            "ShardedGraphStore: worker " + std::to_string(s) +
+            " is dead and degraded mode is off");
+      }
+      replica_[s] = 1;
+      ++failovers_;
     }
-  });
+  }
+}
+
+void ShardedGraphStore::BuildShard(std::uint32_t s) const {
+  const std::uint32_t num_shards = NumShards();
+  Shard& shard = shards_[s];
+  shard.nodes.assign((num_nodes_ + num_shards - 1 - s) / num_shards,
+                     NodeAdjacency{});
+  const graph::AugmentedGraph& g = *source_;
+  for (graph::NodeId v = static_cast<graph::NodeId>(s); v < num_nodes_;
+       v += num_shards) {
+    NodeAdjacency& a = shard.nodes[v / num_shards];
+    const auto fr = g.Friendships().Neighbors(v);
+    const auto rin = g.Rejections().Rejectors(v);
+    const auto rout = g.Rejections().Rejectees(v);
+    a.friends.assign(fr.begin(), fr.end());
+    a.rejectors.assign(rin.begin(), rin.end());
+    a.rejectees.assign(rout.begin(), rout.end());
+  }
+}
+
+void ShardedGraphStore::FailoverShard(std::uint32_t s, IoStats& stats) const {
+  if (!policy_.degraded_mode) {
+    throw std::runtime_error(
+        "ShardedGraphStore: shard " + std::to_string(s) +
+        " unavailable after " + std::to_string(policy_.max_attempts) +
+        " attempts and degraded mode is off");
+  }
+  // Lineage recompute: the replacement worker rebuilds the partition from
+  // the source graph, so the replica is bit-identical to what was lost.
+  BuildShard(s);
+  replica_[s] = 1;
+  ++stats.shard_failovers;
+}
+
+void ShardedGraphStore::ResolveShardFetch(std::uint32_t s,
+                                          IoStats& stats) const {
+  util::Failpoints& fp = util::Failpoints::Instance();
+  double backoff = policy_.backoff_us;
+  for (std::uint32_t attempt = 1;; ++attempt) {
+    if (fp.ShouldFail("engine/worker_crash")) {
+      // The worker died; its in-memory partition is gone. Every store this
+      // cluster builds from now on sees the death.
+      if (cluster_ != nullptr) cluster_->KillWorker(s);
+      shards_[s].nodes.clear();
+      FailoverShard(s, stats);
+      return;
+    }
+    if (!fp.ShouldFail("engine/fetch_shard")) return;  // attempt succeeded
+    // The master burns the attempt's timeout discovering the failure.
+    stats.simulated_network_us += policy_.attempt_timeout_us;
+    if (attempt >= policy_.max_attempts) {
+      shards_[s].nodes.clear();
+      FailoverShard(s, stats);
+      return;
+    }
+    ++stats.fetch_retries;
+    stats.simulated_backoff_us += backoff;
+    backoff *= policy_.backoff_multiplier;
+  }
 }
 
 std::vector<NodeAdjacency> ShardedGraphStore::FetchBatch(
@@ -43,6 +121,14 @@ std::vector<NodeAdjacency> ShardedGraphStore::FetchBatch(
     by_shard[ShardOf(nodes[i])].push_back(i);
   }
 
+  // Phase 1 (master thread, increasing shard order — deterministic fault
+  // injection): settle each touched shard's fate. A shard that returns from
+  // here is reachable, possibly via a freshly rebuilt replica.
+  for (std::uint32_t s = 0; s < num_shards; ++s) {
+    if (!by_shard[s].empty()) ResolveShardFetch(s, stats);
+  }
+
+  // Phase 2: the surviving per-shard lookups fly in parallel on the pool.
   std::vector<NodeAdjacency> out(nodes.size());
   std::vector<std::future<std::uint64_t>> futs;
   for (std::uint32_t s = 0; s < num_shards; ++s) {

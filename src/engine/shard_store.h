@@ -8,6 +8,17 @@
 // executes on the worker's thread and is metered as simulated network I/O
 // (one request per batch, payload = the serialized adjacency size). Tests
 // assert the distributed KL is bit-identical to the single-machine one.
+//
+// Failure tolerance (docs/ROBUSTNESS.md): FetchBatch consults two failpoint
+// sites before touching a shard — "engine/fetch_shard" (a transient fetch
+// failure/timeout; the master retries with exponential simulated backoff up
+// to FetchPolicy::max_attempts) and "engine/worker_crash" (the worker dies
+// and its partition is lost). When retries are exhausted or a worker
+// crashes, degraded mode fails the shard over: its partition is rebuilt
+// from the source graph — the lineage recompute of the prototype's RDDs —
+// so detection continues bit-identical to a failure-free run. With degraded
+// mode off the same condition throws. Failure resolution runs on the master
+// thread in increasing shard order, so injected faults are deterministic.
 #pragma once
 
 #include <cstdint>
@@ -47,6 +58,19 @@ struct NetworkModel {
   }
 };
 
+// Master-side retry/failover policy for shard fetches. Lives on
+// ClusterConfig (the deployment's knobs) and is copied into every store the
+// cluster builds.
+struct FetchPolicy {
+  std::uint32_t max_attempts = 3;        // tries per shard RPC before failover
+  double backoff_us = 1000.0;            // simulated wait before retry #1
+  double backoff_multiplier = 2.0;       // exponential backoff growth
+  double attempt_timeout_us = 5000.0;    // simulated time lost per failed try
+  // Fail a dead/unreachable shard over to a replica rebuilt from the source
+  // graph instead of aborting the sweep.
+  bool degraded_mode = true;
+};
+
 // Cumulative master<->worker traffic accounting.
 struct IoStats {
   std::uint64_t fetch_requests = 0;  // batched RPCs issued
@@ -54,7 +78,10 @@ struct IoStats {
   std::uint64_t bytes_transferred = 0;
   std::uint64_t cache_hits = 0;      // served from the prefetch buffer
   std::uint64_t cache_misses = 0;
+  std::uint64_t fetch_retries = 0;   // shard RPC attempts repeated
+  std::uint64_t shard_failovers = 0; // partitions rebuilt from lineage
   double simulated_network_us = 0.0;  // per the store's NetworkModel
+  double simulated_backoff_us = 0.0;  // retry backoff waits (simulated)
 
   double HitRate() const noexcept {
     const std::uint64_t total = cache_hits + cache_misses;
@@ -62,14 +89,39 @@ struct IoStats {
                       : static_cast<double>(cache_hits) /
                             static_cast<double>(total);
   }
+
+  // Field-wise sum, so aggregation sites can't silently drop a counter.
+  void Accumulate(const IoStats& o) noexcept {
+    fetch_requests += o.fetch_requests;
+    nodes_fetched += o.nodes_fetched;
+    bytes_transferred += o.bytes_transferred;
+    cache_hits += o.cache_hits;
+    cache_misses += o.cache_misses;
+    fetch_retries += o.fetch_retries;
+    shard_failovers += o.shard_failovers;
+    simulated_network_us += o.simulated_network_us;
+    simulated_backoff_us += o.simulated_backoff_us;
+  }
 };
+
+class Cluster;
 
 class ShardedGraphStore {
  public:
   // Shards g's adjacency round-robin (node id mod num_shards). The pool
-  // models the cluster's workers; it must outlive the store.
+  // models the cluster's workers; it must outlive the store. `g` must also
+  // outlive the store — it is the lineage source for shard failover.
   ShardedGraphStore(const graph::AugmentedGraph& g, std::uint32_t num_shards,
                     util::ThreadPool& pool,
+                    const NetworkModel& network = {},
+                    const FetchPolicy& policy = {});
+
+  // Cluster-aware form: one shard per worker, FetchPolicy from the cluster
+  // config, and worker-death tracking shared with `cluster` — a shard whose
+  // worker is already dead is built as a failover replica up front (counted
+  // in Failovers()), and a crash injected mid-sweep marks the worker dead
+  // for every later store the cluster builds.
+  ShardedGraphStore(const graph::AugmentedGraph& g, Cluster& cluster,
                     const NetworkModel& network = {});
 
   graph::NodeId NumNodes() const noexcept { return num_nodes_; }
@@ -99,16 +151,41 @@ class ShardedGraphStore {
     return shards_[ShardOf(v)].nodes[v / NumShards()];
   }
 
+  // Shards failed over to a lineage-rebuilt replica at construction time
+  // (their worker was already dead). FetchBatch-time failovers are metered
+  // into the caller's IoStats instead.
+  std::uint64_t Failovers() const noexcept { return failovers_; }
+
+  // True if shard s currently serves from a rebuilt replica.
+  bool IsReplica(std::uint32_t s) const { return replica_[s] != 0; }
+
  private:
   struct Shard {
     // Dense local storage: local index = global id / num_shards.
     std::vector<NodeAdjacency> nodes;
   };
 
+  // Rebuilds shard s's partition from the source graph (deterministic, so
+  // a replica is bit-identical to the partition it replaces).
+  void BuildShard(std::uint32_t s) const;
+  // Degraded-mode failover of an unreachable shard; throws when degraded
+  // mode is off.
+  void FailoverShard(std::uint32_t s, IoStats& stats) const;
+  // Phase 1 of FetchBatch: decide a shard RPC's fate on the master thread —
+  // success, retries with backoff, or crash/exhaustion failover.
+  void ResolveShardFetch(std::uint32_t s, IoStats& stats) const;
+
   graph::NodeId num_nodes_ = 0;
-  std::vector<Shard> shards_;
+  const graph::AugmentedGraph* source_;  // lineage for failover rebuilds
+  // Failure handling mutates shard state from const FetchBatch; all of it
+  // runs on the master thread (FetchBatch is not itself thread-safe).
+  mutable std::vector<Shard> shards_;
+  mutable std::vector<char> replica_;
+  mutable std::uint64_t failovers_ = 0;
   util::ThreadPool* pool_;
+  Cluster* cluster_ = nullptr;  // worker-death tracking; may be null
   NetworkModel network_;
+  FetchPolicy policy_;
 };
 
 }  // namespace rejecto::engine

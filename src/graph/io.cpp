@@ -5,10 +5,50 @@
 #include <stdexcept>
 
 #include "graph/builder.h"
+#include "util/failpoint.h"
+#include "util/parse.h"
 
 namespace rejecto::graph {
 
+namespace {
+
+// Interning caps the dense id space at NodeId: a file with more distinct
+// raw ids than NodeId can address must fail loudly, not wrap.
+void CheckInternCapacity(std::size_t num_nodes, const std::string& context) {
+  if (num_nodes >= kInvalidNode) {
+    throw std::runtime_error(context + ": distinct node count overflows the "
+                             "32-bit node id space");
+  }
+}
+
+// Parses "a b" off a line: full-token checked integers, nothing after them.
+// Raw ids may be any u64 (they get interned), but signs, garbage, and
+// overflow are malformed input, not data.
+void ParseEdgeLine(const std::string& line, const std::string& context,
+                   std::uint64_t& a, std::uint64_t& b) {
+  std::istringstream ls(line);
+  std::string a_tok, b_tok, extra_tok;
+  if (!(ls >> a_tok >> b_tok)) {
+    throw std::runtime_error(context + ": expected two node ids");
+  }
+  a = util::ParseU64Checked(a_tok, context);
+  b = util::ParseU64Checked(b_tok, context);
+  if (ls >> extra_tok) {
+    throw std::runtime_error(context + ": trailing token '" + extra_tok +
+                             "' after edge");
+  }
+}
+
+void CheckOpenFailpoint(const std::string& path) {
+  if (util::Failpoints::Instance().ShouldFail("graph/io_open")) {
+    throw std::runtime_error("injected failure: graph/io_open on " + path);
+  }
+}
+
+}  // namespace
+
 LoadedGraph LoadEdgeList(const std::string& path) {
+  CheckOpenFailpoint(path);
   std::ifstream in(path);
   if (!in) {
     throw std::runtime_error("LoadEdgeList: cannot open " + path);
@@ -16,9 +56,11 @@ LoadedGraph LoadEdgeList(const std::string& path) {
   GraphBuilder builder;
   std::unordered_map<std::uint64_t, NodeId> dense;
   std::vector<std::uint64_t> original;
+  std::string context;
   auto intern = [&](std::uint64_t raw) -> NodeId {
     auto [it, inserted] = dense.try_emplace(raw, builder.NumNodes());
     if (inserted) {
+      CheckInternCapacity(original.size(), context);
       builder.AddNode();
       original.push_back(raw);
     }
@@ -29,12 +71,9 @@ LoadedGraph LoadEdgeList(const std::string& path) {
   while (std::getline(in, line)) {
     ++lineno;
     if (line.empty() || line[0] == '#') continue;
-    std::istringstream ls(line);
+    context = "LoadEdgeList: " + path + " line " + std::to_string(lineno);
     std::uint64_t a = 0, b = 0;
-    if (!(ls >> a >> b)) {
-      throw std::runtime_error("LoadEdgeList: malformed line " +
-                               std::to_string(lineno) + " in " + path);
-    }
+    ParseEdgeLine(line, context, a, b);
     if (a == b) continue;  // drop self-loops, as SNAP consumers do
     // Intern in reading order (function-argument evaluation order would be
     // unspecified) so original_id is ordered by first appearance.
@@ -49,15 +88,18 @@ LoadedAugmentedGraph LoadAugmentedGraph(const std::string& friendships_path,
                                         const std::string& rejections_path) {
   GraphBuilder builder;
   LoadedAugmentedGraph out;
+  std::string context;
   auto intern = [&](std::uint64_t raw) -> NodeId {
     auto [it, inserted] = out.dense_id.try_emplace(raw, builder.NumNodes());
     if (inserted) {
+      CheckInternCapacity(out.original_id.size(), context);
       builder.AddNode();
       out.original_id.push_back(raw);
     }
     return it->second;
   };
   auto parse = [&](const std::string& path, bool friendships) {
+    CheckOpenFailpoint(path);
     std::ifstream in(path);
     if (!in) {
       throw std::runtime_error("LoadAugmentedGraph: cannot open " + path);
@@ -67,12 +109,10 @@ LoadedAugmentedGraph LoadAugmentedGraph(const std::string& friendships_path,
     while (std::getline(in, line)) {
       ++lineno;
       if (line.empty() || line[0] == '#') continue;
-      std::istringstream ls(line);
+      context = "LoadAugmentedGraph: " + path + " line " +
+                std::to_string(lineno);
       std::uint64_t a = 0, b = 0;
-      if (!(ls >> a >> b)) {
-        throw std::runtime_error("LoadAugmentedGraph: malformed line " +
-                                 std::to_string(lineno) + " in " + path);
-      }
+      ParseEdgeLine(line, context, a, b);
       if (a == b) continue;
       const NodeId ua = intern(a);
       const NodeId ub = intern(b);

@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <fstream>
+#include <optional>
 #include <set>
 #include <sstream>
 #include <stdexcept>
+#include <string_view>
 
 #include "graph/builder.h"
+#include "util/parse.h"
 
 namespace rejecto::stream {
 
@@ -126,30 +129,54 @@ MutationLog MutationLog::Load(const std::string& path) {
   MutationLog log;
   std::string line;
   std::size_t lineno = 0;
+  std::optional<std::uint64_t> expected_events;
+  // Extracts the full whitespace-delimited token following `key` (e.g.
+  // "nodes=") — std::stoull on the raw substring would happily parse
+  // "nodes=12garbage" or silently truncate a 2^40 count to NodeId.
+  const auto header_token = [&line](std::string_view key) {
+    const auto pos = line.find(key);
+    if (pos == std::string::npos) return std::string_view{};
+    const auto start = pos + key.size();
+    auto end = line.find_first_of(" \t\r", start);
+    if (end == std::string::npos) end = line.size();
+    return std::string_view(line).substr(start, end - start);
+  };
   while (std::getline(in, line)) {
     ++lineno;
     if (line.empty()) continue;
+    const std::string context =
+        "MutationLog::Load: " + path + " line " + std::to_string(lineno);
     if (line[0] == '#') {
-      const auto pos = line.find("nodes=");
-      if (pos != std::string::npos) {
-        log.GrowTo(
-            static_cast<graph::NodeId>(std::stoull(line.substr(pos + 6))));
+      // The Save header carries both counts; a comment without "nodes=" is
+      // skipped, but a header with either count malformed is rejected.
+      if (line.find("nodes=") != std::string::npos) {
+        log.GrowTo(static_cast<graph::NodeId>(
+            util::ParseU64Checked(header_token("nodes="),
+                                  context + " (nodes=)", graph::kInvalidNode)));
+        const auto events_tok = header_token("events=");
+        if (line.find("events=") == std::string::npos) {
+          throw std::runtime_error(context +
+                                   ": header is missing the events= count");
+        }
+        expected_events =
+            util::ParseU64Checked(events_tok, context + " (events=)");
       }
       continue;
     }
     std::istringstream ls(line);
-    char tag = 0;
-    graph::NodeId u = 0, v = 0;
+    std::string tag_tok, u_tok, v_tok, extra_tok;
     const auto fail = [&] {
-      throw std::runtime_error("MutationLog::Load: malformed line " +
-                               std::to_string(lineno) + " in " + path);
+      throw std::runtime_error(context + ": malformed event line");
     };
-    if (!(ls >> tag >> u)) fail();
-    switch (tag) {
+    if (!(ls >> tag_tok >> u_tok) || tag_tok.size() != 1) fail();
+    const graph::NodeId u = util::ParseNodeIdChecked(u_tok, context);
+    switch (tag_tok[0]) {
       case 'F':
       case 'A':
       case 'R': {
-        if (!(ls >> v)) fail();
+        if (!(ls >> v_tok)) fail();
+        const graph::NodeId v = util::ParseNodeIdChecked(v_tok, context);
+        const char tag = tag_tok[0];
         const EventType t = tag == 'F'   ? EventType::kAddFriend
                             : tag == 'A' ? EventType::kAccept
                                          : EventType::kReject;
@@ -162,6 +189,13 @@ MutationLog MutationLog::Load(const std::string& path) {
       default:
         fail();
     }
+    if (ls >> extra_tok) fail();  // trailing tokens hide truncated edits
+  }
+  if (expected_events && log.NumEvents() != *expected_events) {
+    throw std::runtime_error(
+        "MutationLog::Load: " + path + " header promises " +
+        std::to_string(*expected_events) + " events but the file has " +
+        std::to_string(log.NumEvents()) + " (truncated or corrupt log)");
   }
   return log;
 }

@@ -1,0 +1,17 @@
+// CRC32C (Castagnoli, polynomial 0x1EDC6F41) — the checksum guarding WAL
+// records and checkpoint payloads. Software slice-by-8 implementation: no
+// SSE4.2 dependency, ~1 GB/s, bit-identical on every platform. The check
+// value of "123456789" is 0xE3069283.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace rejecto::util {
+
+// CRC of `len` bytes starting at `data`, continuing from `crc` (pass 0 to
+// start; feed a previous result to checksum incrementally).
+std::uint32_t Crc32c(const void* data, std::size_t len,
+                     std::uint32_t crc = 0);
+
+}  // namespace rejecto::util

@@ -1,0 +1,57 @@
+// Checked numeric parsing for text loaders.
+//
+// std::stoull and istream extraction both accept input the loaders must
+// reject: "-5" wraps modulo 2^64, "12garbage" parses the prefix, and values
+// past the target type's range either throw std::out_of_range from deep
+// inside the parser or silently saturate. These helpers parse a full token
+// with std::from_chars, so loaders can report *which line* of *which file*
+// is malformed instead of leaking UB or a context-free exception.
+#pragma once
+
+#include <charconv>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "graph/types.h"
+
+namespace rejecto::util {
+
+// Parses the ENTIRE token as an unsigned integer <= max. Rejects empty
+// tokens, signs, garbage prefixes/suffixes, and out-of-range values.
+// Throws std::runtime_error with `context` (e.g. "file.txt line 12: ...").
+inline std::uint64_t ParseU64Checked(std::string_view token,
+                                     const std::string& context,
+                                     std::uint64_t max = UINT64_MAX) {
+  if (token.empty()) {
+    throw std::runtime_error(context + ": missing integer token");
+  }
+  if (token.front() == '-' || token.front() == '+') {
+    throw std::runtime_error(context + ": signed id '" + std::string(token) +
+                             "' (ids must be non-negative integers)");
+  }
+  std::uint64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), value);
+  if (ec == std::errc::result_out_of_range || (ec == std::errc{} && value > max)) {
+    throw std::runtime_error(context + ": id '" + std::string(token) +
+                             "' out of range (max " + std::to_string(max) +
+                             ")");
+  }
+  if (ec != std::errc{} || ptr != token.data() + token.size()) {
+    throw std::runtime_error(context + ": malformed integer '" +
+                             std::string(token) + "'");
+  }
+  return value;
+}
+
+// Node-id parse: full-token, non-negative, and within NodeId (the dense
+// id type) minus the reserved kInvalidNode sentinel.
+inline graph::NodeId ParseNodeIdChecked(std::string_view token,
+                                        const std::string& context) {
+  return static_cast<graph::NodeId>(
+      ParseU64Checked(token, context, graph::kInvalidNode - 1));
+}
+
+}  // namespace rejecto::util

@@ -1,0 +1,128 @@
+// Unit tests for the deterministic fault-injection registry
+// (util/failpoint.h): trigger policies, spec parsing, counters, and the
+// RAII arming helper. The sites exercised here are test-local names — the
+// real IO/worker sites are covered by wal_test and engine_fault_test.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "util/failpoint.h"
+
+namespace rejecto::util {
+namespace {
+
+TEST(FailpointPolicyTest, ParsesEveryForm) {
+  EXPECT_EQ(FailpointPolicy::Parse("off").kind, FailpointPolicy::Kind::kOff);
+
+  const auto on = FailpointPolicy::Parse("on:3");
+  EXPECT_EQ(on.kind, FailpointPolicy::Kind::kOnNth);
+  EXPECT_EQ(on.n, 3u);
+
+  const auto every = FailpointPolicy::Parse("every:10");
+  EXPECT_EQ(every.kind, FailpointPolicy::Kind::kEveryNth);
+  EXPECT_EQ(every.n, 10u);
+
+  const auto prob = FailpointPolicy::Parse("p:0.25:7");
+  EXPECT_EQ(prob.kind, FailpointPolicy::Kind::kProbability);
+  EXPECT_DOUBLE_EQ(prob.p, 0.25);
+  EXPECT_EQ(prob.seed, 7u);
+
+  const auto prob_default_seed = FailpointPolicy::Parse("p:0.5");
+  EXPECT_DOUBLE_EQ(prob_default_seed.p, 0.5);
+  EXPECT_EQ(prob_default_seed.seed, 42u);
+}
+
+TEST(FailpointPolicyTest, RejectsMalformedSpecs) {
+  EXPECT_THROW(FailpointPolicy::Parse(""), std::invalid_argument);
+  EXPECT_THROW(FailpointPolicy::Parse("on"), std::invalid_argument);
+  EXPECT_THROW(FailpointPolicy::Parse("on:0"), std::invalid_argument);
+  EXPECT_THROW(FailpointPolicy::Parse("on:3x"), std::invalid_argument);
+  EXPECT_THROW(FailpointPolicy::Parse("every:-2"), std::invalid_argument);
+  EXPECT_THROW(FailpointPolicy::Parse("p:1.5"), std::invalid_argument);
+  EXPECT_THROW(FailpointPolicy::Parse("p:abc"), std::invalid_argument);
+  EXPECT_THROW(FailpointPolicy::Parse("maybe:1"), std::invalid_argument);
+}
+
+TEST(FailpointTest, UnarmedSiteNeverFiresOrCounts) {
+  Failpoints& fp = Failpoints::Instance();
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(fp.ShouldFail("test/unarmed"));
+  }
+  EXPECT_EQ(fp.Hits("test/unarmed"), 0u);
+  EXPECT_EQ(fp.Fires("test/unarmed"), 0u);
+}
+
+TEST(FailpointTest, OnNthFiresExactlyOnce) {
+  Failpoints& fp = Failpoints::Instance();
+  ScopedFailpoint guard("test/on_nth", FailpointPolicy::OnNth(3));
+  std::vector<bool> fired;
+  for (int i = 0; i < 6; ++i) fired.push_back(fp.ShouldFail("test/on_nth"));
+  EXPECT_EQ(fired, (std::vector<bool>{false, false, true, false, false,
+                                      false}));
+  EXPECT_EQ(fp.Hits("test/on_nth"), 6u);
+  EXPECT_EQ(fp.Fires("test/on_nth"), 1u);
+}
+
+TEST(FailpointTest, EveryNthFiresPeriodically) {
+  Failpoints& fp = Failpoints::Instance();
+  ScopedFailpoint guard("test/every_nth", FailpointPolicy::EveryNth(2));
+  std::vector<bool> fired;
+  for (int i = 0; i < 6; ++i) fired.push_back(fp.ShouldFail("test/every_nth"));
+  EXPECT_EQ(fired, (std::vector<bool>{false, true, false, true, false, true}));
+  EXPECT_EQ(fp.Fires("test/every_nth"), 3u);
+}
+
+TEST(FailpointTest, ProbabilityIsDeterministicPerSeed) {
+  Failpoints& fp = Failpoints::Instance();
+  const auto sequence = [&](std::uint64_t seed) {
+    std::vector<bool> fired;
+    ScopedFailpoint guard("test/prob", FailpointPolicy::Probability(0.3, seed));
+    for (int i = 0; i < 200; ++i) fired.push_back(fp.ShouldFail("test/prob"));
+    return fired;
+  };
+  const auto a = sequence(7);
+  const auto b = sequence(7);
+  EXPECT_EQ(a, b) << "same seed must reproduce the same firing sequence";
+  EXPECT_NE(a, sequence(8)) << "different seeds should diverge";
+  const auto fires = static_cast<int>(std::count(a.begin(), a.end(), true));
+  EXPECT_GT(fires, 200 * 0.3 / 3);  // loose rate sanity bounds
+  EXPECT_LT(fires, 200 * 0.3 * 3);
+}
+
+TEST(FailpointTest, RearmResetsCountersAndStream) {
+  Failpoints& fp = Failpoints::Instance();
+  ScopedFailpoint guard("test/rearm", FailpointPolicy::OnNth(1));
+  EXPECT_TRUE(fp.ShouldFail("test/rearm"));
+  EXPECT_FALSE(fp.ShouldFail("test/rearm"));
+  fp.Arm("test/rearm", FailpointPolicy::OnNth(1));
+  EXPECT_EQ(fp.Hits("test/rearm"), 0u);
+  EXPECT_TRUE(fp.ShouldFail("test/rearm")) << "re-armed Nth starts over";
+}
+
+TEST(FailpointTest, ArmFromSpecArmsMultipleSites) {
+  Failpoints& fp = Failpoints::Instance();
+  fp.ArmFromSpec("test/spec_a=on:1;test/spec_b=every:2;");
+  EXPECT_TRUE(fp.ShouldFail("test/spec_a"));
+  EXPECT_FALSE(fp.ShouldFail("test/spec_b"));
+  EXPECT_TRUE(fp.ShouldFail("test/spec_b"));
+  fp.Disarm("test/spec_a");
+  fp.Disarm("test/spec_b");
+  EXPECT_THROW(fp.ArmFromSpec("missing-equals"), std::invalid_argument);
+  EXPECT_THROW(fp.ArmFromSpec("test/spec_c=bogus:1"), std::invalid_argument);
+  EXPECT_FALSE(fp.ShouldFail("test/spec_c"));
+}
+
+TEST(FailpointTest, ScopedFailpointDisarmsOnExit) {
+  Failpoints& fp = Failpoints::Instance();
+  {
+    ScopedFailpoint guard("test/scoped", FailpointPolicy::EveryNth(1));
+    EXPECT_TRUE(fp.ShouldFail("test/scoped"));
+  }
+  EXPECT_FALSE(fp.ShouldFail("test/scoped"));
+  EXPECT_EQ(fp.Hits("test/scoped"), 0u);
+}
+
+}  // namespace
+}  // namespace rejecto::util

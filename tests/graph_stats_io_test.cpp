@@ -8,6 +8,7 @@
 #include "gen/barabasi_albert.h"
 #include "graph/io.h"
 #include "graph/stats.h"
+#include "util/failpoint.h"
 
 namespace rejecto::graph {
 namespace {
@@ -218,6 +219,42 @@ TEST_F(IoTest, MissingFileThrows) {
   EXPECT_THROW(LoadEdgeList("/nonexistent/rejecto.txt"), std::runtime_error);
 }
 
+TEST_F(IoTest, RejectsCorruptedEdgeLists) {
+  // Pre-hardening, istream extraction wrapped "-5" modulo 2^64 and
+  // silently accepted garbage suffixes — corrupt inputs became edges.
+  const auto expect_rejects = [&](const std::string& contents,
+                                  const char* what) {
+    std::ofstream(path_, std::ios::trunc) << contents;
+    EXPECT_THROW(LoadEdgeList(path_.string()), std::runtime_error) << what;
+  };
+  expect_rejects("1 -5\n", "negative id");
+  expect_rejects("+1 2\n", "explicit sign");
+  expect_rejects("1 2x\n", "garbage suffix");
+  expect_rejects("99999999999999999999 1\n", "id overflowing u64");
+  expect_rejects("1 2 3\n", "trailing third column");
+  expect_rejects("1\n", "missing second id");
+  expect_rejects("1.5 2\n", "non-integer id");
+}
+
+TEST_F(IoTest, ErrorMessageNamesFileAndLine) {
+  std::ofstream(path_) << "1 2\n3 4\n5 bogus\n";
+  try {
+    LoadEdgeList(path_.string());
+    FAIL() << "corrupt line was accepted";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find(path_.string()), std::string::npos) << msg;
+    EXPECT_NE(msg.find("line 3"), std::string::npos) << msg;
+  }
+}
+
+TEST_F(IoTest, LoadFailpointInjectsOpenFailure) {
+  std::ofstream(path_) << "1 2\n";
+  util::ScopedFailpoint fail("graph/io_open", util::FailpointPolicy::OnNth(1));
+  EXPECT_THROW(LoadEdgeList(path_.string()), std::runtime_error);
+  EXPECT_EQ(LoadEdgeList(path_.string()).graph.NumEdges(), 1u);
+}
+
 class AugmentedIoTest : public ::testing::Test {
  protected:
   void SetUp() override {
@@ -259,6 +296,16 @@ TEST_F(AugmentedIoTest, RejectionDirectionIsRejectorFirst) {
 TEST_F(AugmentedIoTest, MalformedRejectionLineThrows) {
   std::ofstream(fr_path_) << "1 2\n";
   std::ofstream(rej_path_) << "oops\n";
+  EXPECT_THROW(LoadAugmentedGraph(fr_path_.string(), rej_path_.string()),
+               std::runtime_error);
+}
+
+TEST_F(AugmentedIoTest, RejectsNegativeAndOverflowingIds) {
+  std::ofstream(fr_path_) << "1 2\n";
+  std::ofstream(rej_path_) << "-3 1\n";
+  EXPECT_THROW(LoadAugmentedGraph(fr_path_.string(), rej_path_.string()),
+               std::runtime_error);
+  std::ofstream(rej_path_, std::ios::trunc) << "18446744073709551616 1\n";
   EXPECT_THROW(LoadAugmentedGraph(fr_path_.string(), rej_path_.string()),
                std::runtime_error);
 }

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
 #include <set>
 #include <string>
 #include <vector>
@@ -93,6 +94,58 @@ TEST(MutationLogTest, SaveLoadRoundTrips) {
     EXPECT_EQ(loaded.Events()[i], log.Events()[i]) << "event " << i;
   }
   EXPECT_EQ(loaded.BuildAugmentedGraph(), log.BuildAugmentedGraph());
+  std::remove(path.c_str());
+}
+
+// Writes raw text and expects Load to reject it with a line-numbered error.
+void ExpectLoadRejects(const std::string& contents, const char* what) {
+  const std::string path = ::testing::TempDir() + "/mutation_log_bad.txt";
+  {
+    std::ofstream out(path);
+    out << contents;
+  }
+  EXPECT_THROW(MutationLog::Load(path), std::runtime_error) << what;
+  std::remove(path.c_str());
+}
+
+TEST(MutationLogTest, LoadRejectsMalformedHeader) {
+  // stoull-era bugs: trailing garbage after the count parsed silently, and
+  // the events= count was never checked at all.
+  ExpectLoadRejects("# rejecto mutation log: nodes=12garbage events=1\nF 0 1\n",
+                    "garbage after nodes count");
+  ExpectLoadRejects("# rejecto mutation log: nodes=-4 events=0\n",
+                    "negative node count");
+  ExpectLoadRejects(
+      "# rejecto mutation log: nodes=99999999999999999999 events=0\n",
+      "node count overflowing u64");
+  ExpectLoadRejects("# rejecto mutation log: nodes=8589934592 events=0\n",
+                    "node count overflowing NodeId");
+  ExpectLoadRejects("# rejecto mutation log: nodes=5\nF 0 1\n",
+                    "header missing events=");
+  ExpectLoadRejects("# rejecto mutation log: nodes=5 events=3\nF 0 1\n",
+                    "events count mismatch (truncated log)");
+}
+
+TEST(MutationLogTest, LoadRejectsMalformedEventLines) {
+  const std::string header = "# rejecto mutation log: nodes=9 events=1\n";
+  ExpectLoadRejects(header + "F 0\n", "missing second id");
+  ExpectLoadRejects(header + "F -1 2\n", "negative id");
+  ExpectLoadRejects(header + "F 1 2x\n", "garbage suffix on id");
+  ExpectLoadRejects(header + "F 1 2 3\n", "trailing token");
+  ExpectLoadRejects(header + "Q 1 2\n", "unknown tag");
+  ExpectLoadRejects(header + "FF 1 2\n", "multi-char tag");
+  ExpectLoadRejects(header + "F 1 4294967295\n", "id == kInvalidNode");
+}
+
+TEST(MutationLogTest, LoadAcceptsPlainCommentsWithoutCounts) {
+  const std::string path = ::testing::TempDir() + "/mutation_log_comment.txt";
+  {
+    std::ofstream out(path);
+    out << "# just a comment\nF 0 1\n";
+  }
+  const MutationLog log = MutationLog::Load(path);
+  EXPECT_EQ(log.NumEvents(), 1u);
+  EXPECT_EQ(log.NumNodes(), 2u);
   std::remove(path.c_str());
 }
 
