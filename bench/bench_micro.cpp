@@ -683,5 +683,11 @@ int main(int argc, char** argv) {
   // Kernel probes: fused-vs-unfused KL switch throughput and CSR-vs-builder
   // compaction time, appended to the same BENCH_maar.json array.
   RunKernelProbes("bench_micro", fast);
+
+  // Memory-layout and cold-start probes (graph/layout.h, graph/snapshot.h):
+  // shuffled-vs-BFS-relaid switch throughput, plus text-vs-snapshot load
+  // time on the same scenario graph.
+  rejecto::bench::RunLayoutKernelProbe("bench_micro", scenario.graph, fast);
+  rejecto::bench::RunSnapshotLoadProbe("bench_micro", scenario.graph, fast);
   return 0;
 }

@@ -83,6 +83,17 @@ int main() {
     bench::RunMaarSpeedupProbe("bench_table2_scaling", scenario.graph, probe,
                                threads);
 
+    // At the sweep's largest size — where the CSRs have long outgrown the
+    // caches — measure what the locality layout and the binary snapshots
+    // buy: shuffled-vs-BFS-relaid switch throughput (the acceptance bar is
+    // layout_bfs >= 1.2x on this graph) and text-vs-snapshot load time.
+    if (n == sizes.back()) {
+      bench::RunLayoutKernelProbe("bench_table2_scaling", scenario.graph,
+                                  ctx.fast);
+      bench::RunSnapshotLoadProbe("bench_table2_scaling", scenario.graph,
+                                  ctx.fast);
+    }
+
     t.AddRow({static_cast<std::int64_t>(n),
               static_cast<std::int64_t>(
                   scenario.graph.Friendships().NumEdges()),

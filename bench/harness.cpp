@@ -7,12 +7,23 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <numeric>
+#include <span>
 #include <sstream>
+#include <unordered_map>
 
 #include "baseline/votetrust.h"
+#include "detect/bucket_list.h"
+#include "detect/partition.h"
+#include "graph/builder.h"
+#include "graph/io.h"
+#include "graph/layout.h"
+#include "graph/snapshot.h"
 #include "metrics/classification.h"
 #include "metrics/ranking.h"
 #include "util/flags.h"
+#include "util/parse.h"
+#include "util/rng.h"
 #include "util/timer.h"
 
 namespace rejecto::bench {
@@ -56,6 +67,9 @@ detect::IterativeConfig PaperDetectorConfig(const ExperimentContext& ctx,
   // REJECTO_THREADS (0 = hardware); bit-identical results either way, so
   // every bench may run its sweeps parallel by default.
   cfg.maar.num_threads = util::ThreadCount();
+  // REJECTO_LAYOUT (identity|bfs): detection results are invariant under
+  // the layout (graph/layout.h), so the knob only changes cache behavior.
+  cfg.maar.layout = graph::LayoutPolicyFromEnv();
   return cfg;
 }
 
@@ -117,9 +131,34 @@ std::vector<std::string> AppendixDatasets(const ExperimentContext& ctx) {
 
 namespace {
 
+#ifndef REJECTO_GIT_SHA
+#define REJECTO_GIT_SHA "unknown"
+#endif
+
+// Scans a BENCH_maar.json body for the largest "run_id" value; 0 when the
+// file is missing, fresh, or predates the provenance stamps.
+std::uint64_t MaxRunId(const std::string& json) {
+  static const std::string key = "\"run_id\": ";
+  std::uint64_t max_id = 0;
+  for (std::size_t pos = json.find(key); pos != std::string::npos;
+       pos = json.find(key, pos + key.size())) {
+    std::uint64_t id = 0;
+    for (std::size_t i = pos + key.size();
+         i < json.size() && std::isdigit(static_cast<unsigned char>(json[i]));
+         ++i) {
+      id = id * 10 + static_cast<std::uint64_t>(json[i] - '0');
+    }
+    max_id = std::max(max_id, id);
+  }
+  return max_id;
+}
+
 // Reopens the flat JSON array in <REJECTO_JSON_DIR or cwd>/BENCH_maar.json
 // and appends the pre-rendered record objects (one per string, no leading
-// whitespace or trailing comma).
+// whitespace or trailing comma). Every record is stamped with the build's
+// git sha and a run_id one past the largest already in the file, so a
+// record's provenance (which commit, which append batch) survives the
+// file's whole accumulation history.
 void AppendBenchJsonRecords(const std::vector<std::string>& rendered) {
   if (rendered.empty()) return;
   const std::string dir =
@@ -133,6 +172,10 @@ void AppendBenchJsonRecords(const std::vector<std::string>& rendered) {
     ss << in.rdbuf();
     existing = ss.str();
   }
+  const std::uint64_t run_id = MaxRunId(existing) + 1;
+  const std::string stamp = std::string("{\"git_sha\": \"") + REJECTO_GIT_SHA +
+                            "\", \"run_id\": " + std::to_string(run_id) +
+                            ", ";
   auto rtrim = [](std::string& s) {
     while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
       s.pop_back();
@@ -154,7 +197,7 @@ void AppendBenchJsonRecords(const std::vector<std::string>& rendered) {
   for (const auto& r : rendered) {
     if (!first) body << ",";
     first = false;
-    body << "\n  " << r;
+    body << "\n  " << stamp << r.substr(1);  // r starts with '{'
   }
   body << "\n]\n";
   std::ofstream out(path, std::ios::trunc);
@@ -230,6 +273,282 @@ void RunMaarSpeedupProbe(const std::string& bench_name,
     records.push_back(std::move(r));
   }
   AppendMaarBenchJson(records);
+}
+
+namespace {
+
+// One emitted kernel record + stdout line, shared by the probes below.
+void PushKernelRecord(std::vector<KernelBenchRecord>& records,
+                      const std::string& bench_name, const char* kernel,
+                      const graph::AugmentedGraph& g, std::int64_t items,
+                      double seconds, double baseline_seconds) {
+  KernelBenchRecord r;
+  r.bench = bench_name;
+  r.kernel = kernel;
+  r.users = static_cast<std::int64_t>(g.NumNodes());
+  r.edges = static_cast<std::int64_t>(g.Friendships().NumEdges());
+  r.items = items;
+  r.seconds = seconds;
+  r.throughput = static_cast<double>(items) / std::max(seconds, 1e-9);
+  r.speedup = baseline_seconds / std::max(seconds, 1e-9);
+  std::cout << bench_name << " kernel=" << kernel << " users=" << r.users
+            << " items=" << r.items << " seconds=" << r.seconds
+            << " throughput=" << r.throughput << " speedup=" << r.speedup
+            << "\n";
+  records.push_back(std::move(r));
+}
+
+// Times one switch-sequence run of the fused kernel on `g`; returns the
+// final objective so callers can cross-check runs on relaid-out copies.
+double RunSwitchSequence(const graph::AugmentedGraph& g,
+                         const std::vector<char>& init,
+                         const std::vector<graph::NodeId>& seq, double k,
+                         double* seconds_out) {
+  const graph::NodeId n = g.NumNodes();
+  const double gain_bound =
+      std::max(1.0, static_cast<double>(g.MaxFriendshipDegree()) +
+                        k * static_cast<double>(g.MaxRejectionDegree()));
+  detect::Partition p(g, init);
+  detect::BucketList bl(n, gain_bound, detect::KlConfig{}.gain_resolution);
+  for (graph::NodeId v = 0; v < n; ++v) {
+    bl.Insert(v, -p.DeltaObjective(v, k));
+  }
+  std::vector<graph::NodeId> touched;
+  touched.reserve(static_cast<std::size_t>(g.MaxFriendshipDegree() +
+                                           g.MaxRejectionDegree()));
+  util::WallTimer t;
+  for (graph::NodeId v : seq) {
+    p.SwitchFused(v, k, bl, touched);
+  }
+  *seconds_out = t.Seconds();
+  return p.Objective(k);
+}
+
+// The istringstream-based edge-list loader the string_view scanner
+// replaced, kept verbatim as the text_load_old baseline (mirrors the
+// kl_switch_old convention: old code lives on in the bench that proves the
+// replacement's speedup).
+graph::AugmentedGraph OldTextLoad(const std::string& friendships_path,
+                                  const std::string& rejections_path) {
+  graph::GraphBuilder builder;
+  std::unordered_map<std::uint64_t, graph::NodeId> dense;
+  std::vector<std::uint64_t> original;
+  std::string context;
+  auto intern = [&](std::uint64_t raw) -> graph::NodeId {
+    auto [it, inserted] = dense.try_emplace(raw, builder.NumNodes());
+    if (inserted) {
+      builder.AddNode();
+      original.push_back(raw);
+    }
+    return it->second;
+  };
+  auto parse = [&](const std::string& path, bool friendships) {
+    std::ifstream in(path);
+    if (!in) {
+      throw std::runtime_error("OldTextLoad: cannot open " + path);
+    }
+    std::string line;
+    std::size_t lineno = 0;
+    while (std::getline(in, line)) {
+      ++lineno;
+      if (line.empty() || line[0] == '#') continue;
+      context = "LoadAugmentedGraph: " + path + " line " +
+                std::to_string(lineno);
+      std::istringstream ls(line);
+      std::string a_tok, b_tok, extra_tok;
+      if (!(ls >> a_tok >> b_tok)) {
+        throw std::runtime_error(context + ": expected two node ids");
+      }
+      const std::uint64_t a = util::ParseU64Checked(a_tok, context);
+      const std::uint64_t b = util::ParseU64Checked(b_tok, context);
+      if (ls >> extra_tok) {
+        throw std::runtime_error(context + ": trailing token '" + extra_tok +
+                                 "' after edge");
+      }
+      if (a == b) continue;
+      const graph::NodeId ua = intern(a);
+      const graph::NodeId ub = intern(b);
+      if (friendships) {
+        builder.AddFriendship(ua, ub);
+      } else {
+        builder.AddRejection(ua, ub);
+      }
+    }
+  };
+  parse(friendships_path, /*friendships=*/true);
+  parse(rejections_path, /*friendships=*/false);
+  return builder.BuildAugmented();
+}
+
+}  // namespace
+
+void RunLayoutKernelProbe(const std::string& bench_name,
+                          const graph::AugmentedGraph& g, bool fast) {
+  const graph::NodeId n = g.NumNodes();
+  if (n < 2) return;
+
+  // Baseline: a deterministic Fisher–Yates shuffle of the ids — the "as
+  // interned from a text file" order the layout subsystem exists to fix.
+  // (Generator graphs are born in a friendly order, so comparing against g
+  // itself would understate what relayout buys on real ingested data.)
+  util::Rng rng(97);
+  std::vector<graph::NodeId> perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+  for (graph::NodeId i = n - 1; i > 0; --i) {
+    std::swap(perm[i], perm[rng.NextUInt(i + 1)]);
+  }
+  const graph::Layout shuffle =
+      graph::LayoutFromPermutation(std::move(perm));
+  const graph::AugmentedGraph g_shuf = graph::ApplyLayout(g, shuffle);
+  const graph::Layout bfs =
+      graph::ComputeLayout(g_shuf, graph::LayoutPolicy::kBfs);
+  const graph::AugmentedGraph g_bfs = graph::ApplyLayout(g_shuf, bfs);
+
+  // One logical workload on both layouts: same init mask, same switch
+  // sequence, translated into each graph's id space. The sequence is a
+  // propagation-ordered sweep — the BFS visit order of the shuffled graph
+  // from its highest-combined-degree hubs, truncated — because that is the
+  // temporal shape of the detector's hot passes (a KL sweep chasing the
+  // gain frontier, vote propagation): each switch lands next to the
+  // previous one in graph distance. The layout under test decides whether
+  // that graph-adjacency becomes address-adjacency. A uniform-random
+  // sequence would instead measure a workload no vertex order can help.
+  std::vector<char> init(n, 0);
+  for (auto& c : init) c = rng.NextBool(0.35) ? 1 : 0;
+  const std::vector<char> init_bfs = graph::MaskToLayout(bfs, init);
+  std::vector<graph::NodeId> seq;
+  seq.reserve(n);
+  {
+    std::vector<std::uint32_t> degree(n);
+    for (graph::NodeId v = 0; v < n; ++v) {
+      degree[v] = g_shuf.Friendships().Degree(v) +
+                  g_shuf.Rejections().InDegree(v) +
+                  g_shuf.Rejections().OutDegree(v);
+    }
+    std::vector<graph::NodeId> order(n);
+    std::iota(order.begin(), order.end(), graph::NodeId{0});
+    std::stable_sort(order.begin(), order.end(),
+                     [&](graph::NodeId a, graph::NodeId b) {
+                       return degree[a] > degree[b];
+                     });
+    std::vector<char> vis(n, 0);
+    auto expand = [&](std::span<const graph::NodeId> row) {
+      for (graph::NodeId w : row) {
+        if (!vis[w]) {
+          vis[w] = 1;
+          seq.push_back(w);
+        }
+      }
+    };
+    for (graph::NodeId s : order) {
+      if (vis[s]) continue;
+      vis[s] = 1;
+      std::size_t head = seq.size();
+      seq.push_back(s);
+      for (; head < seq.size(); ++head) {
+        const graph::NodeId u = seq[head];
+        expand(g_shuf.Friendships().Neighbors(u));
+        expand(g_shuf.Rejections().Rejectees(u));
+        expand(g_shuf.Rejections().Rejectors(u));
+      }
+    }
+  }
+  seq.resize(std::min<std::size_t>(seq.size(), fast ? 40'000 : 200'000));
+  std::vector<graph::NodeId> seq_bfs(seq.size());
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    seq_bfs[i] = bfs.new_of_old[seq[i]];
+  }
+
+  const double k = 1.0;
+  const int reps = fast ? 5 : 7;
+  double shuf_s = 1e300;
+  double bfs_s = 1e300;
+  for (int i = 0; i < reps; ++i) {
+    // Alternate layouts across reps so machine noise hits both equally;
+    // keep the best rep of each (the kernel is deterministic).
+    double s = 0.0;
+    const double shuf_obj = RunSwitchSequence(g_shuf, init, seq, k, &s);
+    shuf_s = std::min(shuf_s, s);
+    const double bfs_obj = RunSwitchSequence(g_bfs, init_bfs, seq_bfs, k, &s);
+    bfs_s = std::min(bfs_s, s);
+    if (shuf_obj != bfs_obj) {
+      std::cerr << bench_name << ": LAYOUT KERNEL DIVERGED (" << shuf_obj
+                << " vs " << bfs_obj << ")\n";
+      std::abort();
+    }
+  }
+
+  std::vector<KernelBenchRecord> records;
+  const auto switches = static_cast<std::int64_t>(seq.size());
+  PushKernelRecord(records, bench_name, "layout_identity", g, switches,
+                   shuf_s, shuf_s);
+  PushKernelRecord(records, bench_name, "layout_bfs", g, switches, bfs_s,
+                   shuf_s);
+  AppendKernelBenchJson(records);
+}
+
+void RunSnapshotLoadProbe(const std::string& bench_name,
+                          const graph::AugmentedGraph& g, bool fast) {
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::temp_directory_path() / ("rejecto_probe_" + bench_name);
+  fs::create_directories(dir);
+  const std::string fr_path = (dir / "friendships.txt").string();
+  const std::string rej_path = (dir / "rejections.txt").string();
+  const std::string snap_path = (dir / "graph.snap").string();
+
+  graph::SaveEdgeList(g.Friendships(), fr_path);
+  {
+    std::ofstream out(rej_path);
+    out << "# Directed rejection arcs: " << g.NumNodes() << " nodes, "
+        << g.Rejections().NumArcs() << " arcs\n";
+    for (const graph::Arc& a : g.Rejections().Arcs()) {
+      out << a.from << ' ' << a.to << '\n';
+    }
+  }
+  graph::SaveSnapshot(snap_path, g);
+
+  const std::int64_t items = static_cast<std::int64_t>(
+      g.Friendships().NumEdges() + g.Rejections().NumArcs());
+  const int reps = fast ? 2 : 3;
+  double old_s = 1e300;
+  double new_s = 1e300;
+  double snap_s = 1e300;
+  for (int i = 0; i < reps; ++i) {
+    util::WallTimer t_old;
+    const graph::AugmentedGraph old_loaded = OldTextLoad(fr_path, rej_path);
+    old_s = std::min(old_s, t_old.Seconds());
+
+    util::WallTimer t_new;
+    const graph::LoadedAugmentedGraph loaded =
+        graph::LoadAugmentedGraph(fr_path, rej_path);
+    new_s = std::min(new_s, t_new.Seconds());
+
+    util::WallTimer t_snap;
+    const graph::Snapshot snap = graph::LoadSnapshot(snap_path);
+    snap_s = std::min(snap_s, t_snap.Seconds());
+
+    // Both text loaders intern in the same order, so their graphs must be
+    // CSR-identical; the snapshot must reproduce g exactly.
+    if (loaded.graph != old_loaded) {
+      std::cerr << bench_name << ": TEXT LOADER DIVERGED\n";
+      std::abort();
+    }
+    if (snap.graph != g || !snap.layout.IsIdentity()) {
+      std::cerr << bench_name << ": SNAPSHOT ROUND-TRIP DIVERGED\n";
+      std::abort();
+    }
+  }
+  std::error_code ec;
+  fs::remove_all(dir, ec);  // best-effort scratch cleanup
+
+  std::vector<KernelBenchRecord> records;
+  PushKernelRecord(records, bench_name, "text_load_old", g, items, old_s,
+                   old_s);
+  PushKernelRecord(records, bench_name, "text_load", g, items, new_s, old_s);
+  PushKernelRecord(records, bench_name, "snapshot_load", g, items, snap_s,
+                   new_s);
+  AppendKernelBenchJson(records);
 }
 
 }  // namespace rejecto::bench

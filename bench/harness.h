@@ -9,6 +9,8 @@
 //   REJECTO_CSV_DIR=<dir> additionally write each table as CSV
 //   REJECTO_THREADS=<n>   MAAR sweep threads (0 = hardware concurrency)
 //   REJECTO_JSON_DIR=<dir> where BENCH_maar.json is written (default cwd)
+//   REJECTO_LAYOUT=<p>    vertex-layout policy: identity (default) or bfs;
+//                         results are invariant, only locality changes
 #pragma once
 
 #include <optional>
@@ -83,7 +85,11 @@ struct MaarBenchRecord {
 
 // Appends the records to <REJECTO_JSON_DIR or cwd>/BENCH_maar.json, kept as
 // one flat JSON array so bench_micro and bench_table2_scaling can both
-// contribute to the same machine-readable file.
+// contribute to the same machine-readable file. Every appended record is
+// stamped with provenance keys: "git_sha" (the short commit sha the harness
+// was built from) and "run_id" (one past the largest run_id already in the
+// file, so ids increase monotonically across append batches and survive
+// mixed-binary accumulation).
 void AppendMaarBenchJson(const std::vector<MaarBenchRecord>& records);
 
 // One data-structure kernel timing sample: the fused-vs-unfused KL switch
@@ -112,5 +118,26 @@ void RunMaarSpeedupProbe(const std::string& bench_name,
                          const graph::AugmentedGraph& g,
                          detect::MaarConfig config,
                          const std::vector<int>& threads_list);
+
+// Locality probe for graph/layout.h: drives one propagation-ordered switch
+// sweep (the BFS visit order of the graph — the temporal shape of a KL
+// pass or a vote-propagation round) through the fused KL kernel on a
+// deterministically SHUFFLED copy of g (simulating the arbitrary id order
+// a text intern produces — the layout subsystem's motivating baseline) and
+// on its BFS relayout, with a bit-equal final-objective divergence guard.
+// Appends "layout_identity" and "layout_bfs" kernel records; layout_bfs's
+// speedup is shuffled-seconds / bfs-seconds.
+void RunLayoutKernelProbe(const std::string& bench_name,
+                          const graph::AugmentedGraph& g, bool fast);
+
+// Cold-start probe for graph/snapshot.h: round-trips g through text edge
+// lists and a binary snapshot in a scratch directory, then times three
+// loaders — the retired istringstream text parser (kept here as the
+// baseline, like the other *_old kernels), graph::LoadAugmentedGraph with
+// the string_view scanner, and graph::LoadSnapshot. Appends
+// "text_load_old", "text_load" (speedup vs old), and "snapshot_load"
+// (speedup vs text_load) records; aborts on any loader disagreement.
+void RunSnapshotLoadProbe(const std::string& bench_name,
+                          const graph::AugmentedGraph& g, bool fast);
 
 }  // namespace rejecto::bench

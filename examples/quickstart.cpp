@@ -10,6 +10,7 @@
 
 #include "detect/iterative.h"
 #include "gen/holme_kim.h"
+#include "graph/layout.h"
 #include "metrics/classification.h"
 #include "sim/scenario.h"
 #include "util/flags.h"
@@ -47,6 +48,7 @@ int main() {
   detect::IterativeConfig config;
   config.target_detections = attack.num_fakes;  // OSN estimate
   config.maar.num_threads = util::ThreadCount();  // REJECTO_THREADS, 0=auto
+  config.maar.layout = graph::LayoutPolicyFromEnv();  // REJECTO_LAYOUT
   const detect::DetectionResult result =
       detect::DetectFriendSpammers(scenario.graph, seeds, config);
 

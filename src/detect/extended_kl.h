@@ -32,6 +32,16 @@ struct KlConfig {
   double k = 1.0;                 // rejection weight (> 0)
   int max_passes = 16;            // safety bound; convergence is typical in <6
   double gain_resolution = 64.0;  // bucket quantization (buckets per unit)
+
+  // Layout-invariance hook (see graph/layout.h): when non-null, an n-sized
+  // array mapping each node of the (laid-out) graph to its ORIGINAL id.
+  // Every order-sensitive step — the pass's bucket insertion order and the
+  // deferred relink order inside SwitchFused — is then keyed on original
+  // ids, so the result is bit-identical to running on the identity layout.
+  // Null (the default) keeps the unchanged fast path; an explicit identity
+  // rank produces the same result as null. The pointee must outlive the
+  // call (MaarSolver points it at its config's rank array).
+  const std::vector<graph::NodeId>* rank = nullptr;
 };
 
 struct KlStats {
@@ -55,6 +65,7 @@ struct KlScratch {
   BucketList bucket;
   std::vector<graph::NodeId> seq;      // this pass's switch sequence
   std::vector<graph::NodeId> touched;  // neighbors hit by the current switch
+  std::vector<graph::NodeId> order;    // rank mode: nodes by ascending rank
 };
 
 // `locked` may be empty (nothing pinned); otherwise size must equal

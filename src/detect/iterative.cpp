@@ -5,6 +5,7 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "graph/layout.h"
 #include "graph/subgraph.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
@@ -50,6 +51,37 @@ DetectionResult DetectFriendSpammers(const graph::AugmentedGraph& g,
                                      const MaarRunner& solve,
                                      util::ThreadPool* pool) {
   seeds.Validate(g.NumNodes());
+
+  // Non-identity layout: remap ONCE for the whole pipeline (each round's
+  // residual inherits the locality through compaction), run the core with
+  // the invariance rank engaged, and translate every reported id back.
+  // Result — detected set, order, ratios, per-round cuts — is bit-identical
+  // to the identity run (see graph/layout.h).
+  if (config.maar.layout != graph::LayoutPolicy::kIdentity) {
+    util::WallTimer total_timer;
+    const graph::Layout layout =
+        graph::ComputeLayout(g, config.maar.layout, pool);
+    const graph::AugmentedGraph laid = graph::ApplyLayout(g, layout, pool);
+    Seeds laid_seeds = seeds;
+    laid_seeds.legit = graph::IdsToLayout(layout, seeds.legit);
+    laid_seeds.spammer = graph::IdsToLayout(layout, seeds.spammer);
+    IterativeConfig inner = config;
+    inner.maar.layout = graph::LayoutPolicy::kIdentity;
+    inner.maar.rank = layout.old_of_new;
+    if (!inner.maar.extra_init.empty()) {
+      inner.maar.extra_init =
+          graph::MaskToLayout(layout, inner.maar.extra_init);
+    }
+    DetectionResult result =
+        DetectFriendSpammers(laid, laid_seeds, inner, solve, pool);
+    for (graph::NodeId& id : result.detected) id = layout.old_of_new[id];
+    for (RoundInfo& round : result.rounds) {
+      for (graph::NodeId& id : round.detected) id = layout.old_of_new[id];
+    }
+    result.total_seconds = total_timer.Seconds();
+    return result;
+  }
+
   util::WallTimer total_timer;
   DetectionResult result;
 
@@ -60,6 +92,10 @@ DetectionResult DetectFriendSpammers(const graph::AugmentedGraph& g,
   std::vector<graph::NodeId> to_original(g.NumNodes());
   std::iota(to_original.begin(), to_original.end(), 0);
   Seeds cur_seeds = seeds;
+  // Layout-invariance rank for the current residual (empty = identity
+  // semantics): re-compressed to a dense permutation after each pruning
+  // round so relative original-id order survives compaction.
+  std::vector<graph::NodeId> cur_rank = config.maar.rank;
 
   for (int round = 0; round < config.max_rounds; ++round) {
     if (config.target_detections != 0 &&
@@ -74,6 +110,7 @@ DetectionResult DetectFriendSpammers(const graph::AugmentedGraph& g,
     if (residual->NumNodes() < 2 * min_region) break;
 
     MaarConfig maar = config.maar;
+    maar.rank = cur_rank;
     maar.seed = config.maar.seed + static_cast<std::uint64_t>(round) * 0x9e37ULL;
     util::WallTimer round_timer;
     const MaarCut cut = solve(*residual, cur_seeds, maar);
@@ -98,10 +135,20 @@ DetectionResult DetectFriendSpammers(const graph::AugmentedGraph& g,
     info.kl_runs = cut.kl_runs;
     info.switches = cut.switches;
 
-    // Collect this round's suspicious nodes (residual ids).
+    // Collect this round's suspicious nodes (residual ids). With a rank
+    // engaged, reorder by ascending original id — the identity run's
+    // natural collection order (its residual ids are monotone in the
+    // original ids) — so the reported sequence and the trim sort's stable
+    // tie-breaks match the identity run node for node.
     std::vector<graph::NodeId> flagged;
     for (graph::NodeId v = 0; v < residual->NumNodes(); ++v) {
       if (cut.in_u[v]) flagged.push_back(v);
+    }
+    if (!cur_rank.empty()) {
+      std::sort(flagged.begin(), flagged.end(),
+                [&](graph::NodeId a, graph::NodeId b) {
+                  return cur_rank[a] < cur_rank[b];
+                });
     }
 
     // Trim a final-round overshoot to the exact target, most suspicious
@@ -167,6 +214,26 @@ DetectionResult DetectFriendSpammers(const graph::AugmentedGraph& g,
          nid < static_cast<graph::NodeId>(compacted.parent_id.size()); ++nid) {
       next_to_original[nid] = to_original[compacted.parent_id[nid]];
     }
+    // Re-rank the survivors: compress their original-id order to a dense
+    // permutation of [0, m). Relative order is all the tie-breaks consume,
+    // and it is exactly the order the identity run's monotone residual ids
+    // encode, so invariance carries into every later round.
+    if (!cur_rank.empty()) {
+      const std::size_t m = compacted.parent_id.size();
+      std::vector<graph::NodeId> by_rank(m);
+      std::iota(by_rank.begin(), by_rank.end(), 0);
+      std::sort(by_rank.begin(), by_rank.end(),
+                [&](graph::NodeId a, graph::NodeId b) {
+                  return cur_rank[compacted.parent_id[a]] <
+                         cur_rank[compacted.parent_id[b]];
+                });
+      std::vector<graph::NodeId> next_rank(m);
+      for (std::size_t i = 0; i < m; ++i) {
+        next_rank[by_rank[i]] = static_cast<graph::NodeId>(i);
+      }
+      cur_rank = std::move(next_rank);
+    }
+
     residual_storage = std::move(compacted.graph);
     residual = &residual_storage;
     to_original = std::move(next_to_original);

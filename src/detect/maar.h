@@ -32,6 +32,7 @@
 #include "detect/extended_kl.h"
 #include "detect/seeds.h"
 #include "graph/augmented_graph.h"
+#include "graph/layout.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
 
@@ -74,6 +75,24 @@ struct MaarConfig {
   std::vector<char> extra_init;
 
   std::uint64_t seed = 1;
+
+  // Memory-layout policy (graph/layout.h). Non-identity makes Solve() remap
+  // the graph through ComputeLayout/ApplyLayout before solving and map the
+  // returned mask back, with `rank` set internally so the cut is
+  // bit-identical to the identity run — callers see original ids and
+  // identical results, only the cache behavior changes. DetectFriendSpammers
+  // applies the same wrap once for its whole pipeline. The default KL runner
+  // honors it; the distributed engine's custom runners solve whatever graph
+  // they are handed and run identity layouts.
+  graph::LayoutPolicy layout = graph::LayoutPolicy::kIdentity;
+
+  // Layout-invariance rank (see graph/layout.h): empty, or an n-sized
+  // permutation mapping each node of the (laid-out) graph to its ORIGINAL
+  // id. When set, random inits are drawn indexed by original id and every
+  // KL tie-break is keyed on it, so results equal the identity-layout run.
+  // Callers running an already-laid-out graph set this to
+  // Layout::old_of_new; Solve()'s own layout wrap sets it automatically.
+  std::vector<graph::NodeId> rank;
 
   // Worker threads for the (k × init) grid: 0 = util::HardwareThreads(),
   // values < 0 clamp to 1. Any setting yields bit-identical cuts (see the
@@ -139,6 +158,10 @@ class MaarSolver {
   MaarConfig config_;
   KlRunner kl_runner_;
   std::vector<char> locked_;
+  // Inverse of config_.rank (original id -> node id), empty when rank is:
+  // random init draws walk it so the i-th rng draw always lands on the node
+  // whose ORIGINAL id is i, whatever the layout.
+  std::vector<graph::NodeId> rank_order_;
 };
 
 }  // namespace rejecto::detect

@@ -1,5 +1,6 @@
 #include "detect/partition.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "detect/bucket_list.h"
@@ -97,7 +98,8 @@ void Partition::Switch(graph::NodeId v) {
 }
 
 void Partition::SwitchFused(graph::NodeId v, double k, BucketList& bl,
-                            std::vector<graph::NodeId>& touched) {
+                            std::vector<graph::NodeId>& touched,
+                            const graph::NodeId* rank) {
   REJECTO_DCHECK(v < NumNodes(), "Partition::SwitchFused: node id");
   touched.clear();
 
@@ -130,6 +132,7 @@ void Partition::SwitchFused(graph::NodeId v, double k, BucketList& bl,
     bl.PrefetchNode(w);
     touched.push_back(w);
   }
+  const std::size_t friends_end = touched.size();
   const std::int32_t into_u = was_in_u ? -1 : 1;
   for (graph::NodeId x : rej.Rejectors(v)) {
     agg_[x].out_to_u = static_cast<std::uint32_t>(
@@ -137,11 +140,31 @@ void Partition::SwitchFused(graph::NodeId v, double k, BucketList& bl,
     bl.PrefetchNode(x);
     touched.push_back(x);
   }
+  const std::size_t rejectors_end = touched.size();
   for (graph::NodeId y : rej.Rejectees(v)) {
     agg_[y].in_from_w = static_cast<std::uint32_t>(
         static_cast<std::int32_t>(agg_[y].in_from_w) - into_u);
     bl.PrefetchNode(y);
     touched.push_back(y);
+  }
+
+  // Layout invariance (rank != null): each adjacency segment holds a
+  // duplicate-free node set ordered by CURRENT (layout) id; re-sorting it
+  // by original id reproduces the identity layout's segment order, and
+  // keeping the segment boundaries preserves which occurrence of a
+  // cross-segment duplicate relinks first. The identity run's relink
+  // sequence is thus replayed node-for-node under any layout.
+  if (rank != nullptr) {
+    auto by_rank = [rank](graph::NodeId a, graph::NodeId b) {
+      return rank[a] < rank[b];
+    };
+    auto begin = touched.begin();
+    std::sort(begin, begin + static_cast<std::ptrdiff_t>(friends_end),
+              by_rank);
+    std::sort(begin + static_cast<std::ptrdiff_t>(friends_end),
+              begin + static_cast<std::ptrdiff_t>(rejectors_end), by_rank);
+    std::sort(begin + static_cast<std::ptrdiff_t>(rejectors_end),
+              touched.end(), by_rank);
   }
 
   // Deferred bucket maintenance with the final aggregates: the first

@@ -8,6 +8,8 @@
 
 #include "detect/maar.h"
 #include "graph/builder.h"
+#include "graph/layout.h"
+#include "graph/snapshot.h"
 #include "stream/wal.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
@@ -214,6 +216,20 @@ std::unique_ptr<EpochDetector> EpochDetector::RestoreCheckpoint(
   detector->prev_k_ = prev_k;
   detector->prev_mask_ = std::move(mask);
   return detector;
+}
+
+std::unique_ptr<EpochDetector> EpochDetector::FromSnapshot(
+    const std::string& path, detect::Seeds seeds, EpochConfig config) {
+  graph::Snapshot snap = graph::LoadSnapshot(path);
+  // Stream ids never remap, so a snapshot saved in a non-identity layout
+  // must be mapped back to the original id space before seeds and events
+  // reference it.
+  graph::AugmentedGraph g =
+      snap.layout.IsIdentity()
+          ? std::move(snap.graph)
+          : graph::ApplyLayout(snap.graph, graph::InvertLayout(snap.layout));
+  return std::make_unique<EpochDetector>(std::move(g), std::move(seeds),
+                                         std::move(config));
 }
 
 }  // namespace rejecto::engine

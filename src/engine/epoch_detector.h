@@ -114,6 +114,17 @@ class EpochDetector {
   static std::unique_ptr<EpochDetector> RestoreCheckpoint(
       const std::string& path, detect::Seeds seeds, EpochConfig config);
 
+  // Cold-boots a detector from a graph/snapshot.h binary snapshot — the
+  // fast-start counterpart of parsing text edge lists into the base-graph
+  // constructor. A snapshot saved in a non-identity layout is mapped back
+  // to ORIGINAL ids here, because stream ids never remap: seeds and every
+  // future Ingest() event keep the id space the snapshot's source graph
+  // had. (Unlike RestoreCheckpoint, this carries no warm-start state or
+  // event cursor — it is a fresh detector on a prebuilt graph.)
+  static std::unique_ptr<EpochDetector> FromSnapshot(const std::string& path,
+                                                     detect::Seeds seeds,
+                                                     EpochConfig config);
+
   // Events absorbed over the detector's whole lifetime (survives
   // checkpoint/restore) — the WAL replay cursor.
   std::uint64_t EventsIngested() const noexcept {

@@ -1,0 +1,35 @@
+// Internal helpers shared by the CSR-rebuilding passes (subgraph
+// compaction, layout application): block-parallel per-node loops and the
+// in-place exclusive prefix sum that turns per-node counts into offsets.
+// Both passes follow the same count → prefix → fill structure; every output
+// row is a disjoint range, so the fills are deterministic at any thread
+// count.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "util/thread_pool.h"
+
+namespace rejecto::graph::internal {
+
+// Runs fn(i) for i in [0, n), on the pool when one is given.
+inline void ForEachNode(util::ThreadPool* pool, std::size_t n,
+                        const std::function<void(std::size_t)>& fn) {
+  if (pool != nullptr && pool->size() > 1) {
+    pool->ParallelFor(n, fn);
+  } else {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+  }
+}
+
+// offsets[i+1] holds the count for new node i on entry; exclusive prefix
+// sum in place turns it into a CSR offset array.
+inline void PrefixSum(std::vector<std::size_t>& offsets) {
+  for (std::size_t i = 1; i < offsets.size(); ++i) {
+    offsets[i] += offsets[i - 1];
+  }
+}
+
+}  // namespace rejecto::graph::internal

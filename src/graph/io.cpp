@@ -1,8 +1,8 @@
 #include "graph/io.h"
 
 #include <fstream>
-#include <sstream>
 #include <stdexcept>
+#include <string_view>
 
 #include "graph/builder.h"
 #include "util/failpoint.h"
@@ -13,30 +13,48 @@ namespace rejecto::graph {
 namespace {
 
 // Interning caps the dense id space at NodeId: a file with more distinct
-// raw ids than NodeId can address must fail loudly, not wrap.
-void CheckInternCapacity(std::size_t num_nodes, const std::string& context) {
+// raw ids than NodeId can address must fail loudly, not wrap. `context` is
+// a callable so the hot loop never materializes the context string.
+template <typename ContextFn>
+void CheckInternCapacity(std::size_t num_nodes, ContextFn&& context) {
   if (num_nodes >= kInvalidNode) {
-    throw std::runtime_error(context + ": distinct node count overflows the "
+    throw std::runtime_error(context() +
+                             ": distinct node count overflows the "
                              "32-bit node id space");
   }
 }
 
 // Parses "a b" off a line: full-token checked integers, nothing after them.
 // Raw ids may be any u64 (they get interned), but signs, garbage, and
-// overflow are malformed input, not data.
-void ParseEdgeLine(const std::string& line, const std::string& context,
+// overflow are malformed input, not data. The diagnostic path for
+// TryParseEdgeLine below — messages here are load-bearing for callers.
+void ParseEdgeLine(std::string_view line, const std::string& context,
                    std::uint64_t& a, std::uint64_t& b) {
-  std::istringstream ls(line);
-  std::string a_tok, b_tok, extra_tok;
-  if (!(ls >> a_tok >> b_tok)) {
+  std::string_view rest = line;
+  const std::string_view a_tok = util::NextToken(rest);
+  const std::string_view b_tok = util::NextToken(rest);
+  if (a_tok.empty() || b_tok.empty()) {
     throw std::runtime_error(context + ": expected two node ids");
   }
   a = util::ParseU64Checked(a_tok, context);
   b = util::ParseU64Checked(b_tok, context);
-  if (ls >> extra_tok) {
-    throw std::runtime_error(context + ": trailing token '" + extra_tok +
-                             "' after edge");
+  const std::string_view extra_tok = util::NextToken(rest);
+  if (!extra_tok.empty()) {
+    throw std::runtime_error(context + ": trailing token '" +
+                             std::string(extra_tok) + "' after edge");
   }
+}
+
+// Allocation-free hot path: a string_view scan plus two from_chars calls.
+// Returns false on ANY anomaly (missing token, sign, garbage, overflow,
+// trailing token); the caller re-parses through ParseEdgeLine, which
+// reproduces the exact pre-existing error message with full context.
+bool TryParseEdgeLine(std::string_view line, std::uint64_t& a,
+                      std::uint64_t& b) {
+  std::string_view rest = line;
+  if (!util::TryParseU64(util::NextToken(rest), a)) return false;
+  if (!util::TryParseU64(util::NextToken(rest), b)) return false;
+  return util::NextToken(rest).empty();
 }
 
 void CheckOpenFailpoint(const std::string& path) {
@@ -56,7 +74,12 @@ LoadedGraph LoadEdgeList(const std::string& path) {
   GraphBuilder builder;
   std::unordered_map<std::uint64_t, NodeId> dense;
   std::vector<std::uint64_t> original;
-  std::string context;
+  std::size_t lineno = 0;
+  // Context strings are built ONLY on the error path: the happy path is a
+  // string_view scan with zero allocations per line.
+  auto context = [&] {
+    return "LoadEdgeList: " + path + " line " + std::to_string(lineno);
+  };
   auto intern = [&](std::uint64_t raw) -> NodeId {
     auto [it, inserted] = dense.try_emplace(raw, builder.NumNodes());
     if (inserted) {
@@ -67,13 +90,13 @@ LoadedGraph LoadEdgeList(const std::string& path) {
     return it->second;
   };
   std::string line;
-  std::size_t lineno = 0;
   while (std::getline(in, line)) {
     ++lineno;
     if (line.empty() || line[0] == '#') continue;
-    context = "LoadEdgeList: " + path + " line " + std::to_string(lineno);
     std::uint64_t a = 0, b = 0;
-    ParseEdgeLine(line, context, a, b);
+    if (!TryParseEdgeLine(line, a, b)) {
+      ParseEdgeLine(line, context(), a, b);  // throws the exact diagnostic
+    }
     if (a == b) continue;  // drop self-loops, as SNAP consumers do
     // Intern in reading order (function-argument evaluation order would be
     // unspecified) so original_id is ordered by first appearance.
@@ -88,7 +111,12 @@ LoadedAugmentedGraph LoadAugmentedGraph(const std::string& friendships_path,
                                         const std::string& rejections_path) {
   GraphBuilder builder;
   LoadedAugmentedGraph out;
-  std::string context;
+  const std::string* cur_path = nullptr;
+  std::size_t lineno = 0;
+  auto context = [&] {
+    return "LoadAugmentedGraph: " + *cur_path + " line " +
+           std::to_string(lineno);
+  };
   auto intern = [&](std::uint64_t raw) -> NodeId {
     auto [it, inserted] = out.dense_id.try_emplace(raw, builder.NumNodes());
     if (inserted) {
@@ -104,15 +132,16 @@ LoadedAugmentedGraph LoadAugmentedGraph(const std::string& friendships_path,
     if (!in) {
       throw std::runtime_error("LoadAugmentedGraph: cannot open " + path);
     }
+    cur_path = &path;
+    lineno = 0;
     std::string line;
-    std::size_t lineno = 0;
     while (std::getline(in, line)) {
       ++lineno;
       if (line.empty() || line[0] == '#') continue;
-      context = "LoadAugmentedGraph: " + path + " line " +
-                std::to_string(lineno);
       std::uint64_t a = 0, b = 0;
-      ParseEdgeLine(line, context, a, b);
+      if (!TryParseEdgeLine(line, a, b)) {
+        ParseEdgeLine(line, context(), a, b);
+      }
       if (a == b) continue;
       const NodeId ua = intern(a);
       const NodeId ub = intern(b);

@@ -1,0 +1,75 @@
+// Versioned zero-copy binary snapshots of an AugmentedGraph.
+//
+// Text edge lists are the interchange format; they are also two orders of
+// magnitude slower to load than the graph is to *use* (parse, intern,
+// dedup, sort, mirror). A snapshot is the other end of the trade: the three
+// CSRs exactly as they sit in memory — little-endian u64 offset arrays and
+// u32 adjacency arrays — behind a sectioned, checksummed container, so a
+// load is mmap + validate + one bulk memcpy per section straight into the
+// target vectors. No parsing, no GraphBuilder pass, no per-edge work.
+//
+// File format (version tag baked into the magic):
+//   [0,  8)  magic "RJSNAP01"
+//   [8, 12)  u32 section count
+//   [12,16)  u32 CRC32C of the section-table bytes
+//   [16, ..) section table, 24 bytes per entry:
+//              u32 kind, u32 crc32c(section bytes), u64 offset, u64 length
+//   sections, each at an 8-byte-aligned offset
+// Section kinds: 0 meta (u64 n, E, R, flags; flag bit 0 = layout stored),
+// 1/3/5 friendship/out/in offsets ((n+1) × u64), 2/4/6 the matching
+// adjacency (2E / R / R × u32), 7 the layout permutation old_of_new
+// (n × u32, present only when the graph was saved in a non-identity
+// layout). Every integer is little-endian; every section carries its own
+// CRC32C (util/crc32c), so truncation and bit corruption anywhere in the
+// file are rejected with a path+offset error before any graph is built.
+//
+// Durability mirrors the stream/wal checkpoints: SaveSnapshot writes
+// `path + ".tmp"`, fsyncs, then renames — a crash leaves either the old
+// snapshot or the new one, never a torn file. Failpoint sites:
+// "snapshot/write" and "snapshot/rename" on save; "snapshot/open" (open
+// fails) and "snapshot/map" (mmap fails, exercising the std::ifstream
+// fallback) on load.
+//
+// Snapshots compose with graph/layout.h: the CSRs are stored in laid-out
+// order together with the permutation, so a process restart skips both the
+// text parse AND the relayout, and can still translate ids back to the
+// original space (Snapshot::layout).
+#pragma once
+
+#include <string>
+
+#include "graph/augmented_graph.h"
+#include "graph/layout.h"
+
+namespace rejecto::graph {
+
+// A loaded snapshot: the graph in its stored (laid-out) id space plus the
+// layout mapping those ids back to original ids. An identity layout loads
+// as the empty Layout.
+struct Snapshot {
+  AugmentedGraph graph;
+  Layout layout;
+
+  friend bool operator==(const Snapshot&, const Snapshot&) = default;
+};
+
+// Writes g (already in `layout`'s id space — pass the default-constructed
+// identity Layout when ids were never remapped) to `path` atomically via
+// tmp + rename. Throws std::runtime_error on any IO failure, leaving no
+// partial file behind. Precondition: layout is empty or sized to
+// g.NumNodes().
+void SaveSnapshot(const std::string& path, const AugmentedGraph& g,
+                  const Layout& layout = Layout{});
+
+// Convenience: ComputeLayout(policy) + ApplyLayout + SaveSnapshot; returns
+// the layout that was stored.
+Layout SaveSnapshotWithPolicy(const std::string& path,
+                              const AugmentedGraph& g, LayoutPolicy policy);
+
+// Reads a snapshot back (mmap, falling back to buffered reads when mapping
+// fails). Every validation error — bad magic, truncation, CRC mismatch,
+// inconsistent section lengths, non-bijective permutation — throws
+// std::runtime_error naming the file and the byte offset of the problem.
+Snapshot LoadSnapshot(const std::string& path);
+
+}  // namespace rejecto::graph

@@ -1,35 +1,16 @@
 #include "graph/subgraph.h"
 
 #include <cstddef>
-#include <functional>
 #include <stdexcept>
 #include <utility>
 
+#include "graph/csr_build.h"
 #include "util/thread_pool.h"
 
 namespace rejecto::graph {
 
-namespace {
-
-// Runs fn(i) for i in [0, n), on the pool when one is given.
-void ForEachNode(util::ThreadPool* pool, std::size_t n,
-                 const std::function<void(std::size_t)>& fn) {
-  if (pool != nullptr && pool->size() > 1) {
-    pool->ParallelFor(n, fn);
-  } else {
-    for (std::size_t i = 0; i < n; ++i) fn(i);
-  }
-}
-
-// offsets[i+1] holds the count for new node i on entry; exclusive prefix
-// sum in place turns it into a CSR offset array.
-void PrefixSum(std::vector<std::size_t>& offsets) {
-  for (std::size_t i = 1; i < offsets.size(); ++i) {
-    offsets[i] += offsets[i - 1];
-  }
-}
-
-}  // namespace
+using internal::ForEachNode;
+using internal::PrefixSum;
 
 CompactedGraph InducedSubgraph(const AugmentedGraph& g,
                                const std::vector<char>& keep,

@@ -4,7 +4,6 @@
 #include <fstream>
 #include <optional>
 #include <set>
-#include <sstream>
 #include <stdexcept>
 #include <string_view>
 
@@ -144,9 +143,13 @@ MutationLog MutationLog::Load(const std::string& path) {
   while (std::getline(in, line)) {
     ++lineno;
     if (line.empty()) continue;
-    const std::string context =
-        "MutationLog::Load: " + path + " line " + std::to_string(lineno);
+    // Materialized only on the error/header paths; event lines are parsed
+    // with a zero-allocation string_view scan.
+    const auto make_context = [&] {
+      return "MutationLog::Load: " + path + " line " + std::to_string(lineno);
+    };
     if (line[0] == '#') {
+      const std::string context = make_context();
       // The Save header carries both counts; a comment without "nodes=" is
       // skipped, but a header with either count malformed is rejected.
       if (line.find("nodes=") != std::string::npos) {
@@ -163,19 +166,31 @@ MutationLog MutationLog::Load(const std::string& path) {
       }
       continue;
     }
-    std::istringstream ls(line);
-    std::string tag_tok, u_tok, v_tok, extra_tok;
+    std::string_view rest(line);
+    const std::string_view tag_tok = util::NextToken(rest);
+    const std::string_view u_tok = util::NextToken(rest);
     const auto fail = [&] {
-      throw std::runtime_error(context + ": malformed event line");
+      throw std::runtime_error(make_context() + ": malformed event line");
     };
-    if (!(ls >> tag_tok >> u_tok) || tag_tok.size() != 1) fail();
-    const graph::NodeId u = util::ParseNodeIdChecked(u_tok, context);
+    // Fast id parse; any anomaly re-parses through the checked path so the
+    // diagnostic (signed/garbage/out-of-range id, with context) is exactly
+    // what the istringstream-based loader produced.
+    const auto node_id = [&](std::string_view tok) -> graph::NodeId {
+      std::uint64_t raw = 0;
+      if (util::TryParseU64(tok, raw) && raw <= graph::kInvalidNode - 1) {
+        return static_cast<graph::NodeId>(raw);
+      }
+      return util::ParseNodeIdChecked(tok, make_context());
+    };
+    if (tag_tok.size() != 1 || u_tok.empty()) fail();
+    const graph::NodeId u = node_id(u_tok);
     switch (tag_tok[0]) {
       case 'F':
       case 'A':
       case 'R': {
-        if (!(ls >> v_tok)) fail();
-        const graph::NodeId v = util::ParseNodeIdChecked(v_tok, context);
+        const std::string_view v_tok = util::NextToken(rest);
+        if (v_tok.empty()) fail();
+        const graph::NodeId v = node_id(v_tok);
         const char tag = tag_tok[0];
         const EventType t = tag == 'F'   ? EventType::kAddFriend
                             : tag == 'A' ? EventType::kAccept
@@ -189,7 +204,7 @@ MutationLog MutationLog::Load(const std::string& path) {
       default:
         fail();
     }
-    if (ls >> extra_tok) fail();  // trailing tokens hide truncated edits
+    if (!util::NextToken(rest).empty()) fail();  // trailing tokens hide truncated edits
   }
   if (expected_events && log.NumEvents() != *expected_events) {
     throw std::runtime_error(

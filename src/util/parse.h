@@ -54,4 +54,36 @@ inline graph::NodeId ParseNodeIdChecked(std::string_view token,
       ParseU64Checked(token, context, graph::kInvalidNode - 1));
 }
 
+// The whitespace set istream extraction skips in the default "C" locale —
+// the scanner below must accept exactly the lines the istringstream-based
+// loaders accepted.
+inline constexpr bool IsSpace(char c) {
+  return c == ' ' || c == '\t' || c == '\n' || c == '\v' || c == '\f' ||
+         c == '\r';
+}
+
+// Scans the next whitespace-delimited token off `rest`, consuming it (and
+// its leading whitespace). Returns an empty view at end of input — tokens
+// themselves are never empty. Zero-allocation replacement for
+// `istringstream >> token` in the line loaders.
+inline std::string_view NextToken(std::string_view& rest) {
+  std::size_t i = 0;
+  while (i < rest.size() && IsSpace(rest[i])) ++i;
+  std::size_t j = i;
+  while (j < rest.size() && !IsSpace(rest[j])) ++j;
+  const std::string_view token = rest.substr(i, j - i);
+  rest.remove_prefix(j);
+  return token;
+}
+
+// Fast full-token u64 parse for the ingest hot loop: returns false instead
+// of throwing on empty/signed/garbage/overflowing tokens (from_chars
+// rejects all of them for an unsigned target). Callers fall back to
+// ParseU64Checked to produce the diagnostic.
+inline bool TryParseU64(std::string_view token, std::uint64_t& value) {
+  const auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), value);
+  return ec == std::errc{} && ptr == token.data() + token.size();
+}
+
 }  // namespace rejecto::util

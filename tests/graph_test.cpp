@@ -394,6 +394,68 @@ TEST(SubgraphTest, CsrFilterMatchesBuilderOnRandomMasks) {
   }
 }
 
+TEST(SubgraphTest, FullMaskIsAnExactIdentityCompaction) {
+  util::Rng rng(77);
+  const AugmentedGraph g = RandomAugmentedForSubgraph(40, 120, 90, rng);
+  const CompactedGraph c = InducedSubgraph(g, std::vector<char>(40, 1));
+  ASSERT_EQ(c.graph.NumNodes(), g.NumNodes());
+  EXPECT_EQ(c.graph, g);  // all three CSRs byte-equal, degree caches too
+  std::vector<NodeId> iota(g.NumNodes());
+  for (NodeId v = 0; v < g.NumNodes(); ++v) iota[v] = v;
+  EXPECT_EQ(c.parent_id, iota);
+}
+
+TEST(SubgraphTest, IsolatedNodeOnlyMaskKeepsNodesAndNoEdges) {
+  // Nodes 0/2/5 have no friendships AND no rejection arcs; a mask selecting
+  // only them must produce an edgeless graph in all three CSRs while still
+  // materializing every kept node.
+  GraphBuilder b(6);
+  b.AddFriendship(1, 3);
+  b.AddFriendship(3, 4);
+  b.AddRejection(4, 1);
+  const AugmentedGraph g = b.BuildAugmented();
+  const std::vector<char> keep = {1, 0, 1, 0, 0, 1};
+  const CompactedGraph c = InducedSubgraph(g, keep);
+  ASSERT_EQ(c.graph.NumNodes(), 3u);
+  EXPECT_EQ(c.parent_id, (std::vector<NodeId>{0, 2, 5}));
+  EXPECT_EQ(c.graph.Friendships().NumEdges(), 0u);
+  EXPECT_EQ(c.graph.Rejections().NumArcs(), 0u);
+  for (NodeId v = 0; v < 3; ++v) {
+    EXPECT_EQ(c.graph.Friendships().Degree(v), 0u);
+    EXPECT_EQ(c.graph.Rejections().OutDegree(v), 0u);
+    EXPECT_EQ(c.graph.Rejections().InDegree(v), 0u);
+  }
+  EXPECT_EQ(c.graph.MaxFriendshipDegree(), 0u);
+  EXPECT_EQ(c.graph.MaxRejectionDegree(), 0u);
+}
+
+TEST(SubgraphTest, RejectionMirrorStaysConsistentUnderCompaction) {
+  // The out-CSR and in-CSR are filtered independently; they must remain
+  // exact mirrors of each other for every mask.
+  util::Rng rng(88);
+  const AugmentedGraph g = RandomAugmentedForSubgraph(50, 150, 200, rng);
+  for (int trial = 0; trial < 40; ++trial) {
+    std::vector<char> keep(g.NumNodes(), 0);
+    for (auto& c : keep) c = rng.NextBool(rng.NextDouble()) ? 1 : 0;
+    const CompactedGraph c = InducedSubgraph(g, keep);
+    const auto& rej = c.graph.Rejections();
+    std::size_t out_total = 0;
+    std::size_t in_total = 0;
+    for (NodeId u = 0; u < c.graph.NumNodes(); ++u) {
+      out_total += rej.Rejectees(u).size();
+      in_total += rej.Rejectors(u).size();
+      for (NodeId v : rej.Rejectees(u)) {
+        const auto in_row = rej.Rejectors(v);
+        EXPECT_TRUE(std::find(in_row.begin(), in_row.end(), u) !=
+                    in_row.end())
+            << "arc " << u << "->" << v << " missing from the in-CSR";
+      }
+    }
+    EXPECT_EQ(out_total, in_total);
+    EXPECT_EQ(out_total, rej.NumArcs());
+  }
+}
+
 TEST(SubgraphTest, PoolParityOnRandomMasks) {
   util::Rng rng(123);
   const AugmentedGraph g = RandomAugmentedForSubgraph(120, 500, 400, rng);

@@ -1,0 +1,328 @@
+// graph/layout.h: permutation plumbing units and the detection-invariance
+// property — relayout must never change what the detector reports.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "detect/iterative.h"
+#include "gen/erdos_renyi.h"
+#include "gen/holme_kim.h"
+#include "graph/builder.h"
+#include "graph/layout.h"
+#include "sim/scenario.h"
+#include "util/rng.h"
+
+namespace rejecto {
+namespace {
+
+using graph::ApplyLayout;
+using graph::AugmentedGraph;
+using graph::ComputeLayout;
+using graph::IdentityLayout;
+using graph::InvertLayout;
+using graph::Layout;
+using graph::LayoutFromPermutation;
+using graph::LayoutPolicy;
+using graph::NodeId;
+
+AugmentedGraph MakeSmallAugmented() {
+  graph::GraphBuilder b(6);
+  b.AddFriendship(0, 1);
+  b.AddFriendship(1, 2);
+  b.AddFriendship(2, 0);
+  b.AddFriendship(3, 4);
+  b.AddRejection(0, 3);
+  b.AddRejection(4, 3);
+  b.AddRejection(5, 0);  // 5 has arcs but no friendships
+  return b.BuildAugmented();
+}
+
+Layout RandomLayout(NodeId n, util::Rng& rng) {
+  std::vector<NodeId> perm(n);
+  std::iota(perm.begin(), perm.end(), NodeId{0});
+  for (NodeId i = n - 1; i > 0; --i) {
+    std::swap(perm[i], perm[rng.NextUInt(i + 1)]);
+  }
+  return LayoutFromPermutation(std::move(perm));
+}
+
+// ---------- policy parsing ----------
+
+TEST(LayoutPolicyTest, ParsesAndNames) {
+  EXPECT_EQ(graph::ParseLayoutPolicy("identity"), LayoutPolicy::kIdentity);
+  EXPECT_EQ(graph::ParseLayoutPolicy("bfs"), LayoutPolicy::kBfs);
+  EXPECT_THROW(graph::ParseLayoutPolicy("BFS"), std::invalid_argument);
+  EXPECT_THROW(graph::ParseLayoutPolicy(""), std::invalid_argument);
+  EXPECT_STREQ(graph::LayoutPolicyName(LayoutPolicy::kIdentity), "identity");
+  EXPECT_STREQ(graph::LayoutPolicyName(LayoutPolicy::kBfs), "bfs");
+}
+
+// ---------- permutation plumbing ----------
+
+TEST(LayoutTest, IdentityLayoutIsExplicitAndSelfInverse) {
+  const Layout id = IdentityLayout(4);
+  EXPECT_FALSE(id.IsIdentity());  // explicitly filled, not the empty form
+  EXPECT_EQ(id.new_of_old, (std::vector<NodeId>{0, 1, 2, 3}));
+  EXPECT_EQ(id.old_of_new, id.new_of_old);
+  EXPECT_EQ(InvertLayout(id), id);
+}
+
+TEST(LayoutTest, LayoutFromPermutationRejectsNonBijections) {
+  EXPECT_THROW(LayoutFromPermutation({0, 0}), std::invalid_argument);
+  EXPECT_THROW(LayoutFromPermutation({0, 5}), std::invalid_argument);
+  EXPECT_THROW(LayoutFromPermutation({1, 2, 0, 1}), std::invalid_argument);
+  const Layout ok = LayoutFromPermutation({2, 0, 1});
+  EXPECT_EQ(ok.old_of_new, (std::vector<NodeId>{1, 2, 0}));
+}
+
+TEST(LayoutTest, ApplyLayoutRemapsRowsAndSorts) {
+  const AugmentedGraph g = MakeSmallAugmented();
+  // Reverse the ids: old i -> new (5 - i).
+  const Layout rev = LayoutFromPermutation({5, 4, 3, 2, 1, 0});
+  const AugmentedGraph r = ApplyLayout(g, rev);
+  EXPECT_EQ(r.NumNodes(), g.NumNodes());
+  EXPECT_EQ(r.Friendships().NumEdges(), g.Friendships().NumEdges());
+  EXPECT_EQ(r.Rejections().NumArcs(), g.Rejections().NumArcs());
+  // Edge 0-1 becomes 5-4; arc 5->0 becomes 0->5.
+  EXPECT_TRUE(r.Friendships().HasEdge(5, 4));
+  EXPECT_TRUE(r.Rejections().HasArc(0, 5));
+  // Rows stay sorted after the remap.
+  for (NodeId v = 0; v < r.NumNodes(); ++v) {
+    const auto row = r.Friendships().Neighbors(v);
+    EXPECT_TRUE(std::is_sorted(row.begin(), row.end()));
+  }
+}
+
+TEST(LayoutTest, EmptyLayoutIsIdentityAndSizeMismatchThrows) {
+  const AugmentedGraph g = MakeSmallAugmented();
+  const AugmentedGraph same = ApplyLayout(g, Layout{});
+  EXPECT_EQ(same, g);
+  EXPECT_THROW(ApplyLayout(g, LayoutFromPermutation({1, 0})),
+               std::invalid_argument);
+}
+
+TEST(LayoutTest, InvertUndoesApply) {
+  util::Rng rng(11);
+  const auto legit =
+      gen::ErdosRenyi({.num_nodes = 200, .num_edges = 600}, rng);
+  sim::ScenarioConfig cfg;
+  cfg.num_fakes = 30;
+  const auto scenario = sim::BuildScenario(legit, cfg);
+  const Layout lay = RandomLayout(scenario.graph.NumNodes(), rng);
+  const AugmentedGraph there = ApplyLayout(scenario.graph, lay);
+  const AugmentedGraph back = ApplyLayout(there, InvertLayout(lay));
+  EXPECT_EQ(back, scenario.graph);
+}
+
+// ---------- mask / id translation ----------
+
+TEST(LayoutTest, MaskTranslationRoundTrips) {
+  util::Rng rng(23);
+  const NodeId n = 50;
+  const Layout lay = RandomLayout(n, rng);
+  std::vector<char> mask(n, 0);
+  for (auto& c : mask) c = rng.NextBool(0.4) ? 1 : 0;
+
+  const std::vector<char> laid = graph::MaskToLayout(lay, mask);
+  EXPECT_EQ(graph::MaskFromLayout(lay, laid), mask);
+  for (NodeId old = 0; old < n; ++old) {
+    EXPECT_EQ(laid[lay.new_of_old[old]], mask[old]);
+  }
+  // Identity layout is a passthrough; size mismatch throws.
+  EXPECT_EQ(graph::MaskToLayout(Layout{}, mask), mask);
+  EXPECT_THROW(graph::MaskToLayout(lay, std::vector<char>(n + 1, 0)),
+               std::invalid_argument);
+}
+
+TEST(LayoutTest, IdTranslationRoundTripsAndChecksRange) {
+  util::Rng rng(29);
+  const NodeId n = 40;
+  const Layout lay = RandomLayout(n, rng);
+  const std::vector<NodeId> ids = {0, 7, 7, 39, 12};
+  const std::vector<NodeId> laid = graph::IdsToLayout(lay, ids);
+  EXPECT_EQ(graph::IdsFromLayout(lay, laid), ids);
+  EXPECT_THROW(graph::IdsToLayout(lay, {40}), std::invalid_argument);
+  EXPECT_THROW(graph::IdsFromLayout(lay, {40}), std::invalid_argument);
+  EXPECT_EQ(graph::IdsToLayout(Layout{}, ids), ids);
+}
+
+// ---------- ComputeLayout ----------
+
+TEST(LayoutTest, ComputeLayoutIdentityPolicyIsEmpty) {
+  const AugmentedGraph g = MakeSmallAugmented();
+  EXPECT_TRUE(ComputeLayout(g, LayoutPolicy::kIdentity).IsIdentity());
+}
+
+TEST(LayoutTest, BfsLayoutIsADeterministicBijectionCoveringAllNodes) {
+  util::Rng rng(31);
+  const auto legit =
+      gen::HolmeKim({.num_nodes = 300, .edges_per_node = 3}, rng);
+  sim::ScenarioConfig cfg;
+  cfg.num_fakes = 40;
+  const auto scenario = sim::BuildScenario(legit, cfg);
+
+  const Layout a = ComputeLayout(scenario.graph, LayoutPolicy::kBfs);
+  const Layout b = ComputeLayout(scenario.graph, LayoutPolicy::kBfs);
+  EXPECT_EQ(a, b) << "BFS layout must be a pure function of the graph";
+
+  const NodeId n = scenario.graph.NumNodes();
+  ASSERT_EQ(a.new_of_old.size(), n);
+  ASSERT_EQ(a.old_of_new.size(), n);
+  std::vector<char> seen(n, 0);
+  for (NodeId old = 0; old < n; ++old) {
+    const NodeId t = a.new_of_old[old];
+    ASSERT_LT(t, n);
+    EXPECT_FALSE(seen[t]);
+    seen[t] = 1;
+    EXPECT_EQ(a.old_of_new[t], old);
+  }
+}
+
+TEST(LayoutTest, BfsLayoutStartsAtTheHighestCombinedDegreeHub) {
+  const AugmentedGraph g = MakeSmallAugmented();
+  std::uint32_t best = 0;
+  NodeId hub = 0;
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    const std::uint32_t d = g.Friendships().Degree(v) +
+                            g.Rejections().InDegree(v) +
+                            g.Rejections().OutDegree(v);
+    if (d > best) {
+      best = d;
+      hub = v;
+    }
+  }
+  const Layout lay = ComputeLayout(g, LayoutPolicy::kBfs);
+  EXPECT_EQ(lay.old_of_new[0], hub);
+}
+
+// ---------- detection invariance ----------
+
+struct RunSignature {
+  std::vector<NodeId> detected;
+  std::vector<std::vector<NodeId>> round_detected;
+  std::vector<double> ratios;
+  std::vector<graph::CutQuantities> cuts;
+
+  static RunSignature Of(const detect::DetectionResult& r) {
+    RunSignature s;
+    s.detected = r.detected;
+    for (const auto& round : r.rounds) {
+      s.round_detected.push_back(round.detected);
+      s.ratios.push_back(round.ratio);
+      s.cuts.push_back(round.cut);
+    }
+    return s;
+  }
+};
+
+void ExpectSameRun(const RunSignature& a, const RunSignature& b,
+                   const std::string& what) {
+  EXPECT_EQ(a.detected, b.detected) << what << ": detected set/order";
+  ASSERT_EQ(a.ratios.size(), b.ratios.size()) << what << ": round count";
+  for (std::size_t i = 0; i < a.ratios.size(); ++i) {
+    EXPECT_EQ(a.round_detected[i], b.round_detected[i])
+        << what << ": round " << i << " detections";
+    EXPECT_EQ(a.ratios[i], b.ratios[i]) << what << ": round " << i
+                                        << " MAAR ratio (must be bit-equal)";
+    EXPECT_EQ(a.cuts[i].cross_friendships, b.cuts[i].cross_friendships)
+        << what << ": round " << i;
+    EXPECT_EQ(a.cuts[i].rejections_into_u, b.cuts[i].rejections_into_u)
+        << what << ": round " << i;
+    EXPECT_EQ(a.cuts[i].rejections_from_u, b.cuts[i].rejections_from_u)
+        << what << ": round " << i;
+  }
+}
+
+// Runs the pipeline on ApplyLayout(g, lay) with the invariance rank set and
+// every input/output translated at the boundary — the manual version of
+// what MaarConfig::layout automates.
+RunSignature RunThroughLayout(const AugmentedGraph& g,
+                              const detect::Seeds& seeds,
+                              detect::IterativeConfig cfg, const Layout& lay,
+                              int threads) {
+  cfg.maar.num_threads = threads;
+  detect::Seeds laid_seeds;
+  laid_seeds.legit = graph::IdsToLayout(lay, seeds.legit);
+  laid_seeds.spammer = graph::IdsToLayout(lay, seeds.spammer);
+  cfg.maar.rank = lay.old_of_new;
+  const AugmentedGraph laid = ApplyLayout(g, lay);
+  auto result = detect::DetectFriendSpammers(laid, laid_seeds, cfg);
+  result.detected = graph::IdsFromLayout(lay, result.detected);
+  for (auto& round : result.rounds) {
+    round.detected = graph::IdsFromLayout(lay, round.detected);
+  }
+  return RunSignature::Of(result);
+}
+
+class LayoutInvarianceTest : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+// 100+ random graphs (25 parameterized instances x 4 graphs each): the
+// detector through a random permutation AND through the public kBfs policy
+// must reproduce the identity run exactly — same detected ids in the same
+// order, bit-equal MAAR ratios, identical per-round cut quantities — at 1,
+// 2, and 8 threads.
+TEST_P(LayoutInvarianceTest, DetectionIsInvariantUnderRelayout) {
+  const std::uint64_t instance = GetParam();
+  for (std::uint64_t sub = 0; sub < 4; ++sub) {
+    const std::uint64_t case_seed = instance * 131 + sub * 17 + 3;
+    util::Rng rng(case_seed);
+    const NodeId n = 150 + static_cast<NodeId>(rng.NextUInt(250));
+    const auto legit = rng.NextBool(0.5)
+                           ? gen::ErdosRenyi(
+                                 {.num_nodes = n, .num_edges = 4 * n}, rng)
+                           : gen::HolmeKim(
+                                 {.num_nodes = n, .edges_per_node = 3}, rng);
+    sim::ScenarioConfig cfg;
+    cfg.seed = case_seed;
+    cfg.num_fakes = 20 + static_cast<NodeId>(rng.NextUInt(60));
+    cfg.requests_per_spammer = 10;
+    cfg.spam_rejection_rate = 0.7;
+    cfg.legit_rejection_rate = rng.NextDouble(0.0, 0.4);
+    const auto scenario = sim::BuildScenario(legit, cfg);
+
+    util::Rng seed_rng(case_seed + 1);
+    const auto seeds = scenario.SampleSeeds(8, 3, seed_rng);
+
+    detect::IterativeConfig dcfg;
+    dcfg.target_detections = cfg.num_fakes;
+    dcfg.maar.seed = case_seed;
+    dcfg.maar.num_random_inits = 1;
+    dcfg.maar.k_scale = 4.0;
+
+    const auto identity = RunSignature::Of(
+        detect::DetectFriendSpammers(scenario.graph, seeds, dcfg));
+
+    const Layout random_lay =
+        RandomLayout(scenario.graph.NumNodes(), seed_rng);
+    // Rotate the thread count across cases; every instance covers 1, 2,
+    // and 8 within its four sub-cases.
+    const int threads[] = {1, 2, 8, static_cast<int>(1 + (instance % 8))};
+    for (int t : {threads[sub]}) {
+      ExpectSameRun(identity,
+                    RunThroughLayout(scenario.graph, seeds, dcfg,
+                                     random_lay, t),
+                    "random permutation, threads=" + std::to_string(t) +
+                        ", case=" + std::to_string(case_seed));
+    }
+
+    // Public path: MaarConfig::layout does compute/apply/translate itself.
+    detect::IterativeConfig bfs_cfg = dcfg;
+    bfs_cfg.maar.layout = LayoutPolicy::kBfs;
+    bfs_cfg.maar.num_threads = threads[sub];
+    ExpectSameRun(
+        identity,
+        RunSignature::Of(
+            detect::DetectFriendSpammers(scenario.graph, seeds, bfs_cfg)),
+        "kBfs policy, case=" + std::to_string(case_seed));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LayoutInvarianceTest,
+                         ::testing::Range<std::uint64_t>(0, 25));
+
+}  // namespace
+}  // namespace rejecto
