@@ -67,7 +67,7 @@ int main() {
   {
     util::Table t({"legit_seeds", "spammer_seeds", "precision", "seconds"});
     t.set_precision(4);
-    for (const auto [nl, ns] : std::vector<std::pair<int, int>>{
+    for (const auto& [nl, ns] : std::vector<std::pair<int, int>>{
              {0, 0}, {10, 3}, {50, 15}, {200, 60}}) {
       util::Rng rng(ctx.seed + 77);
       const auto s = scenario.SampleSeeds(static_cast<graph::NodeId>(nl),

@@ -50,10 +50,11 @@ int main() {
     // The master's prefetch buffer holds a fixed fraction of the node set,
     // mirroring how the paper provisions the cluster so memory scales with
     // the graph ("provided that the aggregate memory ... suffices").
-    engine::Cluster cluster(
-        {.num_workers = 4,
-         .prefetch_batch = 512,
-         .buffer_capacity = std::max<std::size_t>(8192, n / 2)});
+    engine::ClusterConfig ccfg;
+    ccfg.num_workers = 4;
+    ccfg.prefetch_batch = 512;
+    ccfg.buffer_capacity = std::max<std::size_t>(8192, n / 2);
+    engine::Cluster cluster(ccfg);
     const engine::ShardedGraphStore store(scenario.graph, 4, cluster.Pool());
 
     // A full (reduced-sweep) MAAR solve on the cluster substrate: the k

@@ -99,11 +99,13 @@ void AppendMaarBenchJson(const std::vector<MaarBenchRecord>& records);
 struct KernelBenchRecord {
   std::string bench;          // emitting binary, e.g. "bench_micro"
   std::string kernel;         // "kl_switch_old", "kl_switch_fused",
-                              // "compact_builder", "compact_csr"
+                              // "compact_builder", "compact_csr",
+                              // "cut_count_scalar/avx2", "merge_scalar/avx2"
   std::int64_t users = 0;
   std::int64_t edges = 0;
   std::int64_t items = 0;     // work units: switches applied / nodes kept
-  double seconds = 0.0;
+  double seconds = 0.0;         // min of reps (the headline number)
+  double seconds_median = 0.0;  // median of reps (noise indicator run-to-run)
   double throughput = 0.0;    // items / seconds
   double speedup = 1.0;       // old-kernel seconds / this kernel's seconds
 };

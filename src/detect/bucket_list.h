@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "graph/types.h"
+#include "util/buffer.h"
 
 namespace rejecto::detect {
 
@@ -127,8 +128,10 @@ class BucketList {
 
   double resolution_ = 1.0;
   std::int32_t max_bucket_ = 0;           // buckets span [-max_bucket_, +max_bucket_]
-  std::vector<std::int32_t> heads_;       // per-bucket head node (kNil if empty)
-  std::vector<NodeLink> links_;           // kNil-terminated intrusive lists
+  // Both stores live on the aligned memory tier: the 12-byte NodeLink
+  // records are the per-switch random-access hot set.
+  util::AlignedVector<std::int32_t> heads_;  // per-bucket head (kNil if empty)
+  util::AlignedVector<NodeLink> links_;      // kNil-terminated intrusive lists
   std::int32_t cur_max_ = 0;              // highest possibly-non-empty bucket
   graph::NodeId size_ = 0;
 };

@@ -25,6 +25,7 @@
 #include "detect/bucket_list.h"
 #include "detect/partition.h"
 #include "graph/augmented_graph.h"
+#include "util/buffer.h"
 
 namespace rejecto::detect {
 
@@ -63,9 +64,9 @@ struct KlResult {
 struct KlScratch {
   Partition partition;
   BucketList bucket;
-  std::vector<graph::NodeId> seq;      // this pass's switch sequence
-  std::vector<graph::NodeId> touched;  // neighbors hit by the current switch
-  std::vector<graph::NodeId> order;    // rank mode: nodes by ascending rank
+  util::AlignedVector<graph::NodeId> seq;   // this pass's switch sequence
+  util::AlignedVector<graph::NodeId> touched;  // neighbors hit per switch
+  util::AlignedVector<graph::NodeId> order;  // rank mode: by ascending rank
 };
 
 // `locked` may be empty (nothing pinned); otherwise size must equal

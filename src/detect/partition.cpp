@@ -1,12 +1,85 @@
 #include "detect/partition.h"
 
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
 #include <algorithm>
+#include <cstring>
 #include <stdexcept>
 
 #include "detect/bucket_list.h"
 #include "util/dcheck.h"
+#include "util/simd.h"
 
 namespace rejecto::detect {
+
+namespace {
+
+// The fused-switch delta kernel treats the NodeAggregates array as a flat
+// u32 array: word 4w is agg_[w].deg, word 4w+1 is agg_[w].cross_friends.
+//
+// Branch-free scalar form of the cross-friends update: sides differ exactly
+// when the top bit of deg ^ v_side is set, and the count moves by +1 (differ)
+// or -1 (match) — (deg ^ v_side) >> 31 is 1 or 0, so 2x-1 is the delta in
+// unsigned arithmetic.
+inline void CrossFriendDeltasScalar(std::uint32_t* agg_words,
+                                    const graph::NodeId* row, std::size_t n,
+                                    std::uint32_t v_side) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t base = static_cast<std::size_t>(row[i]) << 2;
+    const std::uint32_t differs = (agg_words[base] ^ v_side) >> 31;
+    agg_words[base + 1] += 2 * differs - 1;
+  }
+}
+
+#if defined(__x86_64__) || defined(__i386__)
+// AVX2 form: gathers 8 deg words at once so the random-access cache misses
+// overlap, then applies the computed ±1 deltas scalar (the target lines are
+// warm after the gather). Same integer arithmetic as the scalar form —
+// bit-identical. Requires node ids < 2^29 (word index shifted left by 2
+// must stay a positive s32 for the gather).
+__attribute__((target("avx2"))) void CrossFriendDeltasAvx2(
+    std::uint32_t* agg_words, const graph::NodeId* row, std::size_t n,
+    std::uint32_t v_side) {
+  const __m256i side = _mm256_set1_epi32(static_cast<int>(v_side));
+  const __m256i one = _mm256_set1_epi32(1);
+  alignas(32) std::uint32_t delta[8];
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i vidx =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(row + i));
+    const __m256i words = _mm256_slli_epi32(vidx, 2);
+    const __m256i degs = _mm256_i32gather_epi32(
+        reinterpret_cast<const int*>(agg_words), words, 4);
+    const __m256i differs =
+        _mm256_srli_epi32(_mm256_xor_si256(degs, side), 31);
+    _mm256_store_si256(
+        reinterpret_cast<__m256i*>(delta),
+        _mm256_sub_epi32(_mm256_add_epi32(differs, differs), one));
+    for (int j = 0; j < 8; ++j) {
+      agg_words[(static_cast<std::size_t>(row[i + j]) << 2) + 1] += delta[j];
+    }
+  }
+  CrossFriendDeltasScalar(agg_words, row + i, n - i, v_side);
+}
+#endif  // x86
+
+inline void CrossFriendDeltas(std::uint32_t* agg_words,
+                              const graph::NodeId* row, std::size_t n,
+                              std::uint32_t v_side, bool use_avx2) {
+#if defined(__x86_64__) || defined(__i386__)
+  if (use_avx2 && n >= 16) {
+    CrossFriendDeltasAvx2(agg_words, row, n, v_side);
+    return;
+  }
+#else
+  (void)use_avx2;
+#endif
+  CrossFriendDeltasScalar(agg_words, row, n, v_side);
+}
+
+}  // namespace
 
 Partition::Partition(const graph::AugmentedGraph& g, std::vector<char> in_u)
     : g_(&g), in_u_(std::move(in_u)) {
@@ -33,20 +106,52 @@ void Partition::InitAggregates() {
   rejections_into_u_ = 0;
   agg_.assign(n, NodeAggregates{});
 
+  // Normalize the mask to strict 0/1: callers promise "non-zero means in U",
+  // and normalizing makes the side comparisons below, the side bit, and the
+  // SIMD zero-byte counts all agree on the same membership.
+  for (graph::NodeId v = 0; v < n; ++v) in_u_[v] = in_u_[v] != 0 ? 1 : 0;
+
   const auto& fr = g_->Friendships();
   const auto& rej = g_->Rejections();
-  for (graph::NodeId v = 0; v < n; ++v) {
-    if (in_u_[v]) ++size_u_;
-    NodeAggregates& a = agg_[v];
-    a.deg = fr.Degree(v) | (in_u_[v] ? kSideBit : 0u);
-    for (graph::NodeId w : fr.Neighbors(v)) {
-      if (in_u_[v] != in_u_[w]) ++a.cross_friends;
+  if (util::simd::ActiveMode() == util::simd::SimdMode::kAvx2 && n > 0) {
+    // Gather path: every per-node aggregate is an exact zero-byte count over
+    // the normalized mask (cross = neighbors on the other side, in_from_w =
+    // rejectors outside U, out_to_u = rejectees inside U), so the results
+    // match the scalar loops bit for bit.
+    mask_scratch_.resize(n);
+    std::memcpy(mask_scratch_.data(), in_u_.data(), n);
+    const unsigned char* mask = mask_scratch_.data();
+    for (graph::NodeId v = 0; v < n; ++v) {
+      if (in_u_[v]) ++size_u_;
+      NodeAggregates& a = agg_[v];
+      a.deg = fr.Degree(v) | (in_u_[v] ? kSideBit : 0u);
+      const auto friends = fr.Neighbors(v);
+      const auto rejectors = rej.Rejectors(v);
+      const auto rejectees = rej.Rejectees(v);
+      const std::size_t friends_out =
+          util::simd::CountZeroAt(mask, friends.data(), friends.size());
+      a.cross_friends = static_cast<std::uint32_t>(
+          in_u_[v] ? friends_out : friends.size() - friends_out);
+      a.in_from_w = static_cast<std::uint32_t>(
+          util::simd::CountZeroAt(mask, rejectors.data(), rejectors.size()));
+      a.out_to_u = static_cast<std::uint32_t>(
+          rejectees.size() -
+          util::simd::CountZeroAt(mask, rejectees.data(), rejectees.size()));
     }
-    for (graph::NodeId x : rej.Rejectors(v)) {
-      if (!in_u_[x]) ++a.in_from_w;
-    }
-    for (graph::NodeId y : rej.Rejectees(v)) {
-      if (in_u_[y]) ++a.out_to_u;
+  } else {
+    for (graph::NodeId v = 0; v < n; ++v) {
+      if (in_u_[v]) ++size_u_;
+      NodeAggregates& a = agg_[v];
+      a.deg = fr.Degree(v) | (in_u_[v] ? kSideBit : 0u);
+      for (graph::NodeId w : fr.Neighbors(v)) {
+        if (in_u_[v] != in_u_[w]) ++a.cross_friends;
+      }
+      for (graph::NodeId x : rej.Rejectors(v)) {
+        if (!in_u_[x]) ++a.in_from_w;
+      }
+      for (graph::NodeId y : rej.Rejectees(v)) {
+        if (in_u_[y]) ++a.out_to_u;
+      }
     }
   }
   for (graph::NodeId v = 0; v < n; ++v) {
@@ -98,7 +203,7 @@ void Partition::Switch(graph::NodeId v) {
 }
 
 void Partition::SwitchFused(graph::NodeId v, double k, BucketList& bl,
-                            std::vector<graph::NodeId>& touched,
+                            util::AlignedVector<graph::NodeId>& touched,
                             const graph::NodeId* rank) {
   REJECTO_DCHECK(v < NumNodes(), "Partition::SwitchFused: node id");
   touched.clear();
@@ -115,37 +220,38 @@ void Partition::SwitchFused(graph::NodeId v, double k, BucketList& bl,
 
   const auto& fr = g_->Friendships();
   const auto& rej = g_->Rejections();
+  const auto friends = fr.Neighbors(v);
+  const auto rejectors = rej.Rejectors(v);
+  const auto rejectees = rej.Rejectees(v);
 
-  // Single traversal: apply the aggregate deltas (as in Switch) and record
-  // each touched neighbor. Duplicates (a node that is both friend and
-  // rejector/rejectee of v) stay in the buffer; the deferred sweep makes
-  // them no-ops.
+  // The touched buffer is the three adjacency rows back to back — one bulk
+  // memcpy per row instead of a push_back per neighbor. Duplicates (a node
+  // that is both friend and rejector/rejectee of v) stay in the buffer; the
+  // deferred sweep makes them no-ops.
+  touched.Append(friends.data(), friends.size());
+  touched.Append(rejectors.data(), rejectors.size());
+  touched.Append(rejectees.data(), rejectees.size());
+
+  // Aggregate deltas, branch-free (AVX2-gathered on long rows): identical
+  // integer arithmetic to Switch.
   agg_[v].cross_friends = (agg_[v].deg & kDegMask) - agg_[v].cross_friends;
   const std::uint32_t v_side = agg_[v].deg & kSideBit;
-  for (graph::NodeId w : fr.Neighbors(v)) {
-    NodeAggregates& aw = agg_[w];
-    if (v_side != (aw.deg & kSideBit)) {
-      ++aw.cross_friends;
-    } else {
-      --aw.cross_friends;
-    }
-    bl.PrefetchNode(w);
-    touched.push_back(w);
-  }
-  const std::size_t friends_end = touched.size();
+  const bool use_avx2 =
+      util::simd::ActiveMode() == util::simd::SimdMode::kAvx2 &&
+      NumNodes() < (1u << 29);
+  static_assert(sizeof(NodeAggregates) == 4 * sizeof(std::uint32_t));
+  CrossFriendDeltas(reinterpret_cast<std::uint32_t*>(agg_.data()),
+                    friends.data(), friends.size(), v_side, use_avx2);
+  const std::size_t friends_end = friends.size();
   const std::int32_t into_u = was_in_u ? -1 : 1;
-  for (graph::NodeId x : rej.Rejectors(v)) {
+  for (graph::NodeId x : rejectors) {
     agg_[x].out_to_u = static_cast<std::uint32_t>(
         static_cast<std::int32_t>(agg_[x].out_to_u) + into_u);
-    bl.PrefetchNode(x);
-    touched.push_back(x);
   }
-  const std::size_t rejectors_end = touched.size();
-  for (graph::NodeId y : rej.Rejectees(v)) {
+  const std::size_t rejectors_end = friends_end + rejectors.size();
+  for (graph::NodeId y : rejectees) {
     agg_[y].in_from_w = static_cast<std::uint32_t>(
         static_cast<std::int32_t>(agg_[y].in_from_w) - into_u);
-    bl.PrefetchNode(y);
-    touched.push_back(y);
   }
 
   // Layout invariance (rank != null): each adjacency segment holds a
@@ -174,8 +280,15 @@ void Partition::SwitchFused(graph::NodeId v, double k, BucketList& bl,
   // from the integer aggregates (never accumulated in floating point), so
   // quantization and pick order match the unfused path bit for bit. The
   // Contains guard skips the gain recompute for nodes already popped or
-  // locked — Adjust would ignore them anyway.
-  for (graph::NodeId w : touched) {
+  // locked — Adjust would ignore them anyway. The link records are
+  // prefetched a fixed lookahead ahead of the sweep (the old code issued
+  // the prefetches during the delta traversal, which on long rows evicted
+  // the early lines before the sweep reached them).
+  const std::size_t count = touched.size();
+  constexpr std::size_t kLookahead = 8;
+  for (std::size_t i = 0; i < count; ++i) {
+    if (i + kLookahead < count) bl.PrefetchNode(touched[i + kLookahead]);
+    const graph::NodeId w = touched[i];
     if (bl.Contains(w)) bl.Adjust(w, -DeltaObjective(w, k));
   }
 }

@@ -20,6 +20,7 @@
 
 #include "graph/augmented_graph.h"
 #include "graph/types.h"
+#include "util/buffer.h"
 
 namespace rejecto::detect {
 
@@ -70,7 +71,7 @@ class Partition {
   // (a duplicate neighbor still relinks at its friends-segment occurrence),
   // matching the identity path's first-occurrence semantics exactly.
   void SwitchFused(graph::NodeId v, double k, BucketList& bl,
-                   std::vector<graph::NodeId>& touched,
+                   util::AlignedVector<graph::NodeId>& touched,
                    const graph::NodeId* rank = nullptr);
 
   // Change of W(U) if v switched now: ΔW(v) = ΔF(v) − k·ΔR(v) with
@@ -125,10 +126,15 @@ class Partition {
   void InitAggregates();
 
   const graph::AugmentedGraph* g_ = nullptr;
+  // Normalized to strict 0/1 bytes by InitAggregates, so side comparisons
+  // and the SIMD zero-byte counts agree for any caller-supplied mask.
   std::vector<char> in_u_;
   graph::NodeId size_u_ = 0;
 
-  std::vector<NodeAggregates> agg_;
+  util::AlignedVector<NodeAggregates> agg_;
+  // Padded 0/1 copy of in_u_ for the gather-based InitAggregates path
+  // (std::vector<char> has no overread slack); empty in scalar mode.
+  util::AlignedVector<unsigned char> mask_scratch_;
 
   std::uint64_t cross_friendships_ = 0;  // |F(Ū,U)|
   std::uint64_t rejections_into_u_ = 0;  // |R⃗(Ū,U)|

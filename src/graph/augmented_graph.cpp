@@ -1,8 +1,12 @@
 #include "graph/augmented_graph.h"
 
 #include <algorithm>
+#include <cstring>
 #include <limits>
 #include <stdexcept>
+
+#include "util/buffer.h"
+#include "util/simd.h"
 
 namespace rejecto::graph {
 
@@ -35,6 +39,28 @@ CutQuantities AugmentedGraph::ComputeCut(const std::vector<char>& in_u) const {
     throw std::invalid_argument("AugmentedGraph::ComputeCut: mask size");
   }
   CutQuantities q;
+  if (util::simd::ActiveMode() == util::simd::SimdMode::kAvx2 &&
+      NumNodes() > 0) {
+    // Vector path: each row count is an exact zero-byte count over the mask,
+    // so the result is bit-identical to the scalar loop below. The mask is
+    // copied onto the aligned tier for the gather overread slack.
+    util::AlignedVector<unsigned char> mask(in_u.size());
+    std::memcpy(mask.data(), in_u.data(), in_u.size());
+    for (NodeId u = 0; u < NumNodes(); ++u) {
+      if (!mask[u]) continue;
+      const auto fr = friendships_.Neighbors(u);
+      const auto rejectors = rejections_.Rejectors(u);
+      const auto rejectees = rejections_.Rejectees(u);
+      q.cross_friendships +=
+          util::simd::CountZeroAt(mask.data(), fr.data(), fr.size());
+      q.rejections_into_u += util::simd::CountZeroAt(
+          mask.data(), rejectors.data(), rejectors.size());
+      q.rejections_from_u += util::simd::CountZeroAt(
+          mask.data(), rejectees.data(), rejectees.size());
+    }
+    return q;
+  }
+  // Scalar oracle.
   for (NodeId u = 0; u < NumNodes(); ++u) {
     if (!in_u[u]) continue;
     for (NodeId v : friendships_.Neighbors(u)) {

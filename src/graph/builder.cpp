@@ -4,13 +4,16 @@
 #include <stdexcept>
 #include <utility>
 
+#include "util/buffer.h"
+
 namespace rejecto::graph {
 namespace {
 
-// Sorts, dedups, and converts a directed arc list into CSR arrays.
+// Sorts, dedups, and converts a directed arc list into CSR arrays, built
+// directly on the aligned memory tier the graphs keep them on.
 struct Csr {
-  std::vector<std::size_t> offsets;
-  std::vector<NodeId> adj;
+  util::AlignedVector<std::size_t> offsets;
+  util::AlignedVector<NodeId> adj;
 };
 
 Csr ToCsr(NodeId num_nodes, std::vector<std::pair<NodeId, NodeId>> pairs) {

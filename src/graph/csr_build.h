@@ -25,8 +25,10 @@ inline void ForEachNode(util::ThreadPool* pool, std::size_t n,
 }
 
 // offsets[i+1] holds the count for new node i on entry; exclusive prefix
-// sum in place turns it into a CSR offset array.
-inline void PrefixSum(std::vector<std::size_t>& offsets) {
+// sum in place turns it into a CSR offset array. Works on any indexable
+// container of size_t (std::vector, util::AlignedVector).
+template <typename Offsets>
+inline void PrefixSum(Offsets& offsets) {
   for (std::size_t i = 1; i < offsets.size(); ++i) {
     offsets[i] += offsets[i - 1];
   }

@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "graph/csr_build.h"
+#include "util/buffer.h"
 #include "util/flags.h"
 #include "util/thread_pool.h"
 
@@ -36,8 +37,9 @@ void CheckLayoutSize(const Layout& layout, NodeId n, const char* who) {
 // fill is deterministic at any thread count; no global edge sort happens.
 template <typename RowFn>
 void PermuteCsr(NodeId n, const Layout& layout, const RowFn& row,
-                util::ThreadPool* pool, std::vector<std::size_t>& offsets,
-                std::vector<NodeId>& adjacency) {
+                util::ThreadPool* pool,
+                util::AlignedVector<std::size_t>& offsets,
+                util::AlignedVector<NodeId>& adjacency) {
   offsets.assign(n + 1, 0);
   ForEachNode(pool, n, [&](std::size_t t) {
     offsets[t + 1] = row(layout.old_of_new[t]).size();
@@ -173,8 +175,8 @@ SocialGraph ApplyLayout(const SocialGraph& g, const Layout& layout,
   CheckLayoutSize(layout, g.NumNodes(), "ApplyLayout");
   if (layout.IsIdentity()) return g;
   const NodeId n = g.NumNodes();
-  std::vector<std::size_t> offsets;
-  std::vector<NodeId> adjacency;
+  util::AlignedVector<std::size_t> offsets;
+  util::AlignedVector<NodeId> adjacency;
   PermuteCsr(
       n, layout, [&](NodeId old) { return g.Neighbors(old); }, pool, offsets,
       adjacency);
@@ -186,8 +188,8 @@ RejectionGraph ApplyLayout(const RejectionGraph& g, const Layout& layout,
   CheckLayoutSize(layout, g.NumNodes(), "ApplyLayout");
   if (layout.IsIdentity()) return g;
   const NodeId n = g.NumNodes();
-  std::vector<std::size_t> out_off, in_off;
-  std::vector<NodeId> out_adj, in_adj;
+  util::AlignedVector<std::size_t> out_off, in_off;
+  util::AlignedVector<NodeId> out_adj, in_adj;
   // Both directions are remapped independently; the in-adjacency stays the
   // exact mirror of the out-adjacency because a permutation drops nothing.
   PermuteCsr(

@@ -5,10 +5,10 @@
 namespace rejecto::graph {
 
 RejectionGraph::RejectionGraph(NodeId num_nodes,
-                               std::vector<std::size_t> out_offsets,
-                               std::vector<NodeId> out_adj,
-                               std::vector<std::size_t> in_offsets,
-                               std::vector<NodeId> in_adj)
+                               util::AlignedVector<std::size_t> out_offsets,
+                               util::AlignedVector<NodeId> out_adj,
+                               util::AlignedVector<std::size_t> in_offsets,
+                               util::AlignedVector<NodeId> in_adj)
     : num_nodes_(num_nodes),
       num_arcs_(out_adj.size()),
       out_offsets_(std::move(out_offsets)),

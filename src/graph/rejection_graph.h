@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "graph/types.h"
+#include "util/buffer.h"
 #include "util/dcheck.h"
 
 namespace rejecto::graph {
@@ -29,13 +30,26 @@ class RejectionGraph {
   // Preconditions are NOT validated — raw path for CSR filtering
   // (graph::InducedSubgraph); everything else goes through GraphBuilder.
   static RejectionGraph FromCsr(NodeId num_nodes,
-                                std::vector<std::size_t> out_offsets,
-                                std::vector<NodeId> out_adj,
-                                std::vector<std::size_t> in_offsets,
-                                std::vector<NodeId> in_adj) {
+                                util::AlignedVector<std::size_t> out_offsets,
+                                util::AlignedVector<NodeId> out_adj,
+                                util::AlignedVector<std::size_t> in_offsets,
+                                util::AlignedVector<NodeId> in_adj) {
     return RejectionGraph(num_nodes, std::move(out_offsets),
                           std::move(out_adj), std::move(in_offsets),
                           std::move(in_adj));
+  }
+  // Convenience overload for callers still holding plain vectors; copies
+  // into the aligned tier.
+  static RejectionGraph FromCsr(NodeId num_nodes,
+                                const std::vector<std::size_t>& out_offsets,
+                                const std::vector<NodeId>& out_adj,
+                                const std::vector<std::size_t>& in_offsets,
+                                const std::vector<NodeId>& in_adj) {
+    return RejectionGraph(num_nodes,
+                          util::AlignedVector<std::size_t>(out_offsets),
+                          util::AlignedVector<NodeId>(out_adj),
+                          util::AlignedVector<std::size_t>(in_offsets),
+                          util::AlignedVector<NodeId>(in_adj));
   }
 
   NodeId NumNodes() const noexcept { return num_nodes_; }
@@ -77,21 +91,23 @@ class RejectionGraph {
 
  private:
   friend class GraphBuilder;
-  RejectionGraph(NodeId num_nodes, std::vector<std::size_t> out_offsets,
-                 std::vector<NodeId> out_adj,
-                 std::vector<std::size_t> in_offsets,
-                 std::vector<NodeId> in_adj);
+  RejectionGraph(NodeId num_nodes, util::AlignedVector<std::size_t> out_offsets,
+                 util::AlignedVector<NodeId> out_adj,
+                 util::AlignedVector<std::size_t> in_offsets,
+                 util::AlignedVector<NodeId> in_adj);
 
   void CheckNode([[maybe_unused]] NodeId u) const {
     REJECTO_DCHECK(u < num_nodes_, "RejectionGraph: node id out of range");
   }
 
+  // CSR arrays on the aligned memory tier (see SocialGraph for the SIMD
+  // addressing contract they uphold).
   NodeId num_nodes_ = 0;
   EdgeId num_arcs_ = 0;
-  std::vector<std::size_t> out_offsets_;
-  std::vector<NodeId> out_adj_;
-  std::vector<std::size_t> in_offsets_;
-  std::vector<NodeId> in_adj_;
+  util::AlignedVector<std::size_t> out_offsets_;
+  util::AlignedVector<NodeId> out_adj_;
+  util::AlignedVector<std::size_t> in_offsets_;
+  util::AlignedVector<NodeId> in_adj_;
 };
 
 }  // namespace rejecto::graph

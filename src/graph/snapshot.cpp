@@ -13,8 +13,10 @@
 #include <stdexcept>
 #include <vector>
 
+#include "util/buffer.h"
 #include "util/crc32c.h"
 #include "util/failpoint.h"
+#include "util/memory.h"
 
 namespace rejecto::graph {
 namespace {
@@ -36,6 +38,10 @@ constexpr std::uint64_t kFlagHasLayout = 1;
 constexpr std::size_t kEntryBytes = 24;  // kind + crc + offset + length
 constexpr std::size_t kHeaderBytes = 16; // magic + count + table crc
 constexpr std::uint32_t kMaxSections = 64;
+// Every section starts on a 64-byte boundary (util::memory::kAlignment) so
+// an mmap'd view can hand CSR arrays straight to the SIMD kernels; the
+// loader rejects misaligned sections instead of silently copying them.
+constexpr std::size_t kSectionAlign = util::memory::kAlignment;
 
 struct SectionEntry {
   std::uint32_t kind = 0;
@@ -74,9 +80,9 @@ std::uint64_t GetU64Le(const unsigned char* p) {
 
 class ImageBuilder {
  public:
-  // Appends a section at the next 8-byte-aligned offset, CRC included.
+  // Appends a section at the next 64-byte-aligned offset, CRC included.
   void AddSection(std::uint32_t kind, const void* data, std::uint64_t length) {
-    while (bytes_.size() % 8 != 0) bytes_.push_back(0);
+    while (bytes_.size() % kSectionAlign != 0) bytes_.push_back(0);
     SectionEntry e;
     e.kind = kind;
     e.crc = util::Crc32c(data, static_cast<std::size_t>(length));
@@ -93,7 +99,7 @@ class ImageBuilder {
   std::vector<unsigned char> Finish() {
     const std::size_t table_bytes = entries_.size() * kEntryBytes;
     std::size_t base = kHeaderBytes + table_bytes;
-    while (base % 8 != 0) ++base;
+    while (base % kSectionAlign != 0) ++base;
 
     std::vector<unsigned char> table(table_bytes);
     for (std::size_t i = 0; i < entries_.size(); ++i) {
@@ -225,9 +231,11 @@ class FileBytes {
   std::size_t size_ = 0;
 };
 
-// Bulk-copies a u64 section into the in-memory std::size_t offsets array.
-std::vector<std::size_t> ReadOffsets(const unsigned char* p, std::size_t count) {
-  std::vector<std::size_t> off(count);
+// Bulk-copies a u64 section into the in-memory std::size_t offsets array,
+// directly onto the aligned tier the graph keeps it on.
+util::AlignedVector<std::size_t> ReadOffsets(const unsigned char* p,
+                                             std::size_t count) {
+  util::AlignedVector<std::size_t> off(count);
   if constexpr (sizeof(std::size_t) == sizeof(std::uint64_t) &&
                 std::endian::native == std::endian::little) {
     std::memcpy(off.data(), p, count * sizeof(std::uint64_t));
@@ -239,8 +247,9 @@ std::vector<std::size_t> ReadOffsets(const unsigned char* p, std::size_t count) 
   return off;
 }
 
-std::vector<NodeId> ReadNodeIds(const unsigned char* p, std::size_t count) {
-  std::vector<NodeId> ids(count);
+util::AlignedVector<NodeId> ReadNodeIds(const unsigned char* p,
+                                        std::size_t count) {
+  util::AlignedVector<NodeId> ids(count);
   if constexpr (std::endian::native == std::endian::little) {
     std::memcpy(ids.data(), p, count * sizeof(NodeId));
   } else {
@@ -250,7 +259,8 @@ std::vector<NodeId> ReadNodeIds(const unsigned char* p, std::size_t count) {
 }
 
 void CheckOffsets(const std::string& path, const SectionEntry& e,
-                  const std::vector<std::size_t>& off, std::uint64_t total) {
+                  const util::AlignedVector<std::size_t>& off,
+                  std::uint64_t total) {
   if (off.empty() || off.front() != 0) {
     Fail(path, e.offset, "CSR offsets do not start at 0");
   }
@@ -361,6 +371,12 @@ Snapshot LoadSnapshot(const std::string& path) {
       Fail(path, e.offset,
            "section " + std::to_string(e.kind) + " CRC mismatch");
     }
+    if (e.offset % kSectionAlign != 0) {
+      Fail(path, e.offset,
+           "section " + std::to_string(e.kind) +
+               " is not 64-byte aligned (pre-alignment snapshot? re-save "
+               "with this build)");
+    }
     if (e.kind < 8) {
       if (by_kind[e.kind] != nullptr) {
         Fail(path, e.offset,
@@ -393,8 +409,8 @@ Snapshot LoadSnapshot(const std::string& path) {
   const CsrSpec specs[3] = {{kFrOffsets, kFrAdj, 2 * num_edges},
                             {kOutOffsets, kOutAdj, num_arcs},
                             {kInOffsets, kInAdj, num_arcs}};
-  std::vector<std::size_t> offs[3];
-  std::vector<NodeId> adjs[3];
+  util::AlignedVector<std::size_t> offs[3];
+  util::AlignedVector<NodeId> adjs[3];
   for (int c = 0; c < 3; ++c) {
     const SectionEntry* oe = by_kind[specs[c].off_kind];
     const SectionEntry* ae = by_kind[specs[c].adj_kind];
@@ -423,7 +439,8 @@ Snapshot LoadSnapshot(const std::string& path) {
       Fail(path, kHeaderBytes, "missing or malformed layout section");
     }
     std::vector<NodeId> old_of_new =
-        ReadNodeIds(data + le->offset, static_cast<std::size_t>(n64));
+        ReadNodeIds(data + le->offset, static_cast<std::size_t>(n64))
+            .ToStdVector();
     layout.new_of_old.assign(n, kInvalidNode);
     for (NodeId v = 0; v < n; ++v) {
       const NodeId o = old_of_new[v];

@@ -14,7 +14,14 @@
 //   [12,16)  u32 CRC32C of the section-table bytes
 //   [16, ..) section table, 24 bytes per entry:
 //              u32 kind, u32 crc32c(section bytes), u64 offset, u64 length
-//   sections, each at an 8-byte-aligned offset
+//   sections, each at a 64-byte-aligned offset
+// Section alignment: every section offset is a multiple of 64
+// (util::memory::kAlignment). An mmap'd view therefore presents each CSR
+// array on the same cache-line boundary the in-memory aligned tier
+// guarantees, so the SIMD kernels can consume mapped sections directly.
+// The loader verifies the alignment of every section and rejects files
+// that violate it with a clear path+offset error (snapshots written before
+// the alignment guarantee used 8-byte padding and must be re-saved).
 // Section kinds: 0 meta (u64 n, E, R, flags; flag bit 0 = layout stored),
 // 1/3/5 friendship/out/in offsets ((n+1) × u64), 2/4/6 the matching
 // adjacency (2E / R / R × u32), 7 the layout permutation old_of_new

@@ -4,8 +4,9 @@
 
 namespace rejecto::graph {
 
-SocialGraph::SocialGraph(NodeId num_nodes, std::vector<std::size_t> offsets,
-                         std::vector<NodeId> adjacency)
+SocialGraph::SocialGraph(NodeId num_nodes,
+                         util::AlignedVector<std::size_t> offsets,
+                         util::AlignedVector<NodeId> adjacency)
     : num_nodes_(num_nodes),
       num_edges_(adjacency.size() / 2),
       offsets_(std::move(offsets)),

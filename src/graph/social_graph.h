@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "graph/types.h"
+#include "util/buffer.h"
 #include "util/dcheck.h"
 
 namespace rejecto::graph {
@@ -31,9 +32,17 @@ class SocialGraph {
   // existing graph's CSR (graph::InducedSubgraph); everything else should
   // go through GraphBuilder.
   static SocialGraph FromCsr(NodeId num_nodes,
-                             std::vector<std::size_t> offsets,
-                             std::vector<NodeId> adjacency) {
+                             util::AlignedVector<std::size_t> offsets,
+                             util::AlignedVector<NodeId> adjacency) {
     return SocialGraph(num_nodes, std::move(offsets), std::move(adjacency));
+  }
+  // Convenience overload for callers still holding plain vectors; copies
+  // into the aligned tier.
+  static SocialGraph FromCsr(NodeId num_nodes,
+                             const std::vector<std::size_t>& offsets,
+                             const std::vector<NodeId>& adjacency) {
+    return SocialGraph(num_nodes, util::AlignedVector<std::size_t>(offsets),
+                       util::AlignedVector<NodeId>(adjacency));
   }
 
   NodeId NumNodes() const noexcept { return num_nodes_; }
@@ -67,18 +76,21 @@ class SocialGraph {
 
  private:
   friend class GraphBuilder;
-  SocialGraph(NodeId num_nodes, std::vector<std::size_t> offsets,
-              std::vector<NodeId> adjacency);
+  SocialGraph(NodeId num_nodes, util::AlignedVector<std::size_t> offsets,
+              util::AlignedVector<NodeId> adjacency);
 
   void CheckNode([[maybe_unused]] NodeId u) const {
     REJECTO_DCHECK(u < num_nodes_, "SocialGraph: node id out of range");
   }
 
+  // CSR arrays live on the aligned memory tier: 64-byte-aligned bases and
+  // >= 64 readable bytes past the end, the contract the SIMD kernels
+  // (util/simd.h) gather against.
   NodeId num_nodes_ = 0;
   EdgeId num_edges_ = 0;
   std::uint32_t max_degree_ = 0;
-  std::vector<std::size_t> offsets_;  // size num_nodes_ + 1
-  std::vector<NodeId> adjacency_;     // size 2 * num_edges_
+  util::AlignedVector<std::size_t> offsets_;  // size num_nodes_ + 1
+  util::AlignedVector<NodeId> adjacency_;     // size 2 * num_edges_
 };
 
 }  // namespace rejecto::graph

@@ -1,10 +1,14 @@
 #include "graph/subgraph.h"
 
 #include <cstddef>
+#include <cstring>
+#include <span>
 #include <stdexcept>
 #include <utility>
 
 #include "graph/csr_build.h"
+#include "util/buffer.h"
+#include "util/simd.h"
 #include "util/thread_pool.h"
 
 namespace rejecto::graph {
@@ -30,46 +34,65 @@ CompactedGraph InducedSubgraph(const AugmentedGraph& g,
   const SocialGraph& fr = g.Friendships();
   const RejectionGraph& rej = g.Rejections();
 
-  std::vector<std::size_t> fr_off(m + 1, 0);
-  std::vector<std::size_t> out_off(m + 1, 0);
-  std::vector<std::size_t> in_off(m + 1, 0);
+  // The AVX2 path gathers mask bytes and left-packs kept lanes (masked
+  // stores only — nothing is written outside a row's disjoint output range,
+  // so the block-parallel fills stay race-free). Both paths preserve row
+  // order, and new_id is monotone, so the result is bit-identical to the
+  // scalar filter at any thread count.
+  const bool use_avx2 =
+      util::simd::ActiveMode() == util::simd::SimdMode::kAvx2;
+  util::AlignedVector<unsigned char> keep_padded;
+  if (use_avx2) {
+    keep_padded.resize(keep.size());
+    std::memcpy(keep_padded.data(), keep.data(), keep.size());
+  }
+  const auto count_kept = [&](std::span<const NodeId> row) {
+    if (use_avx2) {
+      return row.size() -
+             util::simd::CountZeroAt(keep_padded.data(), row.data(),
+                                     row.size());
+    }
+    std::size_t c = 0;
+    for (NodeId v : row) c += keep[v] != 0;
+    return c;
+  };
+  const auto fill_row = [&](std::span<const NodeId> row, NodeId* dst) {
+    if (use_avx2) {
+      util::simd::FilterMapRow(keep_padded.data(), new_id.data(), row.data(),
+                               row.size(), dst);
+      return;
+    }
+    std::size_t w = 0;
+    for (NodeId v : row) {
+      if (keep[v]) dst[w++] = new_id[v];
+    }
+  };
+
+  util::AlignedVector<std::size_t> fr_off(m + 1, 0);
+  util::AlignedVector<std::size_t> out_off(m + 1, 0);
+  util::AlignedVector<std::size_t> in_off(m + 1, 0);
   ForEachNode(pool, m, [&](std::size_t nid) {
     const NodeId u = out.parent_id[nid];
-    std::size_t c = 0;
-    for (NodeId v : fr.Neighbors(u)) c += keep[v] != 0;
-    fr_off[nid + 1] = c;
-    c = 0;
-    for (NodeId v : rej.Rejectees(u)) c += keep[v] != 0;
-    out_off[nid + 1] = c;
-    c = 0;
-    for (NodeId v : rej.Rejectors(u)) c += keep[v] != 0;
-    in_off[nid + 1] = c;
+    fr_off[nid + 1] = count_kept(fr.Neighbors(u));
+    out_off[nid + 1] = count_kept(rej.Rejectees(u));
+    in_off[nid + 1] = count_kept(rej.Rejectors(u));
   });
   PrefixSum(fr_off);
   PrefixSum(out_off);
   PrefixSum(in_off);
 
-  std::vector<NodeId> fr_adj(fr_off[m]);
-  std::vector<NodeId> out_adj(out_off[m]);
-  std::vector<NodeId> in_adj(in_off[m]);
+  util::AlignedVector<NodeId> fr_adj(fr_off[m]);
+  util::AlignedVector<NodeId> out_adj(out_off[m]);
+  util::AlignedVector<NodeId> in_adj(in_off[m]);
   // new_id is monotone in the old id and the source rows are sorted, so
   // each filtered row lands already sorted; the in-adjacency stays the
   // exact mirror of the out-adjacency because both sides drop the same
   // arcs. Rows are disjoint ranges, so block-parallel fills don't race.
   ForEachNode(pool, m, [&](std::size_t nid) {
     const NodeId u = out.parent_id[nid];
-    std::size_t w = fr_off[nid];
-    for (NodeId v : fr.Neighbors(u)) {
-      if (keep[v]) fr_adj[w++] = new_id[v];
-    }
-    w = out_off[nid];
-    for (NodeId v : rej.Rejectees(u)) {
-      if (keep[v]) out_adj[w++] = new_id[v];
-    }
-    w = in_off[nid];
-    for (NodeId v : rej.Rejectors(u)) {
-      if (keep[v]) in_adj[w++] = new_id[v];
-    }
+    fill_row(fr.Neighbors(u), fr_adj.data() + fr_off[nid]);
+    fill_row(rej.Rejectees(u), out_adj.data() + out_off[nid]);
+    fill_row(rej.Rejectors(u), in_adj.data() + in_off[nid]);
   });
 
   const NodeId num_new = static_cast<NodeId>(m);

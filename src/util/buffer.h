@@ -1,0 +1,207 @@
+// AlignedVector<T> — the contiguous container for every hot array.
+//
+// A drop-in std::vector replacement for trivially copyable element types,
+// backed by util::memory blocks. It adds two guarantees std::vector cannot
+// give:
+//
+//   * data() is 64-byte aligned (memory::kAlignment), so CSR rows and packed
+//     record stores never straddle cache lines at their base and vector
+//     loads can assume alignment of the first lane.
+//   * at least memory::kSimdSlackBytes (64) readable bytes follow
+//     data() + size() * sizeof(T) — SIMD gathers with byte-granularity
+//     addressing may overread up to 3 bytes past the last element without
+//     faulting (see util/simd.h).
+//
+// Growth is geometric (x2) like std::vector; elements move by memcpy, which
+// the trivially-copyable constraint makes exact. The container deliberately
+// supports only the slice of the std::vector API the repository uses — if a
+// call site needs more, extend it here rather than working around it.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstring>
+#include <initializer_list>
+#include <memory>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "util/memory.h"
+
+namespace rejecto::util {
+
+template <typename T>
+class AlignedVector {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "AlignedVector moves elements with memcpy; only trivially "
+                "copyable types are supported");
+
+ public:
+  using value_type = T;
+  using size_type = std::size_t;
+  using reference = T&;
+  using const_reference = const T&;
+  using iterator = T*;
+  using const_iterator = const T*;
+
+  AlignedVector() = default;
+  explicit AlignedVector(size_type n) { resize(n); }
+  AlignedVector(size_type n, const T& value) { assign(n, value); }
+  AlignedVector(std::initializer_list<T> init) {
+    Append(init.begin(), init.size());
+  }
+  explicit AlignedVector(const std::vector<T>& other) {
+    Append(other.data(), other.size());
+  }
+
+  AlignedVector(const AlignedVector& other) {
+    Append(other.data_, other.size_);
+  }
+  AlignedVector(AlignedVector&& other) noexcept
+      : block_(other.block_),
+        data_(other.data_),
+        size_(other.size_),
+        capacity_(other.capacity_) {
+    other.block_ = {};
+    other.data_ = nullptr;
+    other.size_ = 0;
+    other.capacity_ = 0;
+  }
+
+  AlignedVector& operator=(const AlignedVector& other) {
+    if (this != &other) {
+      size_ = 0;
+      Append(other.data_, other.size_);
+    }
+    return *this;
+  }
+  AlignedVector& operator=(AlignedVector&& other) noexcept {
+    if (this != &other) {
+      memory::Deallocate(block_);
+      block_ = other.block_;
+      data_ = other.data_;
+      size_ = other.size_;
+      capacity_ = other.capacity_;
+      other.block_ = {};
+      other.data_ = nullptr;
+      other.size_ = 0;
+      other.capacity_ = 0;
+    }
+    return *this;
+  }
+  AlignedVector& operator=(std::initializer_list<T> init) {
+    size_ = 0;
+    Append(init.begin(), init.size());
+    return *this;
+  }
+
+  ~AlignedVector() { memory::Deallocate(block_); }
+
+  T* data() noexcept { return data_; }
+  const T* data() const noexcept { return data_; }
+  size_type size() const noexcept { return size_; }
+  size_type capacity() const noexcept { return capacity_; }
+  bool empty() const noexcept { return size_ == 0; }
+
+  iterator begin() noexcept { return data_; }
+  iterator end() noexcept { return data_ + size_; }
+  const_iterator begin() const noexcept { return data_; }
+  const_iterator end() const noexcept { return data_ + size_; }
+  const_iterator cbegin() const noexcept { return data_; }
+  const_iterator cend() const noexcept { return data_ + size_; }
+
+  reference operator[](size_type i) noexcept { return data_[i]; }
+  const_reference operator[](size_type i) const noexcept { return data_[i]; }
+  reference front() noexcept { return data_[0]; }
+  const_reference front() const noexcept { return data_[0]; }
+  reference back() noexcept { return data_[size_ - 1]; }
+  const_reference back() const noexcept { return data_[size_ - 1]; }
+
+  void reserve(size_type n) {
+    if (n > capacity_) Grow(n);
+  }
+
+  void resize(size_type n) {
+    if (n > size_) {
+      reserve(n);
+      std::uninitialized_value_construct_n(data_ + size_, n - size_);
+    }
+    size_ = n;
+  }
+  void resize(size_type n, const T& value) {
+    if (n > size_) {
+      reserve(n);
+      std::uninitialized_fill_n(data_ + size_, n - size_, value);
+    }
+    size_ = n;
+  }
+
+  void assign(size_type n, const T& value) {
+    size_ = 0;
+    resize(n, value);
+  }
+
+  void clear() noexcept { size_ = 0; }
+
+  void push_back(const T& value) {
+    if (size_ == capacity_) Grow(size_ + 1);
+    data_[size_++] = value;
+  }
+
+  // Bulk append; the workhorse behind SwitchFused's touched list. `n == 0`
+  // is fine with any pointer, including null.
+  void Append(const T* values, size_type n) {
+    if (n == 0) return;
+    if (size_ + n > capacity_) Grow(size_ + n);
+    std::memcpy(data_ + size_, values, n * sizeof(T));
+    size_ += n;
+  }
+
+  void pop_back() noexcept { --size_; }
+
+  void swap(AlignedVector& other) noexcept {
+    std::swap(block_, other.block_);
+    std::swap(data_, other.data_);
+    std::swap(size_, other.size_);
+    std::swap(capacity_, other.capacity_);
+  }
+
+  std::vector<T> ToStdVector() const {
+    return std::vector<T>(data_, data_ + size_);
+  }
+
+  friend bool operator==(const AlignedVector& a, const AlignedVector& b) {
+    return a.size_ == b.size_ && std::equal(a.data_, a.data_ + a.size_, b.data_);
+  }
+  friend bool operator!=(const AlignedVector& a, const AlignedVector& b) {
+    return !(a == b);
+  }
+
+ private:
+  void Grow(size_type min_capacity) {
+    size_type new_capacity = capacity_ == 0 ? size_type{8} : capacity_ * 2;
+    if (new_capacity < min_capacity) new_capacity = min_capacity;
+    memory::Block fresh = memory::Allocate(new_capacity * sizeof(T));
+    if (size_ != 0) std::memcpy(fresh.ptr, data_, size_ * sizeof(T));
+    memory::Deallocate(block_);
+    block_ = fresh;
+    data_ = static_cast<T*>(fresh.ptr);
+    // The block may be larger than requested (slack + alignment rounding);
+    // only the requested capacity is usable so the slack guarantee holds
+    // past end() at any size.
+    capacity_ = new_capacity;
+  }
+
+  memory::Block block_;
+  T* data_ = nullptr;
+  size_type size_ = 0;
+  size_type capacity_ = 0;
+};
+
+template <typename T>
+void swap(AlignedVector<T>& a, AlignedVector<T>& b) noexcept {
+  a.swap(b);
+}
+
+}  // namespace rejecto::util

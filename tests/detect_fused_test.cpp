@@ -14,6 +14,7 @@
 #include "detect/extended_kl.h"
 #include "detect/partition.h"
 #include "graph/builder.h"
+#include "util/buffer.h"
 #include "util/rng.h"
 
 namespace rejecto::detect {
@@ -159,7 +160,9 @@ TEST(FusedKlTest, MatchesReferenceWithLockedSeeds) {
     const auto ref = ReferenceKl(g, init, locked, cfg);
     ExpectBitIdentical(fused, ref);
     for (graph::NodeId v = 0; v < n; ++v) {
-      if (locked[v]) EXPECT_EQ(fused.in_u[v], init[v]);
+      if (locked[v]) {
+        EXPECT_EQ(fused.in_u[v], init[v]);
+      }
     }
   }
 }
@@ -180,7 +183,7 @@ TEST(FusedKlTest, PerSwitchOracleOnRecordedSequence) {
   for (graph::NodeId v = 0; v < n; ++v) {
     bl.Insert(v, -p.DeltaObjective(v, k));
   }
-  std::vector<graph::NodeId> touched;
+  util::AlignedVector<graph::NodeId> touched;
   int switches = 0;
   while (!bl.Empty() && switches < 200) {
     const graph::NodeId v = bl.PopMax();
