@@ -869,5 +869,12 @@ int main(int argc, char** argv) {
   // time on the same scenario graph.
   rejecto::bench::RunLayoutKernelProbe("bench_micro", scenario.graph, fast);
   rejecto::bench::RunSnapshotLoadProbe("bench_micro", scenario.graph, fast);
+
+  // Out-of-core probes (graph/compressed_view.h): RJSNAP02 load +
+  // detection bit-identity vs RAM, then (full mode only) the 100M-edge
+  // streamed scan with its hard RSS-budget assertion.
+  rejecto::bench::RunCompressedSnapshotProbe("bench_micro", scenario.graph,
+                                             fast);
+  if (!fast) rejecto::bench::RunCompressedCeilingProbe("bench_micro");
   return 0;
 }

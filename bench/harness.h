@@ -108,9 +108,21 @@ struct KernelBenchRecord {
   double seconds_median = 0.0;  // median of reps (noise indicator run-to-run)
   double throughput = 0.0;    // items / seconds
   double speedup = 1.0;       // old-kernel seconds / this kernel's seconds
+
+  // Memory profile of the probed operation (0 = not measured). peak_rss is
+  // the process VmHWM after the run — the number the out-of-core path's
+  // "bounded RSS" claim is about; mapped is the bytes the probe mmapped
+  // (file size for snapshot views — residency is what stays small).
+  std::int64_t peak_rss_bytes = 0;
+  std::int64_t mapped_bytes = 0;
 };
 
 void AppendKernelBenchJson(const std::vector<KernelBenchRecord>& records);
+
+// Process peak resident set (VmHWM) and current resident set (VmRSS) from
+// /proc/self/status, in bytes; 0 where the kernel does not expose them.
+std::uint64_t PeakRssBytes();
+std::uint64_t CurrentRssBytes();
 
 // Runs MaarSolver::Solve over `threads_list` on the scenario graph with the
 // given config, asserts the cuts are bit-identical to the threads=1 run
@@ -141,5 +153,31 @@ void RunLayoutKernelProbe(const std::string& bench_name,
 // (speedup vs text_load) records; aborts on any loader disagreement.
 void RunSnapshotLoadProbe(const std::string& bench_name,
                           const graph::AugmentedGraph& g, bool fast);
+
+// Out-of-core probes for graph/compressed_view.h. Saves g (BFS-relaid, the
+// format's target regime) as both RJSNAP01 and RJSNAP02 in a scratch dir,
+// then:
+//   "snapshot_compressed_load" — LoadSnapshot(v2) time vs the v1 load,
+//     with the v2/v1 adjacency-bytes ratio printed and a hard abort if the
+//     two loads disagree or compression fails to shrink adjacency at all
+//     (the hard <= 0.5x bar lives in RunCompressedCeilingProbe — the attack
+//     scenario's scattered rejection edges are the format's worst case);
+//   "detect_compressed" / "detect_ram" — the full iterative pipeline over
+//     the mmap view vs in RAM, aborting unless detected sets, rounds and
+//     cuts are bit-identical; the compressed record carries peak_rss and
+//     mapped bytes.
+void RunCompressedSnapshotProbe(const std::string& bench_name,
+                                const graph::AugmentedGraph& g, bool fast);
+
+// 100M-edge memory-ceiling assertion (skipped in fast mode by the callers):
+// streams a synthetic 100M-edge RJSNAP02 to scratch via gen/ without
+// materializing the graph, then decodes every block of every CSR through a
+// bounded cursor while releasing cold pages, and ABORTS if VmHWM grew by
+// more than REJECTO_RSS_BUDGET_MB (default 600) over the pre-open baseline,
+// or if the compressed adjacency exceeds 0.5x the equivalent RJSNAP01
+// adjacency bytes (the acceptance bar, measured on the BFS-locality graph
+// the format targets). Appends a "compressed_scan_100m" record with the
+// measured peak.
+void RunCompressedCeilingProbe(const std::string& bench_name);
 
 }  // namespace rejecto::bench

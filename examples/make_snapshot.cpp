@@ -2,15 +2,21 @@
 //
 // Usage:
 //   make_snapshot <friendships.txt> <rejections.txt> <out.snap>
-//                 [--layout=identity|bfs]
+//                 [--layout=identity|bfs] [--format=rjsnap01|rjsnap02]
+//                 [--compress-block-rows=N]
 //
 // Parses the text edge lists once (the slow path), optionally reorders the
 // vertices with the locality-preserving BFS layout, and writes the
-// checksummed RJSNAP01 snapshot. Later runs load the snapshot in
-// milliseconds instead of re-parsing the text (see the snapshot_load vs
-// text_load records in BENCH_maar.json). The snapshot stores laid-out ids
-// plus the permutation, so detection results reported from it can always
-// be translated back to the dense text-intern ids.
+// checksummed snapshot. The default format stays RJSNAP01 (plain CSR, so
+// existing goldens and scripts are untouched); --format=rjsnap02 writes the
+// delta+varint compressed format that CompressedGraphView consumes straight
+// off the mmap — pair it with --layout=bfs, which is what makes the deltas
+// small. --compress-block-rows sets the v2 block span (64-256 rows, default
+// 128; ignored for v1). Later runs load the snapshot in milliseconds
+// instead of re-parsing the text (see the snapshot_load vs text_load
+// records in BENCH_maar.json). The snapshot stores laid-out ids plus the
+// permutation, so detection results reported from it can always be
+// translated back to the dense text-intern ids.
 //
 // With no arguments, runs a self-checking demo: generates a small scenario,
 // saves it with the BFS layout to a temp file, reloads, and verifies the
@@ -69,22 +75,43 @@ int main(int argc, char** argv) {
   if (argc < 4) {
     std::fprintf(stderr,
                  "usage: %s <friendships.txt> <rejections.txt> <out.snap> "
-                 "[--layout=identity|bfs]\n",
+                 "[--layout=identity|bfs] [--format=rjsnap01|rjsnap02] "
+                 "[--compress-block-rows=N]\n",
                  argv[0]);
     return 2;
   }
 
   graph::LayoutPolicy policy = graph::LayoutPolicy::kIdentity;
+  graph::SnapshotOptions options;
   for (int i = 4; i < argc; ++i) {
     const std::string arg = argv[i];
-    const std::string prefix = "--layout=";
-    if (arg.rfind(prefix, 0) == 0) {
+    const std::string layout_prefix = "--layout=";
+    const std::string format_prefix = "--format=";
+    const std::string rows_prefix = "--compress-block-rows=";
+    if (arg.rfind(layout_prefix, 0) == 0) {
       try {
-        policy = graph::ParseLayoutPolicy(arg.substr(prefix.size()));
+        policy = graph::ParseLayoutPolicy(arg.substr(layout_prefix.size()));
       } catch (const std::exception& e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return 2;
       }
+    } else if (arg.rfind(format_prefix, 0) == 0) {
+      const std::string value = arg.substr(format_prefix.size());
+      if (value == "rjsnap01") {
+        options.format = graph::SnapshotFormat::kRjsnap01;
+      } else if (value == "rjsnap02") {
+        options.format = graph::SnapshotFormat::kRjsnap02;
+      } else {
+        std::fprintf(stderr, "unknown snapshot format: %s\n", value.c_str());
+        return 2;
+      }
+    } else if (arg.rfind(rows_prefix, 0) == 0) {
+      const long rows = std::atol(arg.substr(rows_prefix.size()).c_str());
+      if (rows < 64 || rows > 256) {
+        std::fprintf(stderr, "--compress-block-rows must be in [64, 256]\n");
+        return 2;
+      }
+      options.block_rows = static_cast<std::uint32_t>(rows);
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
       return 2;
@@ -106,7 +133,7 @@ int main(int argc, char** argv) {
                  load_s);
 
     util::WallTimer save_timer;
-    graph::SaveSnapshotWithPolicy(argv[3], loaded.graph, policy);
+    graph::SaveSnapshotWithPolicy(argv[3], loaded.graph, policy, options);
     const double save_s = save_timer.Seconds();
 
     // Reload and verify before declaring success: a snapshot that cannot
@@ -124,9 +151,13 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::fprintf(stderr,
-                 "wrote %s (layout=%s) in %.3fs; verified reload in %.3fs "
-                 "(%.1fx faster than the text parse)\n",
-                 argv[3], graph::LayoutPolicyName(policy), save_s, reload_s,
+                 "wrote %s (layout=%s, format=%s) in %.3fs; verified reload "
+                 "in %.3fs (%.1fx faster than the text parse)\n",
+                 argv[3], graph::LayoutPolicyName(policy),
+                 options.format == graph::SnapshotFormat::kRjsnap02
+                     ? "rjsnap02"
+                     : "rjsnap01",
+                 save_s, reload_s,
                  load_s / (reload_s > 0 ? reload_s : 1e-9));
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

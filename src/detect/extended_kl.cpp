@@ -17,19 +17,19 @@ constexpr double kGainEps = 1e-7;
 // (possibly compacted) AugmentedGraph is built. The looser bound never
 // changes results: no actual gain reaches either bound, so bucket indices
 // (round(gain × resolution), clamp untriggered) are identical.
-double GainBound(const graph::AugmentedGraph& g, double k) {
-  const double b = static_cast<double>(g.MaxFriendshipDegree()) +
-                   k * static_cast<double>(g.MaxRejectionDegree());
+double GainBound(const graph::GraphSource& src, double k) {
+  const double b = static_cast<double>(src.MaxFriendshipDegree()) +
+                   k * static_cast<double>(src.MaxRejectionDegree());
   return std::max(1.0, b);
 }
 
 }  // namespace
 
-KlResult ExtendedKl(const graph::AugmentedGraph& g,
+KlResult ExtendedKl(const graph::GraphSource& src,
                     const std::vector<char>& init_in_u,
                     const std::vector<char>& locked, const KlConfig& config,
                     KlScratch* scratch) {
-  const graph::NodeId n = g.NumNodes();
+  const graph::NodeId n = src.NumNodes();
   if (config.k <= 0.0) {
     throw std::invalid_argument("ExtendedKl: k must be positive");
   }
@@ -48,7 +48,7 @@ KlResult ExtendedKl(const graph::AugmentedGraph& g,
 
   KlScratch local;
   KlScratch& ws = scratch != nullptr ? *scratch : local;
-  ws.partition.Reset(g, init_in_u);
+  ws.partition.Reset(src, init_in_u);
   Partition& p = ws.partition;
 
   // Rank mode: insert nodes in ascending ORIGINAL id so every intra-bucket
@@ -64,14 +64,14 @@ KlResult ExtendedKl(const graph::AugmentedGraph& g,
   }
 
   const double k = config.k;
-  const double gain_bound = GainBound(g, k);
+  const double gain_bound = GainBound(src, k);
 
   KlStats stats;
   ws.seq.reserve(n);
   // One switch touches at most deg(v) + rejdeg(v) neighbors; reserving once
   // here keeps SwitchFused's push_backs allocation-free for the whole call.
-  ws.touched.reserve(static_cast<std::size_t>(g.MaxFriendshipDegree() +
-                                              g.MaxRejectionDegree()));
+  ws.touched.reserve(static_cast<std::size_t>(src.MaxFriendshipDegree() +
+                                              src.MaxRejectionDegree()));
 
   for (int pass = 0; pass < config.max_passes; ++pass) {
     ++stats.passes;

@@ -25,6 +25,7 @@
 #include "detect/bucket_list.h"
 #include "detect/partition.h"
 #include "graph/augmented_graph.h"
+#include "graph/graph_source.h"
 #include "util/buffer.h"
 
 namespace rejecto::detect {
@@ -70,10 +71,15 @@ struct KlScratch {
 };
 
 // `locked` may be empty (nothing pinned); otherwise size must equal
-// g.NumNodes(). init_in_u must already respect the lock placement. When
+// src.NumNodes(). init_in_u must already respect the lock placement. When
 // `scratch` is null a call-local workspace is used; results are identical
 // either way, and identical whatever graph the scratch last served.
-KlResult ExtendedKl(const graph::AugmentedGraph& g,
+//
+// `src` is either an in-RAM AugmentedGraph (implicit conversion keeps the
+// historical call sites compiling unchanged) or a cursor over a compressed
+// snapshot; both backends serve identical adjacency bytes, so the returned
+// cut is bit-identical regardless of which one a caller picks.
+KlResult ExtendedKl(const graph::GraphSource& src,
                     const std::vector<char>& init_in_u,
                     const std::vector<char>& locked, const KlConfig& config,
                     KlScratch* scratch = nullptr);

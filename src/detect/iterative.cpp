@@ -5,6 +5,7 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "graph/compressed_view.h"
 #include "graph/layout.h"
 #include "graph/subgraph.h"
 #include "util/thread_pool.h"
@@ -19,6 +20,14 @@ namespace {
 double Suspicion(const graph::AugmentedGraph& g, graph::NodeId v) {
   const double rej = g.Rejections().InDegree(v);
   const double fr = g.Friendships().Degree(v);
+  return (rej + fr) == 0 ? 0.0 : rej / (rej + fr);
+}
+
+// Same ratio read through a decode cursor — identical degrees, identical
+// value (the compressed round-0 trim must break ties exactly like RAM).
+double Suspicion(graph::DecodeCursor& cursor, graph::NodeId v) {
+  const double rej = cursor.InDegree(v);
+  const double fr = cursor.FriendDegree(v);
   return (rej + fr) == 0 ? 0.0 : rej / (rej + fr);
 }
 
@@ -244,6 +253,185 @@ DetectionResult DetectFriendSpammers(const graph::AugmentedGraph& g,
       result.detected.size() >= config.target_detections) {
     result.hit_target = true;
   }
+  result.total_seconds = total_timer.Seconds();
+  return result;
+}
+
+DetectionResult DetectFriendSpammersCompressed(
+    const graph::CompressedGraphView& view, const Seeds& seeds,
+    const IterativeConfig& config) {
+  const graph::NodeId n = view.NumNodes();
+  seeds.Validate(n);
+  if (config.maar.layout != graph::LayoutPolicy::kIdentity) {
+    throw std::invalid_argument(
+        "DetectFriendSpammersCompressed: layout policies require the in-RAM "
+        "pipeline; bake the layout into the snapshot with "
+        "SaveSnapshotWithPolicy instead");
+  }
+
+  util::WallTimer total_timer;
+  DetectionResult result;
+
+  const int threads = EffectiveThreads(config.maar.num_threads);
+  std::unique_ptr<util::ThreadPool> owned_pool;
+  if (threads > 1) {
+    owned_pool =
+        std::make_unique<util::ThreadPool>(static_cast<std::size_t>(threads));
+  }
+  util::ThreadPool* pool = owned_pool.get();
+
+  // Round 0, mirroring the in-RAM loop statement for statement (same
+  // clamps, same seed schedule, same collection/trim order) with the graph
+  // reads going through the view. Everything downstream of the first prune
+  // fits in RAM by construction, so later rounds delegate to the in-RAM
+  // pipeline on the compacted residual.
+  const graph::NodeId min_region = std::max<graph::NodeId>(
+      1, std::min<graph::NodeId>(config.maar.min_region_size, n / 2));
+  if (config.max_rounds <= 0 || n < 2 * min_region) {
+    result.total_seconds = total_timer.Seconds();
+    return result;
+  }
+
+  MaarConfig maar = config.maar;
+  util::WallTimer round_timer;
+  MaarSolver solver(view, seeds, maar);
+  const MaarCut cut = solver.Solve(pool);
+  const double round_seconds = round_timer.Seconds();
+  result.total_kl_runs += static_cast<std::uint64_t>(cut.kl_runs);
+  result.total_switches += cut.switches;
+  result.threads_used = std::max(result.threads_used, cut.threads_used);
+
+  const double acceptance = cut.valid ? cut.cut.AcceptanceRate() : 0.0;
+  if (!cut.valid ||
+      (config.acceptance_rate_threshold >= 0.0 &&
+       acceptance > config.acceptance_rate_threshold)) {
+    result.total_seconds = total_timer.Seconds();
+    return result;
+  }
+
+  RoundInfo info;
+  info.cut = cut.cut;
+  info.ratio = cut.ratio;
+  info.acceptance_rate = acceptance;
+  info.k = cut.k;
+  info.solve_seconds = round_seconds;
+  info.kl_runs = cut.kl_runs;
+  info.switches = cut.switches;
+
+  const std::vector<graph::NodeId>& rank = config.maar.rank;
+  std::vector<graph::NodeId> flagged;
+  for (graph::NodeId v = 0; v < n; ++v) {
+    if (cut.in_u[v]) flagged.push_back(v);
+  }
+  if (!rank.empty()) {
+    std::sort(flagged.begin(), flagged.end(),
+              [&](graph::NodeId a, graph::NodeId b) {
+                return rank[a] < rank[b];
+              });
+  }
+
+  const bool overshoots = config.target_detections != 0 &&
+                          config.trim_to_target &&
+                          flagged.size() > config.target_detections;
+  if (overshoots) {
+    const std::size_t room =
+        static_cast<std::size_t>(config.target_detections);
+    graph::DecodeCursor cursor(view);
+    std::vector<double> susp(flagged.size());
+    for (std::size_t i = 0; i < flagged.size(); ++i) {
+      susp[i] = Suspicion(cursor, flagged[i]);
+    }
+    std::vector<std::size_t> order(flagged.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return susp[a] > susp[b];
+                     });
+    std::vector<graph::NodeId> trimmed(room);
+    for (std::size_t i = 0; i < room; ++i) trimmed[i] = flagged[order[i]];
+    flagged = std::move(trimmed);
+  }
+
+  info.detected = flagged;
+  result.detected = flagged;
+  result.rounds.push_back(std::move(info));
+
+  const bool target_hit = config.target_detections != 0 &&
+                          result.detected.size() >= config.target_detections;
+  if (config.max_rounds > 1 && !target_hit) {
+    // Prune the entire U region (not the trimmed set), streaming the blocks.
+    std::vector<char> keep(n, 1);
+    for (graph::NodeId v = 0; v < n; ++v) {
+      if (cut.in_u[v]) keep[v] = 0;
+    }
+    graph::CompactedGraph compacted = graph::InducedSubgraph(view, keep, pool);
+
+    std::vector<graph::NodeId> new_id(n, graph::kInvalidNode);
+    for (graph::NodeId nid = 0;
+         nid < static_cast<graph::NodeId>(compacted.parent_id.size()); ++nid) {
+      new_id[compacted.parent_id[nid]] = nid;
+    }
+    Seeds next_seeds;
+    for (graph::NodeId v : seeds.legit) {
+      if (new_id[v] != graph::kInvalidNode) {
+        next_seeds.legit.push_back(new_id[v]);
+      }
+    }
+    for (graph::NodeId v : seeds.spammer) {
+      if (new_id[v] != graph::kInvalidNode) {
+        next_seeds.spammer.push_back(new_id[v]);
+      }
+    }
+
+    IterativeConfig inner = config;
+    inner.max_rounds = config.max_rounds - 1;
+    // Shift the seed schedule so the delegate's round r draws the exact
+    // seed the monolithic loop uses for round r + 1.
+    inner.maar.seed = config.maar.seed + 0x9e37ULL;
+    if (config.target_detections != 0) {
+      inner.target_detections =
+          config.target_detections - result.detected.size();
+    }
+    // Re-rank the survivors exactly like the monolithic loop: compress
+    // their original-id order to a dense permutation of [0, m).
+    if (!rank.empty()) {
+      const std::size_t m = compacted.parent_id.size();
+      std::vector<graph::NodeId> by_rank(m);
+      std::iota(by_rank.begin(), by_rank.end(), 0);
+      std::sort(by_rank.begin(), by_rank.end(),
+                [&](graph::NodeId a, graph::NodeId b) {
+                  return rank[compacted.parent_id[a]] <
+                         rank[compacted.parent_id[b]];
+                });
+      std::vector<graph::NodeId> next_rank(m);
+      for (std::size_t i = 0; i < m; ++i) {
+        next_rank[by_rank[i]] = static_cast<graph::NodeId>(i);
+      }
+      inner.maar.rank = std::move(next_rank);
+    }
+
+    DetectionResult rest = DetectFriendSpammers(
+        compacted.graph, next_seeds, inner,
+        [pool](const graph::AugmentedGraph& residual, const Seeds& s,
+               const MaarConfig& m) {
+          MaarSolver inner_solver(residual, s, m);
+          return inner_solver.Solve(pool);
+        },
+        pool);
+    for (graph::NodeId id : rest.detected) {
+      result.detected.push_back(compacted.parent_id[id]);
+    }
+    for (RoundInfo& round : rest.rounds) {
+      for (graph::NodeId& id : round.detected) id = compacted.parent_id[id];
+      result.rounds.push_back(std::move(round));
+    }
+    result.total_kl_runs += rest.total_kl_runs;
+    result.total_switches += rest.total_switches;
+    result.threads_used = std::max(result.threads_used, rest.threads_used);
+  }
+
+  result.hit_target = config.target_detections != 0 &&
+                      result.detected.size() >= config.target_detections;
   result.total_seconds = total_timer.Seconds();
   return result;
 }

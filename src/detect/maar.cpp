@@ -29,24 +29,38 @@ MaarSolver::MaarSolver(const graph::AugmentedGraph& g, Seeds seeds,
 
 MaarSolver::MaarSolver(const graph::AugmentedGraph& g, Seeds seeds,
                        MaarConfig config, KlRunner kl_runner)
-    : g_(g),
+    : g_(&g),
       seeds_(std::move(seeds)),
-      config_(config),
+      config_(std::move(config)),
       kl_runner_(std::move(kl_runner)) {
-  seeds_.Validate(g.NumNodes());
+  if (!kl_runner_) {
+    throw std::invalid_argument("MaarSolver: null KL runner");
+  }
+  ValidateConfig();
+}
+
+MaarSolver::MaarSolver(const graph::CompressedGraphView& view, Seeds seeds,
+                       MaarConfig config)
+    : view_(&view), seeds_(std::move(seeds)), config_(std::move(config)) {
+  if (config_.layout != graph::LayoutPolicy::kIdentity) {
+    throw std::invalid_argument(
+        "MaarSolver: layout policies require the in-RAM graph; save the "
+        "snapshot with SaveSnapshotWithPolicy instead");
+  }
+  ValidateConfig();
+}
+
+void MaarSolver::ValidateConfig() {
+  const graph::NodeId n = NumNodes();
+  seeds_.Validate(n);
   if (config_.k_min <= 0 || config_.k_max < config_.k_min ||
       config_.k_scale <= 1.0) {
     throw std::invalid_argument("MaarSolver: invalid k sweep");
   }
-  if (!kl_runner_) {
-    throw std::invalid_argument("MaarSolver: null KL runner");
-  }
-  if (!config_.extra_init.empty() &&
-      config_.extra_init.size() != g.NumNodes()) {
+  if (!config_.extra_init.empty() && config_.extra_init.size() != n) {
     throw std::invalid_argument("MaarSolver: extra_init size mismatch");
   }
   if (!config_.rank.empty()) {
-    const graph::NodeId n = g.NumNodes();
     if (config_.rank.size() != n) {
       throw std::invalid_argument("MaarSolver: rank size mismatch");
     }
@@ -62,19 +76,28 @@ MaarSolver::MaarSolver(const graph::AugmentedGraph& g, Seeds seeds,
   // Point the per-cell KL configs at OUR copy of the rank array; a stale
   // pointer copied in from the caller's config must never survive.
   config_.kl.rank = config_.rank.empty() ? nullptr : &config_.rank;
-  locked_ = BuildLockedMask(g.NumNodes(), seeds_);
+  locked_ = BuildLockedMask(n, seeds_);
 }
 
 std::vector<std::vector<char>> MaarSolver::InitialPartitions(
     util::Rng& rng) const {
-  const graph::NodeId n = g_.NumNodes();
+  const graph::NodeId n = NumNodes();
   std::vector<std::vector<char>> inits;
 
   // Rejection heuristic: any node that ever got rejected starts in U. The
   // sweep's KL runs pull sporadically-rejected legitimate users back out.
+  // Out-of-core mode scans the rejection-in degrees through a throwaway
+  // cursor — a sequential pass, so each block decodes exactly once.
   std::vector<char> heur(n, 0);
-  for (graph::NodeId v = 0; v < n; ++v) {
-    if (g_.Rejections().InDegree(v) > 0) heur[v] = 1;
+  if (g_ != nullptr) {
+    for (graph::NodeId v = 0; v < n; ++v) {
+      if (g_->Rejections().InDegree(v) > 0) heur[v] = 1;
+    }
+  } else {
+    graph::DecodeCursor cursor(*view_);
+    for (graph::NodeId v = 0; v < n; ++v) {
+      if (cursor.InDegree(v) > 0) heur[v] = 1;
+    }
   }
   ApplySeedPlacement(heur, seeds_);
   inits.push_back(std::move(heur));
@@ -112,18 +135,17 @@ bool MaarSolver::IsValid(const std::vector<char>& in_u,
                          const graph::CutQuantities& cut) const {
   graph::NodeId size_u = 0;
   for (char c : in_u) size_u += (c != 0);
-  const graph::NodeId size_w = g_.NumNodes() - size_u;
+  const graph::NodeId n = NumNodes();
+  const graph::NodeId size_w = n - size_u;
   // Clamp the minimum region size only when infeasible: no cut of an
   // n-node graph can put min_region_size nodes on both sides once
   // n < 2*min_region_size, so cap it at n/2 (small graphs and late residual
   // graphs stay solvable); the configured value is honored otherwise.
   const graph::NodeId min_region = std::max<graph::NodeId>(
-      1, std::min<graph::NodeId>(config_.min_region_size,
-                                 g_.NumNodes() / 2));
+      1, std::min<graph::NodeId>(config_.min_region_size, n / 2));
   return size_u >= min_region && size_w >= min_region &&
          static_cast<double>(size_u) <=
-             config_.max_region_fraction *
-                 static_cast<double>(g_.NumNodes()) &&
+             config_.max_region_fraction * static_cast<double>(n) &&
          cut.rejections_into_u > 0;
 }
 
@@ -144,8 +166,9 @@ MaarCut MaarSolver::Solve(util::ThreadPool* pool) {
   // is bit-identical to the identity-layout solve (see graph/layout.h).
   if (config_.layout != graph::LayoutPolicy::kIdentity) {
     util::WallTimer total_timer;
-    const graph::Layout layout = graph::ComputeLayout(g_, config_.layout, pool);
-    const graph::AugmentedGraph laid = graph::ApplyLayout(g_, layout, pool);
+    const graph::Layout layout =
+        graph::ComputeLayout(*g_, config_.layout, pool);
+    const graph::AugmentedGraph laid = graph::ApplyLayout(*g_, layout, pool);
     MaarConfig inner = config_;
     inner.layout = graph::LayoutPolicy::kIdentity;
     inner.rank = layout.old_of_new;
@@ -207,14 +230,30 @@ MaarCut MaarSolver::Solve(util::ThreadPool* pool) {
 
   // One reusable KL workspace per pool block: a block runs as exactly one
   // task, so its scratch is never shared, and every KL run inside the block
-  // reuses the same buffers instead of reallocating per cell.
+  // reuses the same buffers instead of reallocating per cell. Out-of-core
+  // mode pairs each scratch with its own DecodeCursor (the cursor's block
+  // cache is mutable per-thread state, exactly like the scratch).
   std::vector<KlScratch> scratches(pool != nullptr ? pool->size() : 1);
+  std::vector<std::unique_ptr<graph::DecodeCursor>> cursors;
+  if (view_ != nullptr) {
+    cursors.reserve(scratches.size());
+    for (std::size_t i = 0; i < scratches.size(); ++i) {
+      cursors.push_back(std::make_unique<graph::DecodeCursor>(*view_));
+    }
+  }
+  auto run_kl = [&](std::size_t block, const std::vector<char>& init,
+                    const KlConfig& cell_kl) {
+    if (view_ != nullptr) {
+      return ExtendedKl(graph::GraphSource(cursors[block].get()), init,
+                        locked_, cell_kl, &scratches[block]);
+    }
+    return kl_runner_(*g_, init, locked_, cell_kl, &scratches[block]);
+  };
   std::vector<KlResult> grid(cells);
   auto run_cell = [&](std::size_t block, std::size_t c) {
     KlConfig cell_kl = config_.kl;
     cell_kl.k = ks[c / inits.size()];
-    grid[c] = kl_runner_(g_, inits[c % inits.size()], locked_, cell_kl,
-                         &scratches[block]);
+    grid[c] = run_kl(block, inits[c % inits.size()], cell_kl);
   };
   if (pool != nullptr && cells > 1) {
     pool->ParallelFor(cells, run_cell);
@@ -235,8 +274,7 @@ MaarCut MaarSolver::Solve(util::ThreadPool* pool) {
     if (config_.warm_start && best.valid && ki + 1 < ks.size()) {
       kl.k = ks[ki + 1];
       ++best.warm_start_runs;
-      consider(kl_runner_(g_, best.in_u, locked_, kl, &scratches[0]),
-               ks[ki + 1]);
+      consider(run_kl(0, best.in_u, kl), ks[ki + 1]);
     }
   }
   best.sweep_seconds = sweep_timer.Seconds();
@@ -250,7 +288,7 @@ MaarCut MaarSolver::Solve(util::ThreadPool* pool) {
     const double k = best.ratio;
     if (!(k > 0) || !std::isfinite(k)) break;  // perfect cut; cannot improve
     kl.k = k;
-    if (!consider(kl_runner_(g_, best.in_u, locked_, kl, &scratches[0]), k)) {
+    if (!consider(run_kl(0, best.in_u, kl), k)) {
       break;
     }
   }

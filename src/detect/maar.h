@@ -32,6 +32,7 @@
 #include "detect/extended_kl.h"
 #include "detect/seeds.h"
 #include "graph/augmented_graph.h"
+#include "graph/compressed_view.h"
 #include "graph/layout.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
@@ -139,6 +140,18 @@ class MaarSolver {
   MaarSolver(const graph::AugmentedGraph& g, Seeds seeds, MaarConfig config,
              KlRunner kl_runner);
 
+  // Out-of-core mode: solves directly over a compressed snapshot view —
+  // every grid cell runs ExtendedKl through a per-thread DecodeCursor, so
+  // peak RSS is per-cursor cache × threads rather than the full CSR
+  // expansion. Bit-identical to solving over view.Materialize().graph:
+  // both paths serve the same adjacency bytes and the reduction is the
+  // same pure function of the cell results. config.layout must be
+  // kIdentity (remapping requires the in-RAM graph; save the snapshot
+  // with a layout policy instead) and custom KL runners are not supported
+  // here. The view must outlive the solver.
+  MaarSolver(const graph::CompressedGraphView& view, Seeds seeds,
+             MaarConfig config);
+
   // Creates a private pool when config.num_threads resolves to > 1.
   MaarCut Solve();
   // Runs the grid on `pool` (callers amortize pool construction across many
@@ -152,8 +165,14 @@ class MaarSolver {
   std::vector<double> SweepKs() const;
   bool IsValid(const std::vector<char>& in_u,
                const graph::CutQuantities& cut) const;
+  graph::NodeId NumNodes() const {
+    return g_ != nullptr ? g_->NumNodes() : view_->NumNodes();
+  }
+  void ValidateConfig();
 
-  const graph::AugmentedGraph& g_;
+  // Exactly one of g_/view_ is set (RAM vs out-of-core mode).
+  const graph::AugmentedGraph* g_ = nullptr;
+  const graph::CompressedGraphView* view_ = nullptr;
   Seeds seeds_;
   MaarConfig config_;
   KlRunner kl_runner_;

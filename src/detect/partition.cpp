@@ -81,20 +81,20 @@ inline void CrossFriendDeltas(std::uint32_t* agg_words,
 
 }  // namespace
 
-Partition::Partition(const graph::AugmentedGraph& g, std::vector<char> in_u)
-    : g_(&g), in_u_(std::move(in_u)) {
-  if (in_u_.size() != g.NumNodes()) {
+Partition::Partition(const graph::GraphSource& src, std::vector<char> in_u)
+    : src_(src), in_u_(std::move(in_u)) {
+  if (in_u_.size() != src_.NumNodes()) {
     throw std::invalid_argument("Partition: mask size mismatch");
   }
   InitAggregates();
 }
 
-void Partition::Reset(const graph::AugmentedGraph& g,
+void Partition::Reset(const graph::GraphSource& src,
                       const std::vector<char>& in_u) {
-  if (in_u.size() != g.NumNodes()) {
+  if (in_u.size() != src.NumNodes()) {
     throw std::invalid_argument("Partition: mask size mismatch");
   }
-  g_ = &g;
+  src_ = src;
   in_u_ = in_u;  // copy-assign reuses the existing capacity
   InitAggregates();
 }
@@ -111,8 +111,6 @@ void Partition::InitAggregates() {
   // SIMD zero-byte counts all agree on the same membership.
   for (graph::NodeId v = 0; v < n; ++v) in_u_[v] = in_u_[v] != 0 ? 1 : 0;
 
-  const auto& fr = g_->Friendships();
-  const auto& rej = g_->Rejections();
   if (util::simd::ActiveMode() == util::simd::SimdMode::kAvx2 && n > 0) {
     // Gather path: every per-node aggregate is an exact zero-byte count over
     // the normalized mask (cross = neighbors on the other side, in_from_w =
@@ -124,10 +122,10 @@ void Partition::InitAggregates() {
     for (graph::NodeId v = 0; v < n; ++v) {
       if (in_u_[v]) ++size_u_;
       NodeAggregates& a = agg_[v];
-      a.deg = fr.Degree(v) | (in_u_[v] ? kSideBit : 0u);
-      const auto friends = fr.Neighbors(v);
-      const auto rejectors = rej.Rejectors(v);
-      const auto rejectees = rej.Rejectees(v);
+      a.deg = src_.FriendDegree(v) | (in_u_[v] ? kSideBit : 0u);
+      const auto friends = src_.Friends(v);
+      const auto rejectors = src_.Rejectors(v);
+      const auto rejectees = src_.Rejectees(v);
       const std::size_t friends_out =
           util::simd::CountZeroAt(mask, friends.data(), friends.size());
       a.cross_friends = static_cast<std::uint32_t>(
@@ -142,14 +140,14 @@ void Partition::InitAggregates() {
     for (graph::NodeId v = 0; v < n; ++v) {
       if (in_u_[v]) ++size_u_;
       NodeAggregates& a = agg_[v];
-      a.deg = fr.Degree(v) | (in_u_[v] ? kSideBit : 0u);
-      for (graph::NodeId w : fr.Neighbors(v)) {
+      a.deg = src_.FriendDegree(v) | (in_u_[v] ? kSideBit : 0u);
+      for (graph::NodeId w : src_.Friends(v)) {
         if (in_u_[v] != in_u_[w]) ++a.cross_friends;
       }
-      for (graph::NodeId x : rej.Rejectors(v)) {
+      for (graph::NodeId x : src_.Rejectors(v)) {
         if (!in_u_[x]) ++a.in_from_w;
       }
-      for (graph::NodeId y : rej.Rejectees(v)) {
+      for (graph::NodeId y : src_.Rejectees(v)) {
         if (in_u_[y]) ++a.out_to_u;
       }
     }
@@ -175,13 +173,10 @@ void Partition::Switch(graph::NodeId v) {
   size_u_ += was_in_u ? -1 : 1;
   agg_[v].deg ^= kSideBit;
 
-  const auto& fr = g_->Friendships();
-  const auto& rej = g_->Rejections();
-
   // v's own cross-friend count flips; partners' counts shift by one.
   agg_[v].cross_friends = (agg_[v].deg & kDegMask) - agg_[v].cross_friends;
   const std::uint32_t v_side = agg_[v].deg & kSideBit;
-  for (graph::NodeId w : fr.Neighbors(v)) {
+  for (graph::NodeId w : src_.Friends(v)) {
     if (v_side != (agg_[w].deg & kSideBit)) {
       ++agg_[w].cross_friends;
     } else {
@@ -192,11 +187,11 @@ void Partition::Switch(graph::NodeId v) {
   // out-arc into U; each rejectee y of v gains (loses) an in-arc from Ū when
   // v leaves U (resp. enters).
   const std::int32_t into_u = was_in_u ? -1 : 1;
-  for (graph::NodeId x : rej.Rejectors(v)) {
+  for (graph::NodeId x : src_.Rejectors(v)) {
     agg_[x].out_to_u = static_cast<std::uint32_t>(
         static_cast<std::int32_t>(agg_[x].out_to_u) + into_u);
   }
-  for (graph::NodeId y : rej.Rejectees(v)) {
+  for (graph::NodeId y : src_.Rejectees(v)) {
     agg_[y].in_from_w = static_cast<std::uint32_t>(
         static_cast<std::int32_t>(agg_[y].in_from_w) - into_u);
   }
@@ -218,11 +213,9 @@ void Partition::SwitchFused(graph::NodeId v, double k, BucketList& bl,
   size_u_ += was_in_u ? -1 : 1;
   agg_[v].deg ^= kSideBit;
 
-  const auto& fr = g_->Friendships();
-  const auto& rej = g_->Rejections();
-  const auto friends = fr.Neighbors(v);
-  const auto rejectors = rej.Rejectors(v);
-  const auto rejectees = rej.Rejectees(v);
+  const auto friends = src_.Friends(v);
+  const auto rejectors = src_.Rejectors(v);
+  const auto rejectees = src_.Rejectees(v);
 
   // The touched buffer is the three adjacency rows back to back — one bulk
   // memcpy per row instead of a push_back per neighbor. Duplicates (a node
@@ -303,7 +296,7 @@ graph::CutQuantities Partition::Quantities() const noexcept {
   std::uint64_t from_u = 0;
   for (graph::NodeId v = 0; v < NumNodes(); ++v) {
     if (!in_u_[v]) {
-      from_u += g_->Rejections().InDegree(v) - agg_[v].in_from_w;
+      from_u += src_.RejInDegree(v) - agg_[v].in_from_w;
     }
   }
   q.rejections_from_u = from_u;

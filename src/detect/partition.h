@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "graph/augmented_graph.h"
+#include "graph/graph_source.h"
 #include "graph/types.h"
 #include "util/buffer.h"
 
@@ -33,14 +34,15 @@ class Partition {
   Partition() = default;
 
   // in_u[v] != 0 places v in the suspicious region U.
-  // The graph must outlive the partition.
-  Partition(const graph::AugmentedGraph& g, std::vector<char> in_u);
+  // The source's backing (graph or cursor) must outlive the partition;
+  // AugmentedGraph call sites convert implicitly.
+  Partition(const graph::GraphSource& src, std::vector<char> in_u);
 
-  // Re-seeds the partition for (a possibly different) graph and mask,
+  // Re-seeds the partition for (a possibly different) source and mask,
   // reusing the aggregate arrays' capacity. Equivalent to constructing
-  // Partition(g, in_u) but without fresh allocations once the workspace has
-  // seen a graph at least as large.
-  void Reset(const graph::AugmentedGraph& g, const std::vector<char>& in_u);
+  // Partition(src, in_u) but without fresh allocations once the workspace
+  // has seen a graph at least as large.
+  void Reset(const graph::GraphSource& src, const std::vector<char>& in_u);
 
   graph::NodeId NumNodes() const noexcept {
     return static_cast<graph::NodeId>(in_u_.size());
@@ -122,10 +124,10 @@ class Partition {
   };
 
   // Recomputes size_u_, the per-node aggregates and the cut totals from
-  // g_ and in_u_ (which must already be set and size-consistent).
+  // src_ and in_u_ (which must already be set and size-consistent).
   void InitAggregates();
 
-  const graph::AugmentedGraph* g_ = nullptr;
+  graph::GraphSource src_;
   // Normalized to strict 0/1 bytes by InitAggregates, so side comparisons
   // and the SIMD zero-byte counts agree for any caller-supplied mask.
   std::vector<char> in_u_;

@@ -114,9 +114,10 @@ class EpochDetector {
   static std::unique_ptr<EpochDetector> RestoreCheckpoint(
       const std::string& path, detect::Seeds seeds, EpochConfig config);
 
-  // Cold-boots a detector from a graph/snapshot.h binary snapshot — the
-  // fast-start counterpart of parsing text edge lists into the base-graph
-  // constructor. A snapshot saved in a non-identity layout is mapped back
+  // Cold-boots a detector from a graph/snapshot.h binary snapshot (either
+  // RJSNAP01 or compressed RJSNAP02 — LoadSnapshot dispatches on the magic
+  // and expands v2 block-by-block) — the fast-start counterpart of parsing
+  // text edge lists into the base-graph constructor. A snapshot saved in a non-identity layout is mapped back
   // to ORIGINAL ids here, because stream ids never remap: seeds and every
   // future Ingest() event keep the id space the snapshot's source graph
   // had. (Unlike RestoreCheckpoint, this carries no warm-start state or

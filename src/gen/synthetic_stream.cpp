@@ -1,0 +1,124 @@
+#include "gen/synthetic_stream.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <stdexcept>
+#include <vector>
+
+#include "graph/snapshot_writer.h"
+
+namespace rejecto::gen {
+namespace {
+
+using graph::NodeId;
+
+// splitmix64 finalizer: one deterministic 64-bit draw per (seed, node,
+// stream, stub) tuple, so every row is reproducible in isolation and the
+// three writer passes can regenerate identical stubs independently.
+std::uint64_t Mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// Sorted duplicate-free forward targets of `u` (all > u, < n).
+void ForwardTargets(const StreamSnapshotConfig& config, std::uint64_t stream,
+                    int stubs, NodeId u, std::vector<NodeId>& out) {
+  out.clear();
+  for (int s = 0; s < stubs; ++s) {
+    const std::uint64_t h =
+        Mix(config.seed ^ (stream * 0xd1b54a32d192ed03ULL) ^
+            (static_cast<std::uint64_t>(u) << 20) ^
+            static_cast<std::uint64_t>(s));
+    const NodeId delta =
+        1 + static_cast<NodeId>(h % config.locality_window);
+    if (static_cast<std::uint64_t>(u) + delta <
+        static_cast<std::uint64_t>(config.num_nodes)) {
+      out.push_back(u + delta);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+}
+
+// One pass over a forward-stub stream, invoking `emit(u, row)` for every
+// node in ascending order. Rows are back-edges (sources that targeted u,
+// ascending, all < u) followed by forward targets (all > u) when
+// `symmetric`, or just one of the halves for the directed rejection passes.
+// The pending back-edges live in a (window+1)-slot ring — the only state
+// whose size matters, and it is independent of num_nodes.
+enum class RowKind { kSymmetric, kForwardOnly, kBackwardOnly };
+
+template <typename Emit>
+std::uint64_t StubPass(const StreamSnapshotConfig& config,
+                       std::uint64_t stream, int stubs, RowKind kind,
+                       Emit&& emit) {
+  const std::size_t ring_size =
+      static_cast<std::size_t>(config.locality_window) + 1;
+  std::vector<std::vector<NodeId>> ring(ring_size);
+  std::vector<NodeId> fwd;
+  std::vector<NodeId> row;
+  std::uint64_t stubs_kept = 0;
+  for (NodeId u = 0; u < config.num_nodes; ++u) {
+    ForwardTargets(config, stream, stubs, u, fwd);
+    stubs_kept += fwd.size();
+    if (kind != RowKind::kForwardOnly) {
+      for (NodeId t : fwd) ring[t % ring_size].push_back(u);
+    }
+    std::vector<NodeId>& back = ring[u % ring_size];
+    row.clear();
+    if (kind != RowKind::kForwardOnly) {
+      row.insert(row.end(), back.begin(), back.end());
+      back.clear();
+    }
+    if (kind != RowKind::kBackwardOnly) {
+      row.insert(row.end(), fwd.begin(), fwd.end());
+    }
+    emit(u, row);
+  }
+  return stubs_kept;
+}
+
+}  // namespace
+
+StreamSnapshotStats WriteSyntheticCompressedSnapshot(
+    const std::string& path, const StreamSnapshotConfig& config) {
+  if (config.num_nodes == 0) {
+    throw std::invalid_argument("WriteSyntheticCompressedSnapshot: empty graph");
+  }
+  if (config.locality_window == 0 ||
+      config.locality_window >= config.num_nodes) {
+    throw std::invalid_argument(
+        "WriteSyntheticCompressedSnapshot: locality_window must be in "
+        "[1, num_nodes)");
+  }
+  constexpr std::uint64_t kFriendStream = 1;
+  constexpr std::uint64_t kRejectStream = 2;
+
+  graph::CompressedSnapshotWriter::Options wopts;
+  wopts.block_rows = config.block_rows;
+  graph::CompressedSnapshotWriter writer(path, config.num_nodes, wopts);
+
+  StreamSnapshotStats stats;
+  stats.num_edges = StubPass(
+      config, kFriendStream, config.friendship_stubs, RowKind::kSymmetric,
+      [&](NodeId, const std::vector<NodeId>& row) {
+        writer.AppendFriendRow(row);
+      });
+  stats.num_arcs = StubPass(
+      config, kRejectStream, config.rejection_stubs, RowKind::kForwardOnly,
+      [&](NodeId, const std::vector<NodeId>& row) {
+        writer.AppendRejectionOutRow(row);
+      });
+  StubPass(config, kRejectStream, config.rejection_stubs,
+           RowKind::kBackwardOnly,
+           [&](NodeId, const std::vector<NodeId>& row) {
+             writer.AppendRejectionInRow(row);
+           });
+  writer.Finish();
+  stats.file_bytes = std::filesystem::file_size(path);
+  return stats;
+}
+
+}  // namespace rejecto::gen

@@ -1,0 +1,182 @@
+#include "graph/block_codec.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
+#include <bit>
+#include <stdexcept>
+
+#include "graph/varint.h"
+#include "util/simd.h"
+
+namespace rejecto::graph {
+namespace {
+
+// Decodes `count` u32 varints from [p, end) into `out`; returns the position
+// past the last consumed byte, or nullptr on truncated/over-long input.
+const unsigned char* DecodeU32RunScalar(const unsigned char* p,
+                                        const unsigned char* end,
+                                        std::uint32_t* out,
+                                        std::size_t count) {
+  for (std::size_t i = 0; i < count; ++i) {
+    p = varint::GetU32(p, end, &out[i]);
+    if (p == nullptr) return nullptr;
+  }
+  return p;
+}
+
+#if defined(__x86_64__) || defined(__i386__)
+// AVX2 fast path: a 32-byte chunk whose sign-bit movemask is zero holds 32
+// complete single-byte varints — widen them straight to u32 lanes. Any
+// continuation byte drops to the scalar stepper for the prefix of
+// single-byte values plus the one multi-byte varint, then retries the
+// vector path. Same values as the scalar decoder for every input.
+__attribute__((target("avx2"))) const unsigned char* DecodeU32RunAvx2(
+    const unsigned char* p, const unsigned char* end, std::uint32_t* out,
+    std::size_t count) {
+  std::size_t i = 0;
+  while (i < count) {
+    if (count - i >= 32 && end - p >= 32) {
+      const __m256i bytes =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+      const unsigned mask =
+          static_cast<unsigned>(_mm256_movemask_epi8(bytes));
+      if (mask == 0) {
+        const __m128i lo = _mm256_castsi256_si128(bytes);
+        const __m128i hi = _mm256_extracti128_si256(bytes, 1);
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i),
+                            _mm256_cvtepu8_epi32(lo));
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i + 8),
+                            _mm256_cvtepu8_epi32(_mm_srli_si128(lo, 8)));
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i + 16),
+                            _mm256_cvtepu8_epi32(hi));
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i + 24),
+                            _mm256_cvtepu8_epi32(_mm_srli_si128(hi, 8)));
+        p += 32;
+        i += 32;
+        continue;
+      }
+      const unsigned leading = std::countr_zero(mask);
+      for (unsigned j = 0; j < leading; ++j) out[i++] = p[j];
+      p = varint::GetU32(p + leading, end, &out[i]);
+      if (p == nullptr) return nullptr;
+      ++i;
+      continue;
+    }
+    p = varint::GetU32(p, end, &out[i]);
+    if (p == nullptr) return nullptr;
+    ++i;
+  }
+  return p;
+}
+#endif  // x86
+
+const unsigned char* DecodeU32Run(const unsigned char* p,
+                                  const unsigned char* end, std::uint32_t* out,
+                                  std::size_t count) {
+#if defined(__x86_64__) || defined(__i386__)
+  if (util::simd::ActiveMode() == util::simd::SimdMode::kAvx2) {
+    return DecodeU32RunAvx2(p, end, out, count);
+  }
+#endif
+  return DecodeU32RunScalar(p, end, out, count);
+}
+
+bool SetError(std::string* error, const char* what) {
+  if (error != nullptr) *error = what;
+  return false;
+}
+
+}  // namespace
+
+void EncodeAdjBlock(NodeId first_row, std::span<const std::uint32_t> degrees,
+                    const NodeId* adj, std::vector<unsigned char>& out) {
+  std::uint64_t total = 0;
+  for (std::uint32_t d : degrees) total += d;
+  if (total > 0xffff'ffffULL) {
+    throw std::invalid_argument(
+        "EncodeAdjBlock: block adjacency exceeds the u32 row-offset space");
+  }
+  for (std::uint32_t d : degrees) varint::PutU32(out, d);
+  const NodeId* row = adj;
+  for (std::size_t i = 0; i < degrees.size(); ++i) {
+    const std::uint32_t d = degrees[i];
+    if (d > 0) {
+      const std::int64_t base =
+          static_cast<std::int64_t>(first_row) + static_cast<std::int64_t>(i);
+      varint::PutU64(out, varint::ZigZagEncode64(
+                              static_cast<std::int64_t>(row[0]) - base));
+      for (std::uint32_t j = 1; j < d; ++j) {
+        const std::int64_t gap = static_cast<std::int64_t>(row[j]) -
+                                 static_cast<std::int64_t>(row[j - 1]);
+        if (gap <= 0) {
+          throw std::invalid_argument(
+              "EncodeAdjBlock: row is not strictly increasing");
+        }
+        varint::PutU32(out, static_cast<std::uint32_t>(gap - 1));
+      }
+    }
+    row += d;
+  }
+}
+
+bool DecodeAdjBlock(const unsigned char* p, std::size_t len, NodeId first_row,
+                    std::uint32_t rows,
+                    util::AlignedVector<std::uint32_t>& row_offsets,
+                    util::AlignedVector<NodeId>& adj, std::string* error) {
+  const unsigned char* end = p + len;
+  row_offsets.clear();
+  row_offsets.resize(static_cast<std::size_t>(rows) + 1);
+  row_offsets[0] = 0;
+  if (rows > 0) {
+    // The degree run lands in row_offsets[1..rows], then an in-place prefix
+    // sum turns it into block-local offsets.
+    p = DecodeU32Run(p, end, row_offsets.data() + 1, rows);
+    if (p == nullptr) return SetError(error, "malformed degree varint");
+  }
+  std::uint64_t acc = 0;
+  for (std::uint32_t r = 0; r < rows; ++r) {
+    acc += row_offsets[r + 1];
+    if (acc > 0xffff'ffffULL) {
+      return SetError(error, "block adjacency total overflows u32 offsets");
+    }
+    row_offsets[r + 1] = static_cast<std::uint32_t>(acc);
+  }
+
+  adj.clear();
+  adj.resize(static_cast<std::size_t>(acc));
+  for (std::uint32_t r = 0; r < rows; ++r) {
+    const std::uint32_t off = row_offsets[r];
+    const std::uint32_t deg = row_offsets[r + 1] - off;
+    if (deg == 0) continue;
+    std::uint64_t zz = 0;
+    p = varint::GetU64(p, end, &zz);
+    if (p == nullptr) return SetError(error, "malformed first-neighbor varint");
+    const std::int64_t base =
+        static_cast<std::int64_t>(first_row) + static_cast<std::int64_t>(r);
+    const std::int64_t first = base + varint::ZigZagDecode64(zz);
+    if (first < 0 || first > 0xffff'ffffLL) {
+      return SetError(error, "first neighbor outside the 32-bit id space");
+    }
+    NodeId* dst = adj.data() + off;
+    dst[0] = static_cast<NodeId>(first);
+    if (deg > 1) {
+      // Gaps decode into the row's own tail slots, then accumulate in place.
+      p = DecodeU32Run(p, end, dst + 1, deg - 1);
+      if (p == nullptr) return SetError(error, "malformed gap varint");
+      std::uint64_t cur = static_cast<std::uint64_t>(dst[0]);
+      for (std::uint32_t j = 1; j < deg; ++j) {
+        cur += static_cast<std::uint64_t>(dst[j]) + 1;
+        if (cur > 0xffff'ffffULL) {
+          return SetError(error, "neighbor id outside the 32-bit id space");
+        }
+        dst[j] = static_cast<NodeId>(cur);
+      }
+    }
+  }
+  if (p != end) return SetError(error, "trailing bytes after block payload");
+  return true;
+}
+
+}  // namespace rejecto::graph

@@ -1,37 +1,34 @@
-// Versioned zero-copy binary snapshots of an AugmentedGraph.
+// Versioned binary snapshots of an AugmentedGraph.
 //
 // Text edge lists are the interchange format; they are also two orders of
 // magnitude slower to load than the graph is to *use* (parse, intern,
-// dedup, sort, mirror). A snapshot is the other end of the trade: the three
-// CSRs exactly as they sit in memory — little-endian u64 offset arrays and
-// u32 adjacency arrays — behind a sectioned, checksummed container, so a
-// load is mmap + validate + one bulk memcpy per section straight into the
-// target vectors. No parsing, no GraphBuilder pass, no per-edge work.
+// dedup, sort, mirror). Snapshots are the other end of the trade, in two
+// on-disk flavors behind one save/load API:
 //
-// File format (version tag baked into the magic):
-//   [0,  8)  magic "RJSNAP01"
-//   [8, 12)  u32 section count
-//   [12,16)  u32 CRC32C of the section-table bytes
-//   [16, ..) section table, 24 bytes per entry:
-//              u32 kind, u32 crc32c(section bytes), u64 offset, u64 length
-//   sections, each at a 64-byte-aligned offset
-// Section alignment: every section offset is a multiple of 64
-// (util::memory::kAlignment). An mmap'd view therefore presents each CSR
-// array on the same cache-line boundary the in-memory aligned tier
-// guarantees, so the SIMD kernels can consume mapped sections directly.
-// The loader verifies the alignment of every section and rejects files
-// that violate it with a clear path+offset error (snapshots written before
-// the alignment guarantee used 8-byte padding and must be re-saved).
-// Section kinds: 0 meta (u64 n, E, R, flags; flag bit 0 = layout stored),
-// 1/3/5 friendship/out/in offsets ((n+1) × u64), 2/4/6 the matching
-// adjacency (2E / R / R × u32), 7 the layout permutation old_of_new
-// (n × u32, present only when the graph was saved in a non-identity
-// layout). Every integer is little-endian; every section carries its own
-// CRC32C (util/crc32c), so truncation and bit corruption anywhere in the
-// file are rejected with a path+offset error before any graph is built.
+//   RJSNAP01 (default) — the three CSRs exactly as they sit in memory:
+//   little-endian u64 offset arrays and u32 adjacency arrays behind a
+//   sectioned, checksummed container, so a load is mmap + validate + one
+//   bulk memcpy per section. No parsing, no per-edge work.
 //
-// Durability mirrors the stream/wal checkpoints: SaveSnapshot writes
-// `path + ".tmp"`, fsyncs, then renames — a crash leaves either the old
+//   RJSNAP02 — the same graph with delta+varint compressed adjacency in
+//   fixed-span blocks (64–256 rows) behind a per-CSR block index, each
+//   block carrying its own CRC32C. Typically well under half the RJSNAP01
+//   adjacency bytes on BFS-relayout graphs, and — the real point — readable
+//   *in place*: graph/compressed_view.h decodes blocks straight off the
+//   mmap, so detection over a 100M+-edge snapshot never expands the file
+//   into RAM. LoadSnapshot still works on v2 files (decode-everything), it
+//   just stops being the only option.
+//
+// Shared container layout (graph/snapshot_format.h): magic, section count,
+// table CRC32C, a 24-byte-per-entry section table, then 64-byte-aligned
+// sections each carrying a CRC32C — except the v2 compressed blob sections,
+// whose integrity lives per block in the index so opening never pages the
+// adjacency in. The loader distinguishes a *truncated* file (section runs
+// past EOF) from *corrupt bytes* (CRC mismatch) and names the offending
+// section in either case.
+//
+// Durability mirrors the stream/wal checkpoints: both writers produce
+// `path + ".tmp"`, fsync, then rename — a crash leaves either the old
 // snapshot or the new one, never a torn file. Failpoint sites:
 // "snapshot/write" and "snapshot/rename" on save; "snapshot/open" (open
 // fails) and "snapshot/map" (mmap fails, exercising the std::ifstream
@@ -43,6 +40,7 @@
 // original space (Snapshot::layout).
 #pragma once
 
+#include <cstdint>
 #include <string>
 
 #include "graph/augmented_graph.h"
@@ -60,23 +58,39 @@ struct Snapshot {
   friend bool operator==(const Snapshot&, const Snapshot&) = default;
 };
 
+enum class SnapshotFormat {
+  kRjsnap01,  // raw CSR sections (zero-copy load)
+  kRjsnap02,  // block-compressed adjacency (out-of-core readable)
+};
+
+struct SnapshotOptions {
+  SnapshotFormat format = SnapshotFormat::kRjsnap01;
+  // RJSNAP02 only: rows per compressed block, clamped to [64, 256].
+  std::uint32_t block_rows = 128;
+};
+
 // Writes g (already in `layout`'s id space — pass the default-constructed
 // identity Layout when ids were never remapped) to `path` atomically via
-// tmp + rename. Throws std::runtime_error on any IO failure, leaving no
-// partial file behind. Precondition: layout is empty or sized to
-// g.NumNodes().
+// tmp + rename, in the format `options` selects. Throws std::runtime_error
+// on any IO failure, leaving no partial file behind. Precondition: layout
+// is empty or sized to g.NumNodes().
 void SaveSnapshot(const std::string& path, const AugmentedGraph& g,
-                  const Layout& layout = Layout{});
+                  const Layout& layout = Layout{},
+                  const SnapshotOptions& options = SnapshotOptions{});
 
 // Convenience: ComputeLayout(policy) + ApplyLayout + SaveSnapshot; returns
 // the layout that was stored.
 Layout SaveSnapshotWithPolicy(const std::string& path,
-                              const AugmentedGraph& g, LayoutPolicy policy);
+                              const AugmentedGraph& g, LayoutPolicy policy,
+                              const SnapshotOptions& options =
+                                  SnapshotOptions{});
 
-// Reads a snapshot back (mmap, falling back to buffered reads when mapping
-// fails). Every validation error — bad magic, truncation, CRC mismatch,
-// inconsistent section lengths, non-bijective permutation — throws
-// std::runtime_error naming the file and the byte offset of the problem.
+// Reads a snapshot of either version back into RAM, dispatching on the
+// magic (RJSNAP02 files decode every block via graph/compressed_view.h;
+// use CompressedGraphView directly to stay out of core). Every validation
+// error — bad magic, truncation, CRC mismatch, inconsistent section
+// lengths, non-bijective permutation — throws std::runtime_error naming
+// the file, the section and the byte offset of the problem.
 Snapshot LoadSnapshot(const std::string& path);
 
 }  // namespace rejecto::graph

@@ -1,0 +1,254 @@
+#include "graph/snapshot_format.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+#include "util/crc32c.h"
+#include "util/failpoint.h"
+
+namespace rejecto::graph::snapfmt {
+
+const char* SectionName(std::uint32_t kind) {
+  switch (kind) {
+    case kMeta: return "meta";
+    case kFrOffsets: return "friendship-offsets";
+    case kFrAdj: return "friendship-adjacency";
+    case kOutOffsets: return "rejection-out-offsets";
+    case kOutAdj: return "rejection-out-adjacency";
+    case kInOffsets: return "rejection-in-offsets";
+    case kInAdj: return "rejection-in-adjacency";
+    case kLayout: return "layout";
+    case kFrBlocks: return "friendship-blocks";
+    case kFrIndex: return "friendship-block-index";
+    case kOutBlocks: return "rejection-out-blocks";
+    case kOutIndex: return "rejection-out-block-index";
+    case kInBlocks: return "rejection-in-blocks";
+    case kInIndex: return "rejection-in-block-index";
+    default: return "unknown";
+  }
+}
+
+void PutU32Le(unsigned char* p, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) p[i] = (v >> (8 * i)) & 0xff;
+}
+
+void PutU64Le(unsigned char* p, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) p[i] = (v >> (8 * i)) & 0xff;
+}
+
+std::uint32_t GetU32Le(const unsigned char* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+std::uint64_t GetU64Le(const unsigned char* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+void Fail(const std::string& path, std::uint64_t offset,
+          const std::string& what) {
+  throw std::runtime_error("snapshot: " + path + " at offset " +
+                           std::to_string(offset) + ": " + what);
+}
+
+// ---------- save side ----------
+
+void ImageBuilder::AddSection(std::uint32_t kind, const void* data,
+                              std::uint64_t length) {
+  while (bytes_.size() % kSectionAlign != 0) bytes_.push_back(0);
+  SectionEntry e;
+  e.kind = kind;
+  e.crc = util::Crc32c(data, static_cast<std::size_t>(length));
+  e.offset = bytes_.size();  // relative to section area; fixed up in Finish
+  e.length = length;
+  if (length > 0) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    bytes_.insert(bytes_.end(), p, p + length);
+  }
+  entries_.push_back(e);
+}
+
+std::vector<unsigned char> ImageBuilder::Finish(const char magic[8]) {
+  const std::size_t table_bytes = entries_.size() * kEntryBytes;
+  std::size_t base = kHeaderBytes + table_bytes;
+  while (base % kSectionAlign != 0) ++base;
+
+  std::vector<unsigned char> table(table_bytes);
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    unsigned char* p = table.data() + i * kEntryBytes;
+    PutU32Le(p, entries_[i].kind);
+    PutU32Le(p + 4, entries_[i].crc);
+    PutU64Le(p + 8, entries_[i].offset + base);
+    PutU64Le(p + 16, entries_[i].length);
+  }
+
+  std::vector<unsigned char> out(base + bytes_.size(), 0);
+  std::memcpy(out.data(), magic, 8);
+  PutU32Le(out.data() + 8, static_cast<std::uint32_t>(entries_.size()));
+  PutU32Le(out.data() + 12, util::Crc32c(table.data(), table.size()));
+  std::memcpy(out.data() + kHeaderBytes, table.data(), table.size());
+  if (!bytes_.empty()) {
+    std::memcpy(out.data() + base, bytes_.data(), bytes_.size());
+  }
+  return out;
+}
+
+void WriteImageAtomically(const std::string& path,
+                          const std::vector<unsigned char>& image) {
+  const std::string tmp = path + ".tmp";
+  if (util::Failpoints::Instance().ShouldFail("snapshot/write")) {
+    throw std::runtime_error("snapshot: injected write failure on " + tmp);
+  }
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    throw std::runtime_error("snapshot: cannot open " + tmp);
+  }
+  bool ok = std::fwrite(image.data(), 1, image.size(), f) == image.size();
+  ok = ok && std::fflush(f) == 0 && ::fsync(::fileno(f)) == 0;
+  std::fclose(f);
+  if (!ok) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("snapshot: write failure on " + tmp);
+  }
+  // Atomic publish, exactly like the WAL checkpoints: a crash before the
+  // rename leaves the previous snapshot (if any) intact.
+  if (util::Failpoints::Instance().ShouldFail("snapshot/rename") ||
+      std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("snapshot: cannot publish " + path);
+  }
+}
+
+// ---------- load side ----------
+
+FileBytes::FileBytes(const std::string& path) {
+  if (util::Failpoints::Instance().ShouldFail("snapshot/open")) {
+    throw std::runtime_error("snapshot: injected open failure on " + path);
+  }
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    throw std::runtime_error("snapshot: cannot open " + path);
+  }
+  struct stat st{};
+  if (::fstat(fd, &st) != 0 || st.st_size < 0) {
+    ::close(fd);
+    throw std::runtime_error("snapshot: cannot stat " + path);
+  }
+  size_ = static_cast<std::size_t>(st.st_size);
+
+  const bool force_fallback =
+      util::Failpoints::Instance().ShouldFail("snapshot/map");
+  if (size_ > 0 && !force_fallback) {
+    void* m = ::mmap(nullptr, size_, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (m != MAP_FAILED) {
+      map_ = m;
+      data_ = static_cast<const unsigned char*>(m);
+    }
+  }
+  if (data_ == nullptr && size_ > 0) {
+    // Buffered fallback: one sequential read of the whole file.
+    buf_.resize(size_);
+    std::ifstream in(path, std::ios::binary);
+    if (!in.read(reinterpret_cast<char*>(buf_.data()),
+                 static_cast<std::streamsize>(size_))) {
+      ::close(fd);
+      throw std::runtime_error("snapshot: cannot read " + path);
+    }
+    data_ = buf_.data();
+  }
+  ::close(fd);
+}
+
+FileBytes::~FileBytes() {
+  if (map_ != nullptr) ::munmap(map_, size_);
+}
+
+void FileBytes::ReleaseRange(std::size_t offset, std::size_t length) const {
+  if (map_ == nullptr || length == 0 || offset >= size_) return;
+  const std::size_t page = static_cast<std::size_t>(::sysconf(_SC_PAGESIZE));
+  const std::size_t begin = (offset / page) * page;
+  std::size_t end = offset + std::min(length, size_ - offset);
+  end = ((end + page - 1) / page) * page;
+  if (end > size_) end = size_;
+  if (end > begin) {
+    ::madvise(static_cast<char*>(map_) + begin, end - begin, MADV_DONTNEED);
+  }
+}
+
+ParsedImage ParseImage(const std::string& path, const unsigned char* data,
+                       std::size_t size) {
+  ParsedImage img;
+  if (size < kHeaderBytes) Fail(path, size, "truncated header");
+  if (std::memcmp(data, kMagicV1, 8) == 0) {
+    img.version = 1;
+  } else if (std::memcmp(data, kMagicV2, 8) == 0) {
+    img.version = 2;
+  } else {
+    Fail(path, 0, "bad magic (not an RJSNAP01/RJSNAP02 snapshot)");
+  }
+  img.count = GetU32Le(data + 8);
+  if (img.count == 0 || img.count > kMaxSections) {
+    Fail(path, 8, "implausible section count " + std::to_string(img.count));
+  }
+  const std::size_t table_bytes = img.count * kEntryBytes;
+  if (size < kHeaderBytes + table_bytes) {
+    Fail(path, size, "truncated section table");
+  }
+  if (util::Crc32c(data + kHeaderBytes, table_bytes) != GetU32Le(data + 12)) {
+    Fail(path, 12, "section table CRC mismatch");
+  }
+
+  // Validate every entry's bounds and content CRC before any payload is
+  // consumed. A section running past the end of the file is reported as
+  // TRUNCATION (the tail is missing); a section whose bytes are present but
+  // fail their CRC is reported as corruption — distinct errors so an
+  // operator can tell a torn copy from bit rot.
+  for (std::uint32_t i = 0; i < img.count; ++i) {
+    const unsigned char* p = data + kHeaderBytes + i * kEntryBytes;
+    SectionEntry& e = img.entries[i];
+    e.kind = GetU32Le(p);
+    e.crc = GetU32Le(p + 4);
+    e.offset = GetU64Le(p + 8);
+    e.length = GetU64Le(p + 16);
+    const std::string name =
+        std::string(SectionName(e.kind)) + " section (kind " +
+        std::to_string(e.kind) + ")";
+    if (e.offset > size || e.length > size - e.offset) {
+      Fail(path, e.offset,
+           name + " truncated: length " + std::to_string(e.length) +
+               " exceeds file size " + std::to_string(size));
+    }
+    if (!(img.version == 2 && IsBlobKind(e.kind))) {
+      if (util::Crc32c(data + e.offset, static_cast<std::size_t>(e.length)) !=
+          e.crc) {
+        Fail(path, e.offset, name + " CRC mismatch (corrupt bytes)");
+      }
+    }
+    if (e.offset % kSectionAlign != 0) {
+      Fail(path, e.offset,
+           name +
+               " is not 64-byte aligned (pre-alignment snapshot? re-save "
+               "with this build)");
+    }
+    if (e.kind < kMaxKinds) {
+      if (img.by_kind[e.kind] != nullptr) {
+        Fail(path, e.offset, "duplicate " + name);
+      }
+      img.by_kind[e.kind] = &e;
+    }
+  }
+  return img;
+}
+
+}  // namespace rejecto::graph::snapfmt

@@ -1,0 +1,167 @@
+// Shared container internals of the RJSNAP01/RJSNAP02 snapshot formats.
+//
+// Internal header (not part of the public graph API): graph/snapshot.cpp
+// (the v1 writer + the version-dispatching loader), graph/snapshot_writer.cpp
+// (the streaming v2 writer) and graph/compressed_view.cpp (the mmap v2
+// reader) all speak the same header + section-table container, so its
+// constants, little-endian codecs, file mapping and validation live here
+// once.
+//
+// Both versions share the layout:
+//   [0,  8)  magic "RJSNAP01" or "RJSNAP02"
+//   [8, 12)  u32 section count
+//   [12,16)  u32 CRC32C of the section-table bytes
+//   [16, ..) section table, 24 bytes per entry:
+//              u32 kind, u32 crc32c(section bytes), u64 offset, u64 length
+//   sections, each at a 64-byte-aligned offset
+//
+// v2 adds the compressed-adjacency kinds 8–13 and widens the meta section;
+// its BLOB kinds (8/10/12) carry entry.crc == 0 and are excluded from the
+// load-time whole-section CRC sweep — each compressed block carries its own
+// CRC32C in the block index, verified at decode time, so opening a 100M+
+// edge snapshot never pages the adjacency bytes in.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/memory.h"
+
+namespace rejecto::graph::snapfmt {
+
+inline constexpr char kMagicV1[8] = {'R', 'J', 'S', 'N', 'A', 'P', '0', '1'};
+inline constexpr char kMagicV2[8] = {'R', 'J', 'S', 'N', 'A', 'P', '0', '2'};
+
+enum SectionKind : std::uint32_t {
+  kMeta = 0,
+  kFrOffsets = 1,   // v1 only
+  kFrAdj = 2,       // v1 only
+  kOutOffsets = 3,  // v1 only
+  kOutAdj = 4,      // v1 only
+  kInOffsets = 5,   // v1 only
+  kInAdj = 6,       // v1 only
+  kLayout = 7,
+  kFrBlocks = 8,    // v2: compressed friendship adjacency blocks
+  kFrIndex = 9,     // v2: friendship block index
+  kOutBlocks = 10,  // v2: compressed rejection out-adjacency blocks
+  kOutIndex = 11,
+  kInBlocks = 12,   // v2: compressed rejection in-adjacency blocks
+  kInIndex = 13,
+};
+
+inline constexpr std::uint64_t kFlagHasLayout = 1;
+inline constexpr std::size_t kEntryBytes = 24;   // kind + crc + offset + length
+inline constexpr std::size_t kHeaderBytes = 16;  // magic + count + table crc
+inline constexpr std::uint32_t kMaxSections = 64;
+inline constexpr std::uint32_t kMaxKinds = 16;
+// Every section starts on a 64-byte boundary (util::memory::kAlignment) so
+// an mmap'd view can hand section payloads straight to the SIMD kernels.
+inline constexpr std::size_t kSectionAlign = util::memory::kAlignment;
+
+// v1 meta: 4 × u64 (n, E, R, flags). v2 meta: 7 × u64 (n, E, R, flags,
+// block_rows, max_friendship_degree, max_rejection_degree — the degree
+// maxima ExtendedKl's gain bound needs, precomputed so a compressed view
+// never scans the file to recover them).
+inline constexpr std::size_t kMetaBytesV1 = 4 * 8;
+inline constexpr std::size_t kMetaBytesV2 = 7 * 8;
+
+// One v2 block-index record (kFrIndex/kOutIndex/kInIndex payloads):
+//   u64 byte_off    first byte of the block inside the blob section
+//   u64 first_adj   global adjacency index of the block's first entry
+//   u32 crc         CRC32C of the block's encoded bytes
+//   u32 rows        rows in the block (last block may be short)
+// An index section holds num_blocks records plus one sentinel whose
+// byte_off/first_adj are the blob's totals (crc = rows = 0), so block byte
+// lengths and global row offsets need no second array.
+inline constexpr std::size_t kIndexEntryBytes = 24;
+
+struct SectionEntry {
+  std::uint32_t kind = 0;
+  std::uint32_t crc = 0;
+  std::uint64_t offset = 0;
+  std::uint64_t length = 0;
+};
+
+// v2 blob sections skip the load-time whole-section CRC (see header note).
+inline constexpr bool IsBlobKind(std::uint32_t kind) {
+  return kind == kFrBlocks || kind == kOutBlocks || kind == kInBlocks;
+}
+
+// Human-readable section name for loader diagnostics.
+const char* SectionName(std::uint32_t kind);
+
+void PutU32Le(unsigned char* p, std::uint32_t v);
+void PutU64Le(unsigned char* p, std::uint64_t v);
+std::uint32_t GetU32Le(const unsigned char* p);
+std::uint64_t GetU64Le(const unsigned char* p);
+
+// Throws std::runtime_error("snapshot: <path> at offset <n>: <what>").
+[[noreturn]] void Fail(const std::string& path, std::uint64_t offset,
+                       const std::string& what);
+
+// ---------- save side ----------
+
+// Assembles header + section table + aligned section payloads in memory
+// (the v1 writer; v2 streams instead — see graph/snapshot_writer.h).
+class ImageBuilder {
+ public:
+  // Appends a section at the next 64-byte-aligned offset, CRC included.
+  void AddSection(std::uint32_t kind, const void* data, std::uint64_t length);
+  std::vector<unsigned char> Finish(const char magic[8]);
+
+ private:
+  std::vector<SectionEntry> entries_;
+  std::vector<unsigned char> bytes_;
+};
+
+// tmp + fwrite + fsync + rename, with failpoints "snapshot/write" and
+// "snapshot/rename". Throws on failure, leaving no partial file behind.
+void WriteImageAtomically(const std::string& path,
+                          const std::vector<unsigned char>& image);
+
+// ---------- load side ----------
+
+// Owns the loaded bytes: an mmap'd region, or a heap buffer when mapping is
+// unavailable (failpoint "snapshot/map", zero-length files, exotic FS).
+class FileBytes {
+ public:
+  FileBytes(const FileBytes&) = delete;
+  FileBytes& operator=(const FileBytes&) = delete;
+
+  explicit FileBytes(const std::string& path);
+  ~FileBytes();
+
+  const unsigned char* data() const noexcept { return data_; }
+  std::size_t size() const noexcept { return size_; }
+
+  // Returns the residency of [offset, offset+length) to the kernel when the
+  // bytes are mmap'd (madvise DONTNEED; pages reload from disk on the next
+  // touch). No-op on the buffered fallback. The 100M-edge bench scan uses
+  // this to keep peak RSS bounded while sweeping the whole blob.
+  void ReleaseRange(std::size_t offset, std::size_t length) const;
+
+ private:
+  void* map_ = nullptr;
+  std::vector<unsigned char> buf_;
+  const unsigned char* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+// The validated header + section table of either snapshot version.
+struct ParsedImage {
+  int version = 1;  // 1 or 2, from the magic
+  std::uint32_t count = 0;
+  SectionEntry entries[kMaxSections];
+  const SectionEntry* by_kind[kMaxKinds] = {nullptr};
+};
+
+// Validates the container: magic, section count, table CRC, and for every
+// entry bounds (distinguishing a TRUNCATED file from corrupt bytes), content
+// CRC (skipped for v2 blob kinds), 64-byte alignment and kind uniqueness.
+// Every failure throws via Fail() naming the section and its offset.
+ParsedImage ParseImage(const std::string& path, const unsigned char* data,
+                       std::size_t size);
+
+}  // namespace rejecto::graph::snapfmt

@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "graph/compressed_view.h"
 #include "graph/csr_build.h"
 #include "util/buffer.h"
 #include "util/simd.h"
@@ -100,6 +101,128 @@ CompactedGraph InducedSubgraph(const AugmentedGraph& g,
       SocialGraph::FromCsr(num_new, std::move(fr_off), std::move(fr_adj)),
       RejectionGraph::FromCsr(num_new, std::move(out_off), std::move(out_adj),
                               std::move(in_off), std::move(in_adj)));
+  return out;
+}
+
+CompactedGraph InducedSubgraph(const CompressedGraphView& view,
+                               const std::vector<char>& keep,
+                               util::ThreadPool* pool) {
+  if (keep.size() != view.NumNodes()) {
+    throw std::invalid_argument("InducedSubgraph: mask size mismatch");
+  }
+  const NodeId n = view.NumNodes();
+  std::vector<NodeId> new_id(n, kInvalidNode);
+  CompactedGraph out;
+  for (NodeId u = 0; u < n; ++u) {
+    if (keep[u]) {
+      new_id[u] = static_cast<NodeId>(out.parent_id.size());
+      out.parent_id.push_back(u);
+    }
+  }
+  const std::size_t m = out.parent_id.size();
+
+  // Same per-row filter kernels as the in-RAM overload, so the residual
+  // CSR comes out bit-identical whichever source it was compacted from.
+  const bool use_avx2 =
+      util::simd::ActiveMode() == util::simd::SimdMode::kAvx2;
+  util::AlignedVector<unsigned char> keep_padded;
+  if (use_avx2) {
+    keep_padded.resize(keep.size());
+    std::memcpy(keep_padded.data(), keep.data(), keep.size());
+  }
+  const auto count_kept = [&](std::span<const NodeId> row) {
+    if (use_avx2) {
+      return row.size() -
+             util::simd::CountZeroAt(keep_padded.data(), row.data(),
+                                     row.size());
+    }
+    std::size_t c = 0;
+    for (NodeId v : row) c += keep[v] != 0;
+    return c;
+  };
+  const auto fill_row = [&](std::span<const NodeId> row, NodeId* dst) {
+    if (use_avx2) {
+      util::simd::FilterMapRow(keep_padded.data(), new_id.data(), row.data(),
+                               row.size(), dst);
+      return;
+    }
+    std::size_t w = 0;
+    for (NodeId v : row) {
+      if (keep[v]) dst[w++] = new_id[v];
+    }
+  };
+
+  // Block-granular sweeps over the three CSRs (item = csr * num_blocks +
+  // block). A block's kept rows map to a contiguous nid range (new_id is
+  // monotone), so blocks write disjoint slices of the offset/adjacency
+  // arrays and the parallel sweeps are race-free.
+  const NodeId nb = view.NumBlocks();
+  const std::size_t work = static_cast<std::size_t>(nb) * 3;
+  struct Scratch {
+    util::AlignedVector<std::uint32_t> ro;
+    util::AlignedVector<NodeId> adj;
+  };
+  const auto for_each_block = [&](auto&& fn) {
+    if (pool != nullptr && work > 1) {
+      std::vector<Scratch> scratch(std::min(work, pool->size()));
+      pool->ParallelFor(work, [&](std::size_t block, std::size_t item) {
+        fn(scratch[block], item);
+      });
+    } else {
+      Scratch scratch;
+      for (std::size_t item = 0; item < work; ++item) fn(scratch, item);
+    }
+  };
+  const auto block_rows = [&](std::size_t item, int* csr, NodeId* b,
+                              NodeId* first_row, std::uint32_t* rows) {
+    *csr = static_cast<int>(item / nb);
+    *b = static_cast<NodeId>(item % nb);
+    *first_row = *b * view.BlockRows();
+    *rows = view.BlockRowCount(*csr, *b);
+  };
+
+  util::AlignedVector<std::size_t> offs[3] = {
+      util::AlignedVector<std::size_t>(m + 1, 0),
+      util::AlignedVector<std::size_t>(m + 1, 0),
+      util::AlignedVector<std::size_t>(m + 1, 0)};
+  for_each_block([&](Scratch& s, std::size_t item) {
+    int csr;
+    NodeId b, first_row;
+    std::uint32_t rows;
+    block_rows(item, &csr, &b, &first_row, &rows);
+    view.DecodeBlockInto(csr, b, s.ro, s.adj);
+    for (std::uint32_t r = 0; r < rows; ++r) {
+      const NodeId u = first_row + r;
+      if (!keep[u]) continue;
+      offs[csr][new_id[u] + 1] = count_kept(
+          {s.adj.data() + s.ro[r], s.adj.data() + s.ro[r + 1]});
+    }
+  });
+  for (auto& off : offs) PrefixSum(off);
+
+  util::AlignedVector<NodeId> adjs[3] = {
+      util::AlignedVector<NodeId>(offs[0][m]),
+      util::AlignedVector<NodeId>(offs[1][m]),
+      util::AlignedVector<NodeId>(offs[2][m])};
+  for_each_block([&](Scratch& s, std::size_t item) {
+    int csr;
+    NodeId b, first_row;
+    std::uint32_t rows;
+    block_rows(item, &csr, &b, &first_row, &rows);
+    view.DecodeBlockInto(csr, b, s.ro, s.adj);
+    for (std::uint32_t r = 0; r < rows; ++r) {
+      const NodeId u = first_row + r;
+      if (!keep[u]) continue;
+      fill_row({s.adj.data() + s.ro[r], s.adj.data() + s.ro[r + 1]},
+               adjs[csr].data() + offs[csr][new_id[u]]);
+    }
+  });
+
+  const NodeId num_new = static_cast<NodeId>(m);
+  out.graph = AugmentedGraph(
+      SocialGraph::FromCsr(num_new, std::move(offs[0]), std::move(adjs[0])),
+      RejectionGraph::FromCsr(num_new, std::move(offs[1]), std::move(adjs[1]),
+                              std::move(offs[2]), std::move(adjs[2])));
   return out;
 }
 

@@ -1,0 +1,255 @@
+// Detection over the compressed mmap view must be BIT-identical to the
+// in-RAM pipeline: same MAAR cuts, same rounds, same detected sets, at any
+// thread count (the acceptance bar for RJSNAP02 — compression must never
+// change an answer). Covers the full stack of the out-of-core seam:
+// InducedSubgraph over the view, MaarSolver's view mode, the iterative
+// driver, and EpochDetector::FromSnapshot dispatch.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "detect/iterative.h"
+#include "detect/maar.h"
+#include "engine/epoch_detector.h"
+#include "gen/holme_kim.h"
+#include "graph/compressed_view.h"
+#include "graph/layout.h"
+#include "graph/snapshot.h"
+#include "graph/subgraph.h"
+#include "sim/scenario.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace rejecto {
+namespace {
+
+namespace fs = std::filesystem;
+
+using graph::AugmentedGraph;
+using graph::CompressedGraphView;
+using graph::NodeId;
+
+class CompressedDetectTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("rejecto_cdetect_test_" +
+            std::to_string(::testing::UnitTest::GetInstance()->random_seed()) +
+            "_" + std::to_string(reinterpret_cast<std::uintptr_t>(this)));
+    fs::create_directories(dir_);
+  }
+  void TearDown() override {
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+
+  std::string Path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  fs::path dir_;
+};
+
+sim::Scenario MakeAttackScenario(std::uint64_t seed, NodeId n = 800,
+                                 NodeId fakes = 80) {
+  util::Rng rng(seed);
+  const auto legit = gen::HolmeKim({.num_nodes = n, .edges_per_node = 3}, rng);
+  sim::ScenarioConfig cfg;
+  cfg.seed = seed;
+  cfg.num_fakes = fakes;
+  return sim::BuildScenario(legit, cfg);
+}
+
+// Saves g as identity-layout RJSNAP02 and opens the view.
+CompressedGraphView SaveAndOpen(const std::string& path,
+                                const AugmentedGraph& g,
+                                std::uint32_t block_rows = 128) {
+  graph::SnapshotOptions opts;
+  opts.format = graph::SnapshotFormat::kRjsnap02;
+  opts.block_rows = block_rows;
+  graph::SaveSnapshot(path, g, graph::Layout{}, opts);
+  return CompressedGraphView::Open(path);
+}
+
+void ExpectSameResult(const detect::DetectionResult& ram,
+                      const detect::DetectionResult& mm,
+                      const std::string& label) {
+  EXPECT_EQ(ram.detected, mm.detected) << label;
+  ASSERT_EQ(ram.rounds.size(), mm.rounds.size()) << label;
+  for (std::size_t r = 0; r < ram.rounds.size(); ++r) {
+    const detect::RoundInfo& a = ram.rounds[r];
+    const detect::RoundInfo& b = mm.rounds[r];
+    EXPECT_EQ(a.detected, b.detected) << label << " round " << r;
+    EXPECT_EQ(a.cut.cross_friendships, b.cut.cross_friendships)
+        << label << " round " << r;
+    EXPECT_EQ(a.cut.rejections_into_u, b.cut.rejections_into_u)
+        << label << " round " << r;
+    EXPECT_EQ(a.cut.rejections_from_u, b.cut.rejections_from_u)
+        << label << " round " << r;
+    EXPECT_EQ(a.ratio, b.ratio) << label << " round " << r;
+    EXPECT_EQ(a.k, b.k) << label << " round " << r;
+  }
+}
+
+// ---------- induced subgraphs ----------
+
+TEST_F(CompressedDetectTest, InducedSubgraphFromViewMatchesRamAtAnyThreads) {
+  const auto scenario = MakeAttackScenario(3, 700, 70);
+  const AugmentedGraph& g = scenario.graph;
+  const auto view = SaveAndOpen(Path("g.snap2"), g, 64);
+
+  util::Rng rng(11);
+  for (int rep = 0; rep < 4; ++rep) {
+    std::vector<char> keep(g.NumNodes());
+    for (auto& k : keep) k = rng.NextUInt(100) < 70 ? 1 : 0;
+
+    const auto want = graph::InducedSubgraph(g, keep);
+    const auto serial = graph::InducedSubgraph(view, keep);
+    EXPECT_EQ(serial.graph, want.graph) << "rep " << rep;
+    EXPECT_EQ(serial.parent_id, want.parent_id) << "rep " << rep;
+
+    for (const int threads : {2, 8}) {
+      util::ThreadPool pool(threads);
+      const auto parallel = graph::InducedSubgraph(view, keep, &pool);
+      EXPECT_EQ(parallel.graph, want.graph)
+          << "rep " << rep << " threads " << threads;
+      EXPECT_EQ(parallel.parent_id, want.parent_id)
+          << "rep " << rep << " threads " << threads;
+    }
+  }
+}
+
+// ---------- MAAR over the view ----------
+
+TEST_F(CompressedDetectTest, MaarSolverViewModeMatchesRamBitForBit) {
+  const auto scenario = MakeAttackScenario(5, 600, 60);
+  const AugmentedGraph& g = scenario.graph;
+  const auto view = SaveAndOpen(Path("g.snap2"), g);
+
+  util::Rng seed_rng(7);
+  const auto seeds = scenario.SampleSeeds(20, 8, seed_rng);
+  detect::MaarConfig cfg;
+  cfg.num_random_inits = 2;
+  cfg.seed = 99;
+
+  for (const int threads : {1, 2, 8}) {
+    auto ram_cfg = cfg;
+    ram_cfg.num_threads = threads;
+    detect::MaarSolver ram_solver(g, seeds, ram_cfg);
+    const auto ram = ram_solver.Solve();
+
+    detect::MaarSolver view_solver(view, seeds, ram_cfg);
+    const auto mm = view_solver.Solve();
+
+    ASSERT_EQ(ram.valid, mm.valid) << "threads " << threads;
+    EXPECT_EQ(ram.in_u, mm.in_u) << "threads " << threads;
+    EXPECT_EQ(ram.cut.cross_friendships, mm.cut.cross_friendships);
+    EXPECT_EQ(ram.cut.rejections_into_u, mm.cut.rejections_into_u);
+    EXPECT_EQ(ram.cut.rejections_from_u, mm.cut.rejections_from_u);
+    EXPECT_EQ(ram.ratio, mm.ratio) << "threads " << threads;
+    EXPECT_EQ(ram.k, mm.k) << "threads " << threads;
+  }
+}
+
+TEST_F(CompressedDetectTest, MaarSolverViewModeRejectsNonIdentityLayout) {
+  const auto scenario = MakeAttackScenario(7, 300, 30);
+  const auto view = SaveAndOpen(Path("g.snap2"), scenario.graph);
+  util::Rng seed_rng(7);
+  const auto seeds = scenario.SampleSeeds(5, 2, seed_rng);
+  detect::MaarConfig cfg;
+  cfg.layout = graph::LayoutPolicy::kBfs;
+  EXPECT_THROW(detect::MaarSolver(view, seeds, cfg), std::invalid_argument);
+}
+
+// ---------- the full pipeline, property-style ----------
+
+TEST_F(CompressedDetectTest, FullPipelineBitIdenticalAtOneTwoEightThreads) {
+  for (const std::uint64_t seed : {11ULL, 13ULL}) {
+    const auto scenario = MakeAttackScenario(seed, 800, 80);
+    const AugmentedGraph& g = scenario.graph;
+    const auto view =
+        SaveAndOpen(Path("g" + std::to_string(seed) + ".snap2"), g);
+
+    util::Rng seed_rng(seed * 3 + 1);
+    const auto seeds = scenario.SampleSeeds(20, 8, seed_rng);
+    detect::IterativeConfig cfg;
+    cfg.target_detections = scenario.num_fakes;
+    cfg.maar.seed = seed * 7919 + 13;
+    cfg.maar.num_random_inits = 2;
+
+    for (const int threads : {1, 2, 8}) {
+      cfg.maar.num_threads = threads;
+      const auto ram = detect::DetectFriendSpammers(g, seeds, cfg);
+      const auto mm = detect::DetectFriendSpammersCompressed(view, seeds, cfg);
+      ExpectSameResult(ram, mm,
+                       "seed " + std::to_string(seed) + " threads " +
+                           std::to_string(threads));
+    }
+  }
+}
+
+TEST_F(CompressedDetectTest, PipelineRejectsNonIdentityLayoutConfig) {
+  const auto scenario = MakeAttackScenario(17, 300, 30);
+  const auto view = SaveAndOpen(Path("g.snap2"), scenario.graph);
+  util::Rng seed_rng(7);
+  const auto seeds = scenario.SampleSeeds(5, 2, seed_rng);
+  detect::IterativeConfig cfg;
+  cfg.target_detections = scenario.num_fakes;
+  cfg.maar.layout = graph::LayoutPolicy::kBfs;
+  EXPECT_THROW(detect::DetectFriendSpammersCompressed(view, seeds, cfg),
+               std::invalid_argument);
+}
+
+TEST_F(CompressedDetectTest, BlockSpanDoesNotChangeAnyAnswer) {
+  // The block span is a storage knob, never an algorithmic one.
+  const auto scenario = MakeAttackScenario(19, 600, 60);
+  util::Rng seed_rng(23);
+  const auto seeds = scenario.SampleSeeds(15, 6, seed_rng);
+  detect::IterativeConfig cfg;
+  cfg.target_detections = scenario.num_fakes;
+  cfg.maar.seed = 31;
+  cfg.maar.num_random_inits = 2;
+
+  const auto ram = detect::DetectFriendSpammers(scenario.graph, seeds, cfg);
+  for (const std::uint32_t rows : {64u, 128u, 256u}) {
+    const auto view = SaveAndOpen(
+        Path("g" + std::to_string(rows) + ".snap2"), scenario.graph, rows);
+    const auto mm = detect::DetectFriendSpammersCompressed(view, seeds, cfg);
+    ExpectSameResult(ram, mm, "block_rows " + std::to_string(rows));
+  }
+}
+
+// ---------- engine dispatch ----------
+
+TEST_F(CompressedDetectTest, EpochDetectorFromV2SnapshotMatchesV1) {
+  const auto scenario = MakeAttackScenario(29, 500, 50);
+  const AugmentedGraph& g = scenario.graph;
+  const std::string v1 = Path("g.snap");
+  const std::string v2 = Path("g.snap2");
+  // Both saved with the BFS policy: FromSnapshot must translate back to
+  // the original id space identically for either format.
+  graph::SaveSnapshotWithPolicy(v1, g, graph::LayoutPolicy::kBfs);
+  graph::SnapshotOptions opts;
+  opts.format = graph::SnapshotFormat::kRjsnap02;
+  graph::SaveSnapshotWithPolicy(v2, g, graph::LayoutPolicy::kBfs, opts);
+
+  detect::Seeds seeds;
+  seeds.legit = {0, 1};
+  engine::EpochConfig cfg;
+  cfg.detect.target_detections = 10;
+  cfg.detect.maar.seed = 5;
+
+  auto from_v1 = engine::EpochDetector::FromSnapshot(v1, seeds, cfg);
+  auto from_v2 = engine::EpochDetector::FromSnapshot(v2, seeds, cfg);
+  const auto& a = from_v1->RunEpoch();
+  const auto& b = from_v2->RunEpoch();
+  EXPECT_EQ(from_v1->LastResult().detected, from_v2->LastResult().detected);
+  EXPECT_EQ(a.num_detected, b.num_detected);
+  EXPECT_EQ(a.round_ratios, b.round_ratios);
+}
+
+}  // namespace
+}  // namespace rejecto

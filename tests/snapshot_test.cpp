@@ -267,6 +267,49 @@ TEST_F(SnapshotTest, BitFlipsAnywhereAreRejected) {
   }
 }
 
+TEST_F(SnapshotTest, TruncationAndCorruptionAreDistinctErrors) {
+  // An operator reading the error must be able to tell a torn copy (the
+  // tail is missing) from bit rot (the bytes are there but wrong): the
+  // loader names the section and says "truncated" for one, "CRC mismatch"
+  // for the other — never both.
+  const AugmentedGraph g = RandomScenarioGraph(31, 120);
+  const std::string path = Path("g.snap");
+  SaveSnapshot(path, g);
+  const auto bytes = ReadFileBytes(path);
+  const auto table = ParseTable(bytes);
+  ASSERT_FALSE(table.empty());
+  const SectionEntry& last = table.back();
+
+  const std::string torn = Path("torn.snap");
+  WriteFileBytes(torn, std::vector<unsigned char>(
+                           bytes.begin(),
+                           bytes.begin() + static_cast<std::ptrdiff_t>(
+                                               last.offset + last.length / 2)));
+  try {
+    LoadSnapshot(torn);
+    FAIL() << "torn section accepted";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("truncated"), std::string::npos) << what;
+    EXPECT_NE(what.find("section"), std::string::npos) << what;
+    EXPECT_EQ(what.find("CRC mismatch"), std::string::npos) << what;
+  }
+
+  auto flipped = bytes;
+  flipped[last.offset + last.length / 2] ^= 0x20;
+  const std::string evil = Path("flipped.snap");
+  WriteFileBytes(evil, flipped);
+  try {
+    LoadSnapshot(evil);
+    FAIL() << "corrupt section accepted";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("CRC mismatch"), std::string::npos) << what;
+    EXPECT_NE(what.find("section"), std::string::npos) << what;
+    EXPECT_EQ(what.find("truncated"), std::string::npos) << what;
+  }
+}
+
 TEST_F(SnapshotTest, MissingFileAndGarbageAreRejected) {
   EXPECT_THROW(LoadSnapshot(Path("nope.snap")), std::runtime_error);
   WriteFileBytes(Path("garbage.snap"),
