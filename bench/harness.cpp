@@ -270,6 +270,30 @@ void AppendKernelBenchJson(const std::vector<KernelBenchRecord>& records) {
   AppendBenchJsonRecords(rendered);
 }
 
+void AppendTemporalBenchJson(const std::vector<TemporalBenchRecord>& records) {
+  std::vector<std::string> rendered;
+  rendered.reserve(records.size());
+  for (const auto& r : records) {
+    std::ostringstream os;
+    os.precision(6);
+    os << std::fixed;
+    os << "{\"bench\": \"" << r.bench << "\", \"metric\": \"" << r.metric
+       << "\", \"adversary\": \"" << r.adversary
+       << "\", \"users\": " << r.users << ", \"spammers\": " << r.spammers
+       << ", \"requests\": " << r.requests << ", \"mean\": " << r.mean
+       << ", \"detected\": " << r.detected
+       << ", \"undetected\": " << r.undetected
+       << ", \"final_precision\": " << r.final_precision
+       << ", \"final_recall\": " << r.final_recall
+       << ", \"recall_at_5\": " << r.recall_at_5
+       << ", \"recall_at_10\": " << r.recall_at_10
+       << ", \"recall_at_20\": " << r.recall_at_20
+       << ", \"recall_at_50\": " << r.recall_at_50 << "}";
+    rendered.push_back(os.str());
+  }
+  AppendBenchJsonRecords(rendered);
+}
+
 void RunMaarSpeedupProbe(const std::string& bench_name,
                          const graph::AugmentedGraph& g,
                          detect::MaarConfig config,

@@ -119,6 +119,30 @@ struct KernelBenchRecord {
 
 void AppendKernelBenchJson(const std::vector<KernelBenchRecord>& records);
 
+// One temporal early-detection sample (study/early_detection.h): a whole
+// adaptive-adversary run reduced to its headline time-axis metrics,
+// appended to the same BENCH_maar.json array (distinguished by the
+// "metric" key: "time_to_detection" or "harm_before_detection").
+struct TemporalBenchRecord {
+  std::string bench;       // emitting binary, e.g. "bench_fig19"
+  std::string metric;      // "time_to_detection" / "harm_before_detection"
+  std::string adversary;   // sim::AdversaryName of the campaign
+  std::int64_t users = 0;       // legit users
+  std::int64_t spammers = 0;    // spam-sending fakes
+  std::int64_t requests = 0;    // spam requests emitted over the run
+  double mean = 0.0;            // mean TTD (detected) / mean harm (all)
+  std::int64_t detected = 0;    // spammers flagged at least once
+  std::int64_t undetected = 0;  // spammers never flagged
+  double final_precision = 0.0;  // last epoch's detection quality
+  double final_recall = 0.0;
+  double recall_at_5 = 0.0;   // sub-epoch checkpoint recall (serving tier)
+  double recall_at_10 = 0.0;
+  double recall_at_20 = 0.0;
+  double recall_at_50 = 0.0;
+};
+
+void AppendTemporalBenchJson(const std::vector<TemporalBenchRecord>& records);
+
 // Process peak resident set (VmHWM) and current resident set (VmRSS) from
 // /proc/self/status, in bytes; 0 where the kernel does not expose them.
 std::uint64_t PeakRssBytes();

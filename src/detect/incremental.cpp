@@ -1,0 +1,44 @@
+#include "detect/incremental.h"
+
+#include <stdexcept>
+
+namespace rejecto::detect {
+
+IncrementalScore ScoreSenderIncremental(const graph::AugmentedGraph& g,
+                                        const std::vector<char>& in_u,
+                                        double k, graph::NodeId s) {
+  if (in_u.size() != g.NumNodes()) {
+    throw std::invalid_argument(
+        "ScoreSenderIncremental: mask size does not match graph");
+  }
+  if (s >= g.NumNodes()) {
+    throw std::out_of_range("ScoreSenderIncremental: sender out of range");
+  }
+  if (!(k > 0.0)) {
+    throw std::invalid_argument("ScoreSenderIncremental: k must be > 0");
+  }
+  if (in_u[s] != 0) {
+    return {0.0, true};
+  }
+
+  // ΔF: edges s–f flip cross↔internal depending on f's side.
+  std::int64_t delta_friend = 0;
+  for (graph::NodeId f : g.Friendships().Neighbors(s)) {
+    delta_friend += in_u[f] != 0 ? -1 : +1;
+  }
+  // ΔR⃗: arcs onto s from outside U start counting; arcs s casts onto U
+  // members stop (their source moves inside).
+  std::int64_t delta_rej = 0;
+  for (graph::NodeId r : g.Rejections().Rejectors(s)) {
+    if (in_u[r] == 0) ++delta_rej;
+  }
+  for (graph::NodeId t : g.Rejections().Rejectees(s)) {
+    if (in_u[t] != 0) --delta_rej;
+  }
+
+  const double gain = static_cast<double>(delta_friend) -
+                      k * static_cast<double>(delta_rej);
+  return {gain, gain < 0.0};
+}
+
+}  // namespace rejecto::detect

@@ -144,6 +144,43 @@ const EpochStats& EpochDetector::RunEpoch() {
   return history_.back();
 }
 
+detect::IncrementalScore EpochDetector::ScoreSenderIncremental(
+    graph::NodeId s) const {
+  if (!HasIncrementalBaseline()) {
+    throw std::logic_error(
+        "EpochDetector::ScoreSenderIncremental: no completed epoch with a "
+        "valid round-0 cut to score against");
+  }
+  if (s >= delta_.NumNodes()) {
+    throw std::out_of_range(
+        "EpochDetector::ScoreSenderIncremental: sender out of range");
+  }
+  // Mask membership for ids past the baseline mask (nodes that joined since
+  // the last epoch) is 0 — the same extension RunEpoch applies to the warm
+  // mask. The walk mirrors detect::ScoreSenderIncremental but reads the
+  // DeltaGraph's effective rows, so un-compacted overlay events count.
+  const auto side = [&](graph::NodeId v) -> bool {
+    return v < prev_mask_.size() && prev_mask_[v] != 0;
+  };
+  if (side(s)) {
+    return {0.0, true};
+  }
+  std::int64_t delta_friend = 0;
+  delta_.ForEachFriend(s, [&](graph::NodeId f) {
+    delta_friend += side(f) ? -1 : +1;
+  });
+  std::int64_t delta_rej = 0;
+  delta_.ForEachRejector(s, [&](graph::NodeId r) {
+    if (!side(r)) ++delta_rej;
+  });
+  delta_.ForEachRejectee(s, [&](graph::NodeId t) {
+    if (side(t)) --delta_rej;
+  });
+  const double gain = static_cast<double>(delta_friend) -
+                      prev_k_ * static_cast<double>(delta_rej);
+  return {gain, gain < 0.0};
+}
+
 namespace {
 // Version tag for the detector's extra-state section inside the checkpoint
 // payload (the file-level format is versioned separately by its magic).

@@ -28,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "detect/incremental.h"
 #include "detect/iterative.h"
 #include "detect/seeds.h"
 #include "graph/augmented_graph.h"
@@ -131,6 +132,28 @@ class EpochDetector {
   std::uint64_t EventsIngested() const noexcept {
     return total_events_ingested_;
   }
+
+  // --- sub-epoch incremental scoring (detect/incremental.h) ---
+  //
+  // Between epochs the detector can classify a sender in O(deg) against the
+  // previous epoch's round-0 cut: ΔW(s) of switching s into the incumbent
+  // suspicious region, walking the DeltaGraph's effective rows so events
+  // still sitting in the overlay count. Requires at least one completed
+  // epoch whose round-0 cut was valid (HasIncrementalBaseline()); scoring
+  // without a baseline throws std::logic_error. Nodes that joined the
+  // stream after the baseline epoch score against mask-membership 0, which
+  // is exactly what the next epoch's warm mask assumes about them.
+  bool HasIncrementalBaseline() const noexcept {
+    return has_prev_ && prev_k_ > 0.0;
+  }
+  detect::IncrementalScore ScoreSenderIncremental(graph::NodeId s) const;
+
+  // The baseline the incremental score runs against: the previous epoch's
+  // round-0 pre-trim mask (indexed by graph id) and its ratio weight k.
+  const std::vector<char>& IncrementalMask() const noexcept {
+    return prev_mask_;
+  }
+  double IncrementalK() const noexcept { return prev_k_; }
 
   const stream::DeltaGraph& Graph() const noexcept { return delta_; }
   const detect::DetectionResult& LastResult() const noexcept { return last_; }

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <fstream>
-#include <sstream>
+#include <limits>
 #include <stdexcept>
+#include <unordered_set>
 
 #include "graph/builder.h"
+#include "util/parse.h"
 
 namespace rejecto::sim {
 
@@ -17,14 +19,17 @@ void RequestLog::GrowTo(graph::NodeId num_nodes) {
 }
 
 void RequestLog::Add(graph::NodeId sender, graph::NodeId receiver,
-                     Response response) {
+                     Response response, std::int64_t timestamp) {
   if (sender == receiver) {
     throw std::invalid_argument("RequestLog::Add: self-request");
   }
   if (sender >= num_nodes_ || receiver >= num_nodes_) {
     throw std::out_of_range("RequestLog::Add: node id out of range");
   }
-  requests_.push_back({sender, receiver, response});
+  if (timestamp < 0) {
+    throw std::invalid_argument("RequestLog::Add: negative timestamp");
+  }
+  requests_.push_back({sender, receiver, response, timestamp});
   if (response == Response::kAccepted) {
     ++num_accepted_;
   } else {
@@ -39,9 +44,14 @@ void RequestLog::Save(const std::string& path) const {
   }
   out << "# rejecto request log: nodes=" << num_nodes_
       << " requests=" << requests_.size() << '\n';
+  const bool timed = std::any_of(
+      requests_.begin(), requests_.end(),
+      [](const FriendRequest& r) { return r.timestamp != 0; });
   for (const FriendRequest& r : requests_) {
     out << r.sender << ' ' << r.receiver << ' '
-        << (r.response == Response::kAccepted ? 'A' : 'R') << '\n';
+        << (r.response == Response::kAccepted ? 'A' : 'R');
+    if (timed) out << ' ' << r.timestamp;
+    out << '\n';
   }
   if (!out) {
     throw std::runtime_error("RequestLog::Save: write failure on " + path);
@@ -56,29 +66,60 @@ RequestLog RequestLog::Load(const std::string& path) {
   RequestLog log;
   std::string line;
   std::size_t lineno = 0;
+  // Each ordered (sender, receiver) pair may carry at most ONE record —
+  // repeats would silently collapse in the derived graph, so they are
+  // rejected as corruption, with the line that repeats the pair named.
+  std::unordered_set<std::uint64_t> seen_pairs;
   while (std::getline(in, line)) {
     ++lineno;
-    if (line.empty()) continue;
-    if (line[0] == '#') {
+    const std::string context = path + " line " + std::to_string(lineno);
+    std::string_view rest(line);
+    std::string_view first = util::NextToken(rest);
+    if (first.empty()) continue;
+    if (first.front() == '#') {
       // Honor the node-count header so isolated trailing nodes survive a
       // round trip.
       const auto pos = line.find("nodes=");
       if (pos != std::string::npos) {
-        log.GrowTo(static_cast<graph::NodeId>(
-            std::stoull(line.substr(pos + 6))));
+        std::string_view count_rest(line);
+        count_rest.remove_prefix(pos + 6);
+        log.GrowTo(static_cast<graph::NodeId>(util::ParseU64Checked(
+            util::NextToken(count_rest), context, graph::kInvalidNode - 1)));
       }
       continue;
     }
-    std::istringstream ls(line);
-    graph::NodeId sender = 0, receiver = 0;
-    char resp = 0;
-    if (!(ls >> sender >> receiver >> resp) || (resp != 'A' && resp != 'R')) {
-      throw std::runtime_error("RequestLog::Load: malformed line " +
-                               std::to_string(lineno) + " in " + path);
+    const graph::NodeId sender = util::ParseNodeIdChecked(first, context);
+    const graph::NodeId receiver =
+        util::ParseNodeIdChecked(util::NextToken(rest), context);
+    const std::string_view resp = util::NextToken(rest);
+    if (resp != "A" && resp != "R") {
+      throw std::runtime_error(context + ": response must be 'A' or 'R', got '" +
+                               std::string(resp) + "'");
+    }
+    std::int64_t timestamp = 0;
+    const std::string_view ts = util::NextToken(rest);
+    if (!ts.empty()) {
+      timestamp = static_cast<std::int64_t>(util::ParseU64Checked(
+          ts, context + ": timestamp",
+          static_cast<std::uint64_t>(std::numeric_limits<std::int64_t>::max())));
+    }
+    if (!util::NextToken(rest).empty()) {
+      throw std::runtime_error(context + ": trailing tokens after record");
+    }
+    if (sender == receiver) {
+      throw std::runtime_error(context + ": self-request (sender == receiver)");
+    }
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(sender) << 32) | receiver;
+    if (!seen_pairs.insert(key).second) {
+      throw std::runtime_error(context + ": duplicate request " +
+                               std::to_string(sender) + " -> " +
+                               std::to_string(receiver));
     }
     log.GrowTo(std::max({log.NumNodes(), sender + 1, receiver + 1}));
     log.Add(sender, receiver,
-            resp == 'A' ? Response::kAccepted : Response::kRejected);
+            resp == "A" ? Response::kAccepted : Response::kRejected,
+            timestamp);
   }
   return log;
 }

@@ -26,6 +26,10 @@ struct FriendRequest {
   graph::NodeId sender = graph::kInvalidNode;
   graph::NodeId receiver = graph::kInvalidNode;
   Response response = Response::kRejected;
+  // Arrival time (arbitrary non-negative units; 0 = unknown/untimed). The
+  // temporal harness replays logs in record order, so the timestamp is
+  // carried metadata, not a sort key.
+  std::int64_t timestamp = 0;
 
   friend bool operator==(const FriendRequest&, const FriendRequest&) = default;
 };
@@ -37,8 +41,9 @@ class RequestLog {
   graph::NodeId NumNodes() const noexcept { return num_nodes_; }
   void GrowTo(graph::NodeId num_nodes);
 
-  // Precondition: sender != receiver, both < NumNodes().
-  void Add(graph::NodeId sender, graph::NodeId receiver, Response response);
+  // Precondition: sender != receiver, both < NumNodes(), timestamp >= 0.
+  void Add(graph::NodeId sender, graph::NodeId receiver, Response response,
+           std::int64_t timestamp = 0);
 
   std::span<const FriendRequest> Requests() const noexcept {
     return requests_;
@@ -53,10 +58,18 @@ class RequestLog {
   // sender's request, paper §III-A).
   graph::AugmentedGraph BuildAugmentedGraph() const;
 
-  // Text persistence: "<sender> <receiver> <A|R>" per line with a header
-  // comment carrying the node count; '#' comments ignored on load. Lets
-  // simulated workloads feed the file-driven tooling and external logs
-  // enter the pipeline. Throws std::runtime_error on I/O or parse errors.
+  // Text persistence: "<sender> <receiver> <A|R>[ <timestamp>]" per line
+  // with a header comment carrying the node count; '#' comments ignored on
+  // load; the timestamp column is written only when some request carries a
+  // nonzero timestamp. Lets simulated workloads feed the file-driven
+  // tooling and external logs enter the pipeline.
+  //
+  // Load is hardened like the graph/io loaders (util/parse.h): malformed
+  // ids, signed/garbage/overflowing numbers, trailing junk, self-requests,
+  // DUPLICATE ordered (sender, receiver) records, and timestamps outside
+  // [0, INT64_MAX] are all rejected with a "<path> line N: ..."
+  // std::runtime_error — a repeated pair would silently collapse in the
+  // derived graph, so it is upstream corruption, not data.
   void Save(const std::string& path) const;
   static RequestLog Load(const std::string& path);
 

@@ -1,0 +1,438 @@
+#include "sim/temporal_eval.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "sim/spam_simulator.h"
+
+namespace rejecto::sim {
+
+namespace {
+// Rejection-sampling budget for "a random victim not yet tried". Exhausting
+// it means the target space is essentially saturated for this sender, at
+// which point emitting fewer requests is the honest behaviour.
+constexpr int kVictimAttempts = 64;
+constexpr int kPoolAttempts = 16;
+}  // namespace
+
+std::string_view AdversaryName(AdversaryKind kind) {
+  switch (kind) {
+    case AdversaryKind::kStaticCampaign:
+      return "static_campaign";
+    case AdversaryKind::kProbeThenFlood:
+      return "probe_then_flood";
+    case AdversaryKind::kRejectionRetarget:
+      return "rejection_retarget";
+    case AdversaryKind::kSlowDripCollusion:
+      return "slow_drip_collusion";
+  }
+  throw std::invalid_argument("AdversaryName: unknown AdversaryKind");
+}
+
+std::vector<double> DrawPropensities(const graph::SocialGraph& legit_graph,
+                                     const PropensityConfig& config,
+                                     util::Rng& rng) {
+  const graph::NodeId n = legit_graph.NumNodes();
+  if (config.careless_fraction < 0.0 || config.careless_fraction > 1.0) {
+    throw std::invalid_argument(
+        "DrawPropensities: careless_fraction in [0, 1]");
+  }
+  if (config.min_propensity > config.max_propensity) {
+    throw std::invalid_argument(
+        "DrawPropensities: min_propensity > max_propensity");
+  }
+  const auto clamp = [&](double p) {
+    return std::clamp(p, config.min_propensity, config.max_propensity);
+  };
+
+  // Careless patches: a random center plus its whole neighborhood, repeated
+  // until the target head-count is covered. Carelessness clusters socially,
+  // so accepters' neighborhoods really are richer in accepters — the signal
+  // probe-then-flood and retargeting exploit.
+  std::vector<char> careless(n, 0);
+  const auto target = static_cast<graph::NodeId>(
+      std::llround(config.careless_fraction * static_cast<double>(n)));
+  graph::NodeId marked = 0;
+  std::uint64_t attempts = 0;
+  const std::uint64_t max_attempts = 16ULL * (static_cast<std::uint64_t>(n) + 1);
+  while (marked < target && attempts++ < max_attempts) {
+    const auto c = static_cast<graph::NodeId>(rng.NextUInt(n));
+    if (!careless[c]) {
+      careless[c] = 1;
+      ++marked;
+    }
+    for (graph::NodeId nb : legit_graph.Neighbors(c)) {
+      if (marked >= target) break;
+      if (!careless[nb]) {
+        careless[nb] = 1;
+        ++marked;
+      }
+    }
+  }
+
+  std::vector<double> propensity(n, 0.0);
+  const double lo = config.mean - config.spread;
+  const double hi = config.mean + config.spread;
+  for (graph::NodeId u = 0; u < n; ++u) {
+    propensity[u] = careless[u] != 0
+                        ? clamp(config.careless_propensity)
+                        : clamp(rng.NextDouble(lo, hi));
+  }
+  return propensity;
+}
+
+TemporalWorld::TemporalWorld(const graph::SocialGraph& legit_graph,
+                             const TemporalEvalConfig& config)
+    : legit_(&legit_graph),
+      config_(config),
+      num_legit_(legit_graph.NumNodes()),
+      rng_(config.seed) {
+  if (num_legit_ == 0) {
+    throw std::invalid_argument("TemporalWorld: empty legitimate graph");
+  }
+  if (config_.num_fakes == 0) {
+    throw std::invalid_argument("TemporalWorld: num_fakes must be > 0");
+  }
+  if (config_.spamming_fraction < 0.0 || config_.spamming_fraction > 1.0) {
+    throw std::invalid_argument("TemporalWorld: spamming_fraction in [0, 1]");
+  }
+  if (config_.organic_request_fraction < 0.0) {
+    throw std::invalid_argument(
+        "TemporalWorld: organic_request_fraction must be >= 0");
+  }
+
+  const graph::NodeId total = NumNodes();
+  log_ = RequestLog(total);
+  is_fake_.assign(total, 0);
+  for (graph::NodeId v = num_legit_; v < total; ++v) is_fake_[v] = 1;
+
+  propensity_.assign(total, 0.0);
+  {
+    std::vector<double> legit_prop =
+        DrawPropensities(legit_graph, config_.propensity, rng_);
+    std::copy(legit_prop.begin(), legit_prop.end(), propensity_.begin());
+  }
+
+  // --- organic prelude ---
+  OrientOrganicFriendships(log_, legit_graph, rng_);
+
+  // Unsolicited organic requests, answered per receiver propensity — the
+  // heterogeneous analogue of AddLegitimateRejections: u sends
+  // round(deg(u) · fraction) requests to random non-friends.
+  tried_.resize(total);
+  for (graph::NodeId u = 0; u < num_legit_; ++u) {
+    const auto count = static_cast<std::uint64_t>(
+        std::llround(static_cast<double>(legit_graph.Degree(u)) *
+                     config_.organic_request_fraction));
+    for (std::uint64_t i = 0; i < count; ++i) {
+      graph::NodeId v = graph::kInvalidNode;
+      for (int a = 0; a < kVictimAttempts; ++a) {
+        const auto cand = static_cast<graph::NodeId>(rng_.NextUInt(num_legit_));
+        if (cand == u || legit_graph.HasEdge(u, cand) || Tried(u, cand)) {
+          continue;
+        }
+        v = cand;
+        break;
+      }
+      if (v == graph::kInvalidNode) break;
+      const bool rejected = rng_.NextBool(propensity_[v]);
+      log_.Add(u, v, rejected ? Response::kRejected : Response::kAccepted);
+      MarkTried(u, v);
+    }
+  }
+
+  AddFakeArrivals(log_, num_legit_, config_.num_fakes,
+                  config_.intra_fake_links_per_account, rng_);
+
+  // Register every prelude pair (orientation + arrivals went through the
+  // primitives directly) so future emissions never duplicate one.
+  for (const FriendRequest& r : log_.Requests()) {
+    MarkTried(r.sender, r.receiver);
+  }
+
+  auto num_spammers = static_cast<graph::NodeId>(std::llround(
+      config_.spamming_fraction * static_cast<double>(config_.num_fakes)));
+  num_spammers = std::min(num_spammers, config_.num_fakes);
+  spammers_.reserve(num_spammers);
+  for (std::uint64_t i :
+       rng_.SampleWithoutReplacement(config_.num_fakes, num_spammers)) {
+    spammers_.push_back(num_legit_ + static_cast<graph::NodeId>(i));
+  }
+  std::sort(spammers_.begin(), spammers_.end());
+
+  spam_sent_.assign(total, 0);
+  spam_accepted_.assign(total, 0);
+}
+
+detect::Seeds TemporalWorld::SampleSeeds(graph::NodeId num_legit_seeds,
+                                         graph::NodeId num_spammer_seeds,
+                                         util::Rng& rng) {
+  detect::Seeds seeds;
+  if (num_legit_seeds > num_legit_) {
+    throw std::invalid_argument("SampleSeeds: too many legit seeds");
+  }
+  if (num_spammer_seeds > spammers_.size()) {
+    throw std::invalid_argument("SampleSeeds: too many spammer seeds");
+  }
+  for (std::uint64_t u :
+       rng.SampleWithoutReplacement(num_legit_, num_legit_seeds)) {
+    seeds.legit.push_back(static_cast<graph::NodeId>(u));
+  }
+  for (std::uint64_t i :
+       rng.SampleWithoutReplacement(spammers_.size(), num_spammer_seeds)) {
+    seeds.spammer.push_back(spammers_[static_cast<std::size_t>(i)]);
+  }
+  return seeds;
+}
+
+bool TemporalWorld::Tried(graph::NodeId sender, graph::NodeId receiver) const {
+  return sender < tried_.size() &&
+         tried_[sender].find(receiver) != tried_[sender].end();
+}
+
+void TemporalWorld::MarkTried(graph::NodeId sender, graph::NodeId receiver) {
+  tried_[sender].insert(receiver);
+}
+
+bool TemporalWorld::SendSpamRequest(graph::NodeId f, graph::NodeId victim) {
+  if (f < num_legit_ || f >= NumNodes()) {
+    throw std::invalid_argument("SendSpamRequest: sender must be a fake");
+  }
+  if (victim >= num_legit_) {
+    throw std::invalid_argument("SendSpamRequest: victim must be legitimate");
+  }
+  if (Tried(f, victim)) {
+    throw std::logic_error("SendSpamRequest: pair already tried");
+  }
+  const bool rejected = rng_.NextBool(propensity_[victim]);
+  log_.Add(f, victim, rejected ? Response::kRejected : Response::kAccepted);
+  MarkTried(f, victim);
+  ++spam_sent_[f];
+  if (!rejected) ++spam_accepted_[f];
+  return !rejected;
+}
+
+void TemporalWorld::AddCollusionLink(graph::NodeId f, graph::NodeId g) {
+  if (f < num_legit_ || f >= NumNodes() || g < num_legit_ || g >= NumNodes()) {
+    throw std::invalid_argument("AddCollusionLink: both ends must be fakes");
+  }
+  if (f == g || Tried(f, g) || Tried(g, f)) return;
+  log_.Add(f, g, Response::kAccepted);
+  MarkTried(f, g);
+}
+
+std::uint64_t TemporalWorld::SpamRequestsSent(graph::NodeId f) const {
+  return spam_sent_.at(f);
+}
+
+std::uint64_t TemporalWorld::SpamAccepted(graph::NodeId f) const {
+  return spam_accepted_.at(f);
+}
+
+AdaptiveAdversary::AdaptiveAdversary(TemporalWorld& world)
+    : world_(world),
+      state_(world.Spammers().size()),
+      is_known_accepter_(world.NumLegit(), 0) {}
+
+graph::NodeId AdaptiveAdversary::RandomUntriedVictim(graph::NodeId f) {
+  for (int a = 0; a < kVictimAttempts; ++a) {
+    const auto v =
+        static_cast<graph::NodeId>(world_.Rng().NextUInt(world_.NumLegit()));
+    if (!world_.Tried(f, v)) return v;
+  }
+  return graph::kInvalidNode;
+}
+
+bool AdaptiveAdversary::SendAndObserve(graph::NodeId f, graph::NodeId victim,
+                                       SpammerState& state) {
+  const bool accepted = world_.SendSpamRequest(f, victim);
+  if (accepted) {
+    if (!is_known_accepter_[victim]) {
+      is_known_accepter_[victim] = 1;
+      known_accepters_.push_back(victim);
+    }
+    if (world_.Config().adversary == AdversaryKind::kRejectionRetarget) {
+      const auto& legit = world_.LegitGraph();
+      for (graph::NodeId nb : legit.Neighbors(victim)) {
+        state.frontier.push_back(nb);
+      }
+    }
+  } else {
+    ++state.recent_rejections;
+  }
+  return accepted;
+}
+
+std::uint64_t AdaptiveAdversary::EmitStatic(const std::vector<char>& flagged) {
+  std::uint64_t sent = 0;
+  const std::uint32_t budget =
+      world_.Config().requests_per_spammer_per_interval;
+  const auto& spammers = world_.Spammers();
+  for (std::size_t i = 0; i < spammers.size(); ++i) {
+    const graph::NodeId f = spammers[i];
+    if (Flagged(flagged, f)) continue;
+    for (std::uint32_t b = 0; b < budget; ++b) {
+      const graph::NodeId v = RandomUntriedVictim(f);
+      if (v == graph::kInvalidNode) break;
+      SendAndObserve(f, v, state_[i]);
+      ++sent;
+    }
+  }
+  return sent;
+}
+
+std::uint64_t AdaptiveAdversary::EmitProbeThenFlood(
+    int interval, const std::vector<char>& flagged) {
+  const TemporalEvalConfig& cfg = world_.Config();
+  const auto& spammers = world_.Spammers();
+  std::uint64_t sent = 0;
+
+  if (interval < cfg.probe_intervals) {
+    // Probe phase: a trickle of random requests, pooling every accepter the
+    // collusion discovers.
+    for (std::size_t i = 0; i < spammers.size(); ++i) {
+      const graph::NodeId f = spammers[i];
+      if (Flagged(flagged, f)) continue;
+      for (std::uint32_t b = 0; b < cfg.probe_requests_per_interval; ++b) {
+        const graph::NodeId v = RandomUntriedVictim(f);
+        if (v == graph::kInvalidNode) break;
+        SendAndObserve(f, v, state_[i]);
+        ++sent;
+      }
+    }
+    return sent;
+  }
+
+  // Flood phase: the full budget, aimed at known accepters and their graph
+  // neighborhoods (the careless patches), falling back to random victims
+  // only when the pool is exhausted for a sender.
+  std::vector<graph::NodeId> pool;
+  {
+    std::vector<char> in_pool(world_.NumLegit(), 0);
+    const auto& legit = world_.LegitGraph();
+    for (graph::NodeId a : known_accepters_) {
+      if (!in_pool[a]) {
+        in_pool[a] = 1;
+        pool.push_back(a);
+      }
+      for (graph::NodeId nb : legit.Neighbors(a)) {
+        if (!in_pool[nb]) {
+          in_pool[nb] = 1;
+          pool.push_back(nb);
+        }
+      }
+    }
+  }
+
+  const std::uint32_t budget = cfg.requests_per_spammer_per_interval;
+  for (std::size_t i = 0; i < spammers.size(); ++i) {
+    const graph::NodeId f = spammers[i];
+    if (Flagged(flagged, f)) continue;
+    for (std::uint32_t b = 0; b < budget; ++b) {
+      graph::NodeId v = graph::kInvalidNode;
+      if (!pool.empty()) {
+        for (int a = 0; a < kPoolAttempts; ++a) {
+          const graph::NodeId cand =
+              pool[world_.Rng().NextUInt(pool.size())];
+          if (!world_.Tried(f, cand)) {
+            v = cand;
+            break;
+          }
+        }
+      }
+      if (v == graph::kInvalidNode) v = RandomUntriedVictim(f);
+      if (v == graph::kInvalidNode) break;
+      SendAndObserve(f, v, state_[i]);
+      ++sent;
+    }
+  }
+  return sent;
+}
+
+std::uint64_t AdaptiveAdversary::EmitRetarget(
+    const std::vector<char>& flagged) {
+  const std::uint32_t budget =
+      world_.Config().requests_per_spammer_per_interval;
+  const auto& spammers = world_.Spammers();
+  std::uint64_t sent = 0;
+  for (std::size_t i = 0; i < spammers.size(); ++i) {
+    const graph::NodeId f = spammers[i];
+    if (Flagged(flagged, f)) continue;
+    SpammerState& st = state_[i];
+    for (std::uint32_t b = 0; b < budget; ++b) {
+      // Prefer the frontier (neighbors of victims that accepted); rejecting
+      // victims were never expanded, so their neighborhoods are abandoned.
+      graph::NodeId v = graph::kInvalidNode;
+      while (st.frontier_pos < st.frontier.size()) {
+        const graph::NodeId cand = st.frontier[st.frontier_pos++];
+        if (!world_.Tried(f, cand)) {
+          v = cand;
+          break;
+        }
+      }
+      if (v == graph::kInvalidNode) v = RandomUntriedVictim(f);
+      if (v == graph::kInvalidNode) break;
+      SendAndObserve(f, v, st);
+      ++sent;
+    }
+  }
+  return sent;
+}
+
+std::uint64_t AdaptiveAdversary::EmitSlowDrip(
+    const std::vector<char>& flagged) {
+  const TemporalEvalConfig& cfg = world_.Config();
+  const auto& spammers = world_.Spammers();
+  const graph::NodeId num_fakes = world_.NumFakes();
+  const graph::NodeId first_fake = world_.NumLegit();
+  std::uint64_t sent = 0;
+  for (std::size_t i = 0; i < spammers.size(); ++i) {
+    const graph::NodeId f = spammers[i];
+    if (Flagged(flagged, f)) continue;
+    SpammerState& st = state_[i];
+
+    // Collusion drip runs even through a cool-down: intra-fake links are
+    // "safe" and keep the region embedded while evidence accrues slowly.
+    for (std::uint32_t j = 0; j < cfg.drip_collusion_links_per_interval; ++j) {
+      for (int a = 0; a < kPoolAttempts; ++a) {
+        const graph::NodeId g =
+            first_fake +
+            static_cast<graph::NodeId>(world_.Rng().NextUInt(num_fakes));
+        if (g == f || Flagged(flagged, g)) continue;
+        world_.AddCollusionLink(f, g);
+        break;
+      }
+    }
+
+    // Any rejection last interval → sit this one out entirely.
+    if (st.recent_rejections > 0) {
+      st.recent_rejections = 0;
+      continue;
+    }
+    for (std::uint32_t b = 0; b < cfg.drip_max_requests_per_interval; ++b) {
+      const graph::NodeId v = RandomUntriedVictim(f);
+      if (v == graph::kInvalidNode) break;
+      SendAndObserve(f, v, st);
+      ++sent;
+    }
+  }
+  return sent;
+}
+
+std::uint64_t AdaptiveAdversary::EmitInterval(int interval,
+                                              const std::vector<char>& flagged) {
+  switch (world_.Config().adversary) {
+    case AdversaryKind::kStaticCampaign:
+      return EmitStatic(flagged);
+    case AdversaryKind::kProbeThenFlood:
+      return EmitProbeThenFlood(interval, flagged);
+    case AdversaryKind::kRejectionRetarget:
+      return EmitRetarget(flagged);
+    case AdversaryKind::kSlowDripCollusion:
+      return EmitSlowDrip(flagged);
+  }
+  throw std::invalid_argument("EmitInterval: unknown AdversaryKind");
+}
+
+}  // namespace rejecto::sim

@@ -28,6 +28,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <span>
+#include <stdexcept>
 #include <vector>
 
 #include "graph/augmented_graph.h"
@@ -89,6 +90,34 @@ class DeltaGraph {
   // Pending overlay entries (added + removed, counting both mirror sides).
   std::size_t OverlaySize() const noexcept { return overlay_size_; }
 
+  // O(deg) effective-row visitors: each visits u's current neighbors (base
+  // row minus removed overlay plus added overlay) in ascending id order,
+  // exactly once per neighbor. This is the seam the sub-epoch incremental
+  // score (detect/incremental.h) walks between epochs — a brand-new
+  // sender's whole history may still live in the overlay, and forcing a
+  // compaction per scored request would defeat the point of scoring
+  // without an epoch.
+  template <typename Fn>
+  void ForEachFriend(graph::NodeId u, Fn&& fn) const {
+    VisitRow(u, base_.Friendships().NumNodes(),
+             [&] { return base_.Friendships().Neighbors(u); }, removed_fr_,
+             added_fr_, fn);
+  }
+  // Users that rejected u's requests (arcs onto u).
+  template <typename Fn>
+  void ForEachRejector(graph::NodeId u, Fn&& fn) const {
+    VisitRow(u, base_.Rejections().NumNodes(),
+             [&] { return base_.Rejections().Rejectors(u); }, removed_in_,
+             added_in_, fn);
+  }
+  // Users whose requests u rejected (arcs cast by u).
+  template <typename Fn>
+  void ForEachRejectee(graph::NodeId u, Fn&& fn) const {
+    VisitRow(u, base_.Rejections().NumNodes(),
+             [&] { return base_.Rejections().Rejectees(u); }, removed_out_,
+             added_out_, fn);
+  }
+
   // Folds the overlay into a fresh CSR base. Afterwards Graph() reflects
   // every absorbed event and the overlay is empty.
   void Compact();
@@ -101,6 +130,35 @@ class DeltaGraph {
   const DeltaStats& Stats() const noexcept { return stats_; }
 
  private:
+  // Shared merge walk behind the ForEach* visitors: (base row \ removed) ∪
+  // added, honoring the overlay invariants (removed ⊆ base row, added
+  // disjoint from it, all sorted). BaseRow is deferred because nodes added
+  // after the last compaction have no base row at all.
+  template <typename BaseRow, typename Fn>
+  void VisitRow(graph::NodeId u, graph::NodeId base_nodes, BaseRow&& base_row,
+                const std::vector<std::vector<graph::NodeId>>& removed,
+                const std::vector<std::vector<graph::NodeId>>& added,
+                Fn&& fn) const {
+    if (u >= num_nodes_) {
+      throw std::out_of_range("DeltaGraph: node id out of range");
+    }
+    const std::span<const graph::NodeId> base =
+        u < base_nodes ? base_row() : std::span<const graph::NodeId>{};
+    const auto& rem = removed[u];
+    const auto& add = added[u];
+    std::size_t r = 0;
+    std::size_t a = 0;
+    for (graph::NodeId v : base) {
+      if (r < rem.size() && rem[r] == v) {
+        ++r;
+        continue;
+      }
+      while (a < add.size() && add[a] < v) fn(add[a++]);
+      fn(v);
+    }
+    while (a < add.size()) fn(add[a++]);
+  }
+
   void EnsureNode(graph::NodeId u);
   bool BaseHasFriendship(graph::NodeId u, graph::NodeId v) const;
   bool BaseHasArc(graph::NodeId from, graph::NodeId to) const;

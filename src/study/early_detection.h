@@ -1,0 +1,132 @@
+// Temporal early-detection harness: time-to-detection and
+// harm-before-detection over an unfolding attack.
+//
+// The batch experiments answer "does Rejecto find the fakes at the end?";
+// the deployment question (paper §V, §VII) is how EARLY: how many requests
+// does a spammer get to send — and how many victims accept — before the
+// detector flags it? This harness replays a sim::TemporalWorld's request
+// log through an engine::EpochDetector in arrival order, one adversary
+// interval per epoch, and measures exactly that:
+//
+//   * epoch curve      — precision/recall of the full detection after every
+//                        interval (the classic quality-vs-time plot);
+//   * checkpoint recall— every spammer is scored the moment its 5th / 10th
+//                        / 20th / 50th spam request is sent (configurable),
+//                        using the O(deg) sub-epoch incremental score
+//                        (detect/incremental.h) against the previous
+//                        epoch's cut. This is the serving-tier answer: "we
+//                        need not wait for the next epoch to act";
+//   * time-to-detection— per spammer, the number of spam requests sent
+//                        before it was first flagged (epoch or incremental
+//                        tier; -1 when never flagged);
+//   * harm-before-detection — per spammer, the spam edges (accepted
+//                        requests) it landed before first being flagged;
+//                        never-flagged spammers count their full harm.
+//
+// Flagging feeds back: after each epoch the newly detected accounts join a
+// sticky flagged mask handed to the adversary, which suspends them (see
+// sim/temporal_eval.h) — adaptive adversaries therefore shape BOTH what the
+// detector sees and how long their accounts survive.
+//
+// Determinism: the whole run is a pure function of the world's seed, the
+// seeds, and the config. With warm_start off, every epoch is EXACTLY a
+// batch DetectFriendSpammers on the log replayed so far — the differential
+// test pins the final epoch bit-identical to a one-shot batch detection on
+// the full log at any thread count.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "detect/iterative.h"
+#include "detect/seeds.h"
+#include "sim/temporal_eval.h"
+
+namespace rejecto::study {
+
+struct EarlyDetectionConfig {
+  // Per-epoch detection pipeline (threads via detect.maar.num_threads).
+  detect::IterativeConfig detect;
+
+  // Warm-start epochs from the previous cut (engine::EpochConfig). Off by
+  // default so the final epoch stays bit-identical to batch detection.
+  bool warm_start = false;
+
+  // Spam-request counts at which a sender is scored sub-epoch. Must be
+  // strictly increasing.
+  std::vector<std::uint32_t> checkpoints = {5, 10, 20, 50};
+
+  // Score checkpoints with the O(deg) incremental gain once a baseline
+  // epoch exists. Off = checkpoints only observe the epoch flags (which lag
+  // by construction — suspended spammers stop sending).
+  bool incremental_checkpoints = true;
+
+  // Run one epoch on the organic prelude before the attack starts, so the
+  // incremental tier has a baseline cut from the very first interval (the
+  // OSN was running detection before the attack, not booting with it). The
+  // prelude epoch is not an EpochPoint — the curve covers attack intervals.
+  bool prelude_epoch = true;
+};
+
+// One sub-epoch scoring checkpoint, aggregated over all spammers that
+// reached it while still active (flagged spammers are suspended and stop
+// sending, so they age out of later checkpoints).
+struct CheckpointStats {
+  std::uint32_t requests = 0;  // the checkpoint (requests sent so far)
+  std::uint64_t scored = 0;    // spammers scored at this checkpoint
+  std::uint64_t flagged = 0;   // ... of which were flagged at that moment
+
+  double Recall() const noexcept {
+    return scored == 0
+               ? 0.0
+               : static_cast<double>(flagged) / static_cast<double>(scored);
+  }
+};
+
+// Detection quality after one adversary interval's epoch.
+struct EpochPoint {
+  int interval = 0;
+  std::uint64_t requests_replayed = 0;  // log prefix length at this epoch
+  std::size_t num_detected = 0;
+  double precision = 0.0;
+  double recall = 0.0;
+  double detect_seconds = 0.0;
+};
+
+struct EarlyDetectionResult {
+  std::vector<EpochPoint> curve;
+  std::vector<CheckpointStats> checkpoints;
+
+  // Indexed by node id. time_to_detection[v]: spam requests v had sent when
+  // first flagged (-1 = never flagged; 0 = flagged by the prelude epoch,
+  // before sending anything). harm_before_detection[v]: accepted spam
+  // requests at that moment (full harm for never-flagged senders). Only
+  // spam-sending fakes carry meaningful values.
+  std::vector<std::int64_t> time_to_detection;
+  std::vector<std::uint64_t> harm_before_detection;
+
+  std::uint64_t total_spam_requests = 0;
+  std::uint64_t total_spam_accepted = 0;
+  std::uint64_t incremental_flags = 0;  // first-flags from the sub-epoch tier
+
+  // Aggregates over the world's spammers.
+  std::uint64_t spammers_total = 0;
+  std::uint64_t spammers_detected = 0;  // flagged at least once
+  double mean_time_to_detection = 0.0;  // over detected spammers (0 if none)
+  double mean_harm_before_detection = 0.0;  // over ALL spammers
+
+  // The last epoch's full detection output (for differential pinning
+  // against a one-shot batch run on the complete log).
+  detect::DetectionResult final_detection;
+};
+
+// Drives `adversary` for world.Config().num_intervals intervals, running
+// one detection epoch after each, and returns the collected metrics. The
+// world must be freshly built (its log grows; the harness replays it
+// incrementally) and the adversary constructed over the same world.
+EarlyDetectionResult RunEarlyDetection(sim::TemporalWorld& world,
+                                       sim::AdaptiveAdversary& adversary,
+                                       const detect::Seeds& seeds,
+                                       const EarlyDetectionConfig& config);
+
+}  // namespace rejecto::study

@@ -1,0 +1,173 @@
+// study/early_detection.h differential + consistency suite.
+//
+// The differential pin (the PR's acceptance bar): with warm_start off, the
+// harness's FINAL epoch is an ordinary cold detection on the fully-replayed
+// log, so its output must be BIT-IDENTICAL to a one-shot batch
+// DetectFriendSpammers on the same log — at 1, 2, and 8 MAAR threads. The
+// temporal world is itself thread-invariant (the flagged feedback comes
+// from thread-invariant epochs), so all three runs see the same log.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "detect/iterative.h"
+#include "gen/erdos_renyi.h"
+#include "sim/temporal_eval.h"
+#include "study/early_detection.h"
+#include "util/rng.h"
+
+namespace rejecto {
+namespace {
+
+constexpr int kThreadWidths[] = {1, 2, 8};
+
+struct HarnessRun {
+  study::EarlyDetectionResult res;
+  sim::RequestLog log{0};
+  std::vector<graph::NodeId> spammers;
+  std::vector<std::uint64_t> spam_accepted;
+  graph::NodeId num_nodes = 0;
+  detect::Seeds seeds;
+  detect::IterativeConfig detect;
+};
+
+HarnessRun RunSmallHarness(sim::AdversaryKind kind, int threads,
+                           std::uint64_t seed = 7) {
+  // Large enough that the prelude epoch does not already isolate the fake
+  // cluster — the attack must actually unfold across the intervals.
+  util::Rng graph_rng(seed + 100);
+  const auto legit =
+      gen::ErdosRenyi({.num_nodes = 400, .num_edges = 1600}, graph_rng);
+  sim::TemporalEvalConfig cfg;
+  cfg.seed = seed;
+  cfg.num_fakes = 60;
+  cfg.num_intervals = 3;
+  cfg.requests_per_spammer_per_interval = 5;
+  cfg.adversary = kind;
+
+  sim::TemporalWorld world(legit, cfg);
+  sim::AdaptiveAdversary adversary(world);
+  util::Rng seed_rng(seed ^ 0x5eedULL);
+  const auto seeds = world.SampleSeeds(12, 6, seed_rng);
+
+  study::EarlyDetectionConfig ecfg;
+  ecfg.detect.target_detections = world.NumFakes();
+  ecfg.detect.maar.seed = 23;
+  ecfg.detect.maar.num_threads = threads;
+
+  HarnessRun run;
+  run.res = study::RunEarlyDetection(world, adversary, seeds, ecfg);
+  run.log = world.Log();
+  run.spammers = world.Spammers();
+  for (graph::NodeId f : world.Spammers()) {
+    run.spam_accepted.push_back(world.SpamAccepted(f));
+  }
+  run.num_nodes = world.NumNodes();
+  run.seeds = seeds;
+  run.detect = ecfg.detect;
+  return run;
+}
+
+TEST(EarlyDetectionTest, FinalEpochBitIdenticalToBatchAtEveryWidth) {
+  for (sim::AdversaryKind kind : {sim::AdversaryKind::kStaticCampaign,
+                                  sim::AdversaryKind::kRejectionRetarget}) {
+    const HarnessRun base = RunSmallHarness(kind, 1);
+    for (int threads : kThreadWidths) {
+      const HarnessRun run = RunSmallHarness(kind, threads);
+
+      // Thread-invariant epochs => thread-invariant feedback => same log.
+      ASSERT_EQ(run.log.NumRequests(), base.log.NumRequests());
+      for (std::size_t i = 0; i < run.log.NumRequests(); ++i) {
+        ASSERT_TRUE(run.log.Requests()[i] == base.log.Requests()[i]);
+      }
+
+      // The pin: final epoch == one-shot batch on the full log.
+      const graph::AugmentedGraph g = run.log.BuildAugmentedGraph();
+      const auto batch =
+          detect::DetectFriendSpammers(g, run.seeds, run.detect);
+      EXPECT_EQ(run.res.final_detection.detected, batch.detected)
+          << sim::AdversaryName(kind) << " threads=" << threads;
+      ASSERT_EQ(run.res.final_detection.rounds.size(), batch.rounds.size());
+      for (std::size_t r = 0; r < batch.rounds.size(); ++r) {
+        EXPECT_EQ(run.res.final_detection.rounds[r].detected,
+                  batch.rounds[r].detected);
+        EXPECT_EQ(run.res.final_detection.rounds[r].k, batch.rounds[r].k);
+        EXPECT_EQ(run.res.final_detection.rounds[r].ratio,
+                  batch.rounds[r].ratio);
+      }
+    }
+  }
+}
+
+TEST(EarlyDetectionTest, MetricsAreInternallyConsistent) {
+  const HarnessRun run =
+      RunSmallHarness(sim::AdversaryKind::kStaticCampaign, 1);
+  const auto& res = run.res;
+
+  ASSERT_EQ(res.curve.size(), 3u);  // one EpochPoint per attack interval
+  for (std::size_t i = 1; i < res.curve.size(); ++i) {
+    EXPECT_GE(res.curve[i].requests_replayed,
+              res.curve[i - 1].requests_replayed);
+  }
+
+  EXPECT_EQ(res.spammers_total, run.spammers.size());
+  EXPECT_LE(res.spammers_detected, res.spammers_total);
+  EXPECT_LE(res.incremental_flags, res.spammers_total);
+  EXPECT_LE(res.total_spam_accepted, res.total_spam_requests);
+
+  ASSERT_EQ(res.time_to_detection.size(), run.num_nodes);
+  ASSERT_EQ(res.harm_before_detection.size(), run.num_nodes);
+  for (std::size_t i = 0; i < run.spammers.size(); ++i) {
+    const graph::NodeId f = run.spammers[i];
+    const std::int64_t ttd = res.time_to_detection[f];
+    EXPECT_GE(ttd, -1);
+    // Harm is accepted-at-flag-time, so never more than total accepted; a
+    // never-flagged spammer carries its full harm.
+    EXPECT_LE(res.harm_before_detection[f], run.spam_accepted[i]);
+    if (ttd < 0) {
+      EXPECT_EQ(res.harm_before_detection[f], run.spam_accepted[i]);
+    }
+  }
+
+  // Checkpoint stats only ever score active (unsuspended) spammers.
+  for (const auto& cp : res.checkpoints) {
+    EXPECT_LE(cp.flagged, cp.scored);
+    EXPECT_LE(cp.scored, res.spammers_total);
+  }
+}
+
+TEST(EarlyDetectionTest, DetectsSpammersAndRecordsHarm) {
+  const HarnessRun run =
+      RunSmallHarness(sim::AdversaryKind::kStaticCampaign, 1);
+  // A full-volume static campaign against a 300-user graph is the paper's
+  // easy case: the detector must catch most of the region.
+  EXPECT_GE(run.res.spammers_detected, run.res.spammers_total / 2);
+  EXPECT_GT(run.res.total_spam_requests, 0u);
+  EXPECT_GT(run.res.curve.back().recall, 0.5);
+}
+
+TEST(EarlyDetectionTest, RejectsBadCheckpointConfigs) {
+  util::Rng graph_rng(1);
+  const auto legit =
+      gen::ErdosRenyi({.num_nodes = 120, .num_edges = 480}, graph_rng);
+  sim::TemporalEvalConfig cfg;
+  cfg.num_fakes = 10;
+  cfg.num_intervals = 1;
+  sim::TemporalWorld world(legit, cfg);
+  sim::AdaptiveAdversary adversary(world);
+  util::Rng seed_rng(2);
+  const auto seeds = world.SampleSeeds(5, 3, seed_rng);
+
+  study::EarlyDetectionConfig ecfg;
+  ecfg.detect.target_detections = world.NumFakes();
+  ecfg.checkpoints = {5, 5, 10};
+  EXPECT_THROW(study::RunEarlyDetection(world, adversary, seeds, ecfg),
+               std::invalid_argument);
+  ecfg.checkpoints = {0, 5};
+  EXPECT_THROW(study::RunEarlyDetection(world, adversary, seeds, ecfg),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rejecto

@@ -88,6 +88,89 @@ TEST(RequestLogIoTest, LoadMissingFileThrows) {
   EXPECT_THROW(RequestLog::Load("/nonexistent/log.txt"), std::runtime_error);
 }
 
+// Writes `content` to a temp file, expects Load to throw, and checks the
+// error names the offending line (the PR-4 file:line hardening idiom).
+void ExpectLoadError(const std::string& content,
+                     const std::string& needle) {
+  const auto path = std::filesystem::temp_directory_path() /
+                    ("rejecto_reqlog_err_" + std::to_string(::getpid()) +
+                     ".txt");
+  {
+    std::ofstream out(path);
+    out << content;
+  }
+  try {
+    RequestLog::Load(path.string());
+    std::filesystem::remove(path);
+    FAIL() << "Load accepted corrupt input: " << content;
+  } catch (const std::runtime_error& e) {
+    std::filesystem::remove(path);
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+        << "error was: " << e.what();
+  }
+}
+
+TEST(RequestLogIoTest, LoadRejectsDuplicatePair) {
+  ExpectLoadError("0 1 A\n2 3 R\n0 1 R\n", "line 3: duplicate request 0 -> 1");
+  // Same pair, same response: still corruption (it would silently collapse
+  // in the derived graph).
+  ExpectLoadError("0 1 A\n0 1 A\n", "line 2: duplicate request");
+  // The reverse pair is a DIFFERENT request and stays legal.
+  const auto path = std::filesystem::temp_directory_path() /
+                    ("rejecto_reqlog_rev_" + std::to_string(::getpid()) +
+                     ".txt");
+  {
+    std::ofstream out(path);
+    out << "0 1 A\n1 0 R\n";
+  }
+  const RequestLog loaded = RequestLog::Load(path.string());
+  std::filesystem::remove(path);
+  EXPECT_EQ(loaded.NumRequests(), 2u);
+}
+
+TEST(RequestLogIoTest, LoadRejectsBadIds) {
+  ExpectLoadError("-1 2 A\n", "line 1");
+  ExpectLoadError("1 2x A\n", "line 1");
+}
+
+TEST(RequestLogIoTest, LoadRejectsSelfRequest) {
+  ExpectLoadError("0 1 A\n3 3 A\n", "line 2: self-request");
+}
+
+TEST(RequestLogIoTest, LoadRejectsBadTimestamps) {
+  // One past INT64_MAX.
+  ExpectLoadError("0 1 A 9223372036854775808\n", "line 1: timestamp");
+  ExpectLoadError("0 1 A -5\n", "line 1: timestamp");
+  ExpectLoadError("0 1 A 12junk\n", "line 1: timestamp");
+}
+
+TEST(RequestLogIoTest, LoadRejectsTrailingTokens) {
+  ExpectLoadError("0 1 A 5 extra\n", "line 1: trailing tokens");
+}
+
+TEST(RequestLogIoTest, TimestampsSurviveRoundTrip) {
+  RequestLog log(4);
+  log.Add(0, 1, Response::kAccepted, 100);
+  log.Add(2, 1, Response::kRejected, 250);
+  log.Add(3, 0, Response::kAccepted);  // defaulted timestamp stays 0
+  const auto path = std::filesystem::temp_directory_path() /
+                    ("rejecto_reqlog_ts_" + std::to_string(::getpid()) +
+                     ".txt");
+  log.Save(path.string());
+  const RequestLog loaded = RequestLog::Load(path.string());
+  std::filesystem::remove(path);
+  ASSERT_EQ(loaded.NumRequests(), 3u);
+  EXPECT_TRUE(std::equal(log.Requests().begin(), log.Requests().end(),
+                         loaded.Requests().begin()));
+  EXPECT_EQ(loaded.Requests()[1].timestamp, 250);
+}
+
+TEST(RequestLogTest, NegativeTimestampThrows) {
+  RequestLog log(2);
+  EXPECT_THROW(log.Add(0, 1, Response::kAccepted, -1),
+               std::invalid_argument);
+}
+
 // ---------- workload primitives ----------
 
 graph::SocialGraph SmallLegitGraph(util::Rng& rng, graph::NodeId n = 200,

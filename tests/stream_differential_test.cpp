@@ -206,5 +206,77 @@ TEST_P(EpochDifferentialTest, WarmEpochsThreadInvariant) {
 INSTANTIATE_TEST_SUITE_P(Workloads, EpochDifferentialTest,
                          ::testing::Range<std::uint64_t>(0, 3));
 
+// ---------- GenerateChurnLog property suite ----------
+
+// 200 seeds, each replayed at 1/2/8 threads with mid-stream compactions.
+// Two oracles:
+//   * duplicates + local swaps only — semantics-preserving churn (event
+//     application is idempotent and, with no removals in the stream,
+//     order-independent), so the compacted graph must equal the ORIGINAL
+//     request log's batch graph;
+//   * full churn (flips + removals) — order matters, so the oracle is the
+//     churned stream's own MutationLog::BuildAugmentedGraph().
+
+sim::RequestLog SmallAttackLog(std::uint64_t seed) {
+  util::Rng rng(seed + 271);
+  const auto legit =
+      gen::ErdosRenyi({.num_nodes = 120, .num_edges = 480}, rng);
+  sim::ScenarioConfig cfg;
+  cfg.seed = seed * 7 + 1;
+  cfg.num_fakes = 30;
+  return sim::BuildScenario(legit, cfg).log;
+}
+
+graph::AugmentedGraph ReplayCompact(const MutationLog& log, int threads,
+                                    util::Rng& rng) {
+  DeltaConfig cfg;
+  cfg.compact_fraction = rng.NextBool(0.5) ? 0.3 : 0.0;
+  cfg.min_compact_overlay = 16;
+  DeltaGraph d(log.NumNodes(), cfg);
+  d.SetPool(PoolFor(threads));
+  const auto events = log.Events();
+  const std::size_t cut = rng.NextUInt(log.NumEvents() + 1);
+  d.ApplyAll(events.subspan(0, cut));
+  d.Compact();
+  d.ApplyAll(events.subspan(cut));
+  d.Compact();
+  return d.Graph();
+}
+
+class ChurnPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ChurnPropertyTest, SemanticsPreservingChurnEqualsRequestLogBatch) {
+  const sim::RequestLog log = SmallAttackLog(GetParam());
+  const graph::AugmentedGraph batch = log.BuildAugmentedGraph();
+  sim::ChurnConfig churn;
+  churn.duplicate_fraction = 0.2;
+  churn.swap_fraction = 0.2;
+  churn.flip_fraction = 0.0;  // flips add edges the request log never had
+  churn.num_removals = 0;     // removals make the stream order-dependent
+  churn.seed = GetParam() + 17;
+  const MutationLog churned = sim::GenerateChurnLog(log, churn);
+  util::Rng rng(GetParam() * 65537 + 3);
+  for (int threads : kThreadWidths) {
+    EXPECT_EQ(ReplayCompact(churned, threads, rng), batch)
+        << "threads=" << threads;
+  }
+}
+
+TEST_P(ChurnPropertyTest, FullChurnEqualsItsOwnBatchOracle) {
+  const sim::RequestLog log = SmallAttackLog(GetParam());
+  sim::ChurnConfig churn;
+  churn.seed = GetParam() + 29;
+  const MutationLog churned = sim::GenerateChurnLog(log, churn);
+  const graph::AugmentedGraph oracle = churned.BuildAugmentedGraph();
+  util::Rng rng(GetParam() * 40503 + 9);
+  for (int threads : kThreadWidths) {
+    EXPECT_EQ(ReplayCompact(churned, threads, rng), oracle)
+        << "threads=" << threads;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ChurnSeeds, ChurnPropertyTest,
+                         ::testing::Range<std::uint64_t>(0, 200));
+
 }  // namespace
 }  // namespace rejecto

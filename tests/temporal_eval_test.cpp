@@ -1,0 +1,265 @@
+// sim/temporal_eval.h: temporal worlds, heterogeneous rejection
+// propensities, and the adaptive-adversary contracts (determinism, the
+// one-request-per-ordered-pair invariant, budget caps, and suspension of
+// flagged spammers).
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <unordered_set>
+#include <vector>
+
+#include "gen/erdos_renyi.h"
+#include "sim/temporal_eval.h"
+#include "util/rng.h"
+
+namespace rejecto {
+namespace {
+
+graph::SocialGraph SmallLegit(std::uint64_t seed) {
+  util::Rng rng(seed);
+  return gen::ErdosRenyi({.num_nodes = 300, .num_edges = 1200}, rng);
+}
+
+sim::TemporalEvalConfig SmallConfig(sim::AdversaryKind kind) {
+  sim::TemporalEvalConfig cfg;
+  cfg.seed = 7;
+  cfg.num_fakes = 40;
+  cfg.num_intervals = 4;
+  cfg.requests_per_spammer_per_interval = 5;
+  cfg.adversary = kind;
+  return cfg;
+}
+
+std::uint64_t PairKey(graph::NodeId s, graph::NodeId r) {
+  return (static_cast<std::uint64_t>(s) << 32) | r;
+}
+
+// Drives a world through all its intervals with no detection feedback.
+void RunAllIntervals(sim::TemporalWorld& world,
+                     sim::AdaptiveAdversary& adversary) {
+  const std::vector<char> no_flags;
+  for (int i = 0; i < world.Config().num_intervals; ++i) {
+    adversary.EmitInterval(i, no_flags);
+  }
+}
+
+TEST(TemporalEvalTest, AdversaryNamesAreStable) {
+  EXPECT_EQ(sim::AdversaryName(sim::AdversaryKind::kStaticCampaign),
+            "static_campaign");
+  EXPECT_EQ(sim::AdversaryName(sim::AdversaryKind::kProbeThenFlood),
+            "probe_then_flood");
+  EXPECT_EQ(sim::AdversaryName(sim::AdversaryKind::kRejectionRetarget),
+            "rejection_retarget");
+  EXPECT_EQ(sim::AdversaryName(sim::AdversaryKind::kSlowDripCollusion),
+            "slow_drip_collusion");
+}
+
+TEST(TemporalEvalTest, ConstructorValidatesConfig) {
+  const auto legit = SmallLegit(1);
+  auto cfg = SmallConfig(sim::AdversaryKind::kStaticCampaign);
+  cfg.num_fakes = 0;
+  EXPECT_THROW(sim::TemporalWorld(legit, cfg), std::invalid_argument);
+  cfg = SmallConfig(sim::AdversaryKind::kStaticCampaign);
+  cfg.spamming_fraction = 1.5;
+  EXPECT_THROW(sim::TemporalWorld(legit, cfg), std::invalid_argument);
+  cfg = SmallConfig(sim::AdversaryKind::kStaticCampaign);
+  cfg.organic_request_fraction = -0.1;
+  EXPECT_THROW(sim::TemporalWorld(legit, cfg), std::invalid_argument);
+  const graph::SocialGraph empty;
+  EXPECT_THROW(
+      sim::TemporalWorld(empty, SmallConfig(sim::AdversaryKind::kStaticCampaign)),
+      std::invalid_argument);
+}
+
+TEST(TemporalEvalTest, SameSeedSameRun) {
+  const auto legit = SmallLegit(2);
+  for (sim::AdversaryKind kind :
+       {sim::AdversaryKind::kStaticCampaign, sim::AdversaryKind::kProbeThenFlood,
+        sim::AdversaryKind::kRejectionRetarget,
+        sim::AdversaryKind::kSlowDripCollusion}) {
+    const auto cfg = SmallConfig(kind);
+    sim::TemporalWorld a(legit, cfg);
+    sim::TemporalWorld b(legit, cfg);
+    sim::AdaptiveAdversary aa(a);
+    sim::AdaptiveAdversary ab(b);
+    RunAllIntervals(a, aa);
+    RunAllIntervals(b, ab);
+    ASSERT_EQ(a.Log().NumRequests(), b.Log().NumRequests())
+        << sim::AdversaryName(kind);
+    for (std::size_t i = 0; i < a.Log().NumRequests(); ++i) {
+      ASSERT_TRUE(a.Log().Requests()[i] == b.Log().Requests()[i])
+          << sim::AdversaryName(kind) << " request " << i;
+    }
+  }
+}
+
+// Each ordered pair carries at most one request over the WHOLE run —
+// prelude, organic history, spam, and collusion links alike. This is the
+// invariant RequestLog::Load now enforces on disk.
+TEST(TemporalEvalTest, LogNeverRepeatsAnOrderedPair) {
+  const auto legit = SmallLegit(3);
+  for (sim::AdversaryKind kind :
+       {sim::AdversaryKind::kStaticCampaign,
+        sim::AdversaryKind::kRejectionRetarget,
+        sim::AdversaryKind::kSlowDripCollusion}) {
+    sim::TemporalWorld world(legit, SmallConfig(kind));
+    sim::AdaptiveAdversary adversary(world);
+    RunAllIntervals(world, adversary);
+    std::unordered_set<std::uint64_t> seen;
+    for (const sim::FriendRequest& r : world.Log().Requests()) {
+      EXPECT_NE(r.sender, r.receiver);
+      EXPECT_TRUE(seen.insert(PairKey(r.sender, r.receiver)).second)
+          << sim::AdversaryName(kind) << ": duplicate " << r.sender << "->"
+          << r.receiver;
+    }
+  }
+}
+
+TEST(TemporalEvalTest, PropensitiesRespectTheConfiguredBand) {
+  const auto legit = SmallLegit(4);
+  sim::PropensityConfig cfg;  // mean .7 spread .2, careless .12 @ .05
+  util::Rng rng(11);
+  const auto p = sim::DrawPropensities(legit, cfg, rng);
+  ASSERT_EQ(p.size(), legit.NumNodes());
+  std::size_t careless = 0;
+  for (double v : p) {
+    if (v == cfg.careless_propensity) {
+      ++careless;
+      continue;
+    }
+    EXPECT_GE(v, cfg.mean - cfg.spread - 1e-12);
+    EXPECT_LE(v, cfg.mean + cfg.spread + 1e-12);
+  }
+  // The patch loop marks centers + whole neighborhoods until the target
+  // fraction is reached, so it can only overshoot.
+  EXPECT_GE(careless, static_cast<std::size_t>(cfg.careless_fraction *
+                                               legit.NumNodes()));
+  EXPECT_LT(careless, p.size());  // but not everyone is careless
+}
+
+TEST(TemporalEvalTest, SendSpamRequestValidatesRolesAndDedup) {
+  const auto legit = SmallLegit(5);
+  sim::TemporalWorld world(legit,
+                           SmallConfig(sim::AdversaryKind::kStaticCampaign));
+  const graph::NodeId fake = world.NumLegit();
+  // legit sender / fake victim are role errors.
+  EXPECT_THROW(world.SendSpamRequest(0, 1), std::invalid_argument);
+  EXPECT_THROW(world.SendSpamRequest(fake, world.NumLegit() + 1),
+               std::invalid_argument);
+  // Find an untried victim, send once, then the retry is a logic error.
+  graph::NodeId victim = graph::kInvalidNode;
+  for (graph::NodeId v = 0; v < world.NumLegit(); ++v) {
+    if (!world.Tried(fake, v)) {
+      victim = v;
+      break;
+    }
+  }
+  ASSERT_NE(victim, graph::kInvalidNode);
+  const std::uint64_t sent_before = world.SpamRequestsSent(fake);
+  world.SendSpamRequest(fake, victim);
+  EXPECT_TRUE(world.Tried(fake, victim));
+  EXPECT_EQ(world.SpamRequestsSent(fake), sent_before + 1);
+  EXPECT_THROW(world.SendSpamRequest(fake, victim), std::logic_error);
+}
+
+TEST(TemporalEvalTest, CollusionLinkIsIdempotentAndSkipsSelf) {
+  const auto legit = SmallLegit(6);
+  sim::TemporalWorld world(legit,
+                           SmallConfig(sim::AdversaryKind::kStaticCampaign));
+  const graph::NodeId f = world.NumLegit();
+  const graph::NodeId g = world.NumLegit() + 1;
+  const std::size_t before = world.Log().NumRequests();
+  world.AddCollusionLink(f, f);  // self: no-op
+  EXPECT_EQ(world.Log().NumRequests(), before);
+  world.AddCollusionLink(f, g);
+  const std::size_t after_first = world.Log().NumRequests();
+  EXPECT_GE(after_first, before);  // may be a no-op if arrival-linked already
+  world.AddCollusionLink(f, g);    // repeat: no-op
+  world.AddCollusionLink(g, f);    // reverse direction: still the same pair
+  EXPECT_EQ(world.Log().NumRequests(), after_first);
+}
+
+// Flagged spammers are suspended: with every spammer flagged, an interval
+// emits nothing and the log stops growing — under EVERY adversary kind.
+TEST(TemporalEvalTest, FlaggedSpammersEmitNothing) {
+  const auto legit = SmallLegit(7);
+  for (sim::AdversaryKind kind :
+       {sim::AdversaryKind::kStaticCampaign, sim::AdversaryKind::kProbeThenFlood,
+        sim::AdversaryKind::kRejectionRetarget,
+        sim::AdversaryKind::kSlowDripCollusion}) {
+    sim::TemporalWorld world(legit, SmallConfig(kind));
+    sim::AdaptiveAdversary adversary(world);
+    std::vector<char> flagged(world.NumNodes(), 0);
+    for (graph::NodeId f : world.Spammers()) flagged[f] = 1;
+    const std::size_t before = world.Log().NumRequests();
+    const std::uint64_t emitted = adversary.EmitInterval(0, flagged);
+    EXPECT_EQ(emitted, 0u) << sim::AdversaryName(kind);
+    EXPECT_EQ(world.Log().NumRequests(), before) << sim::AdversaryName(kind);
+  }
+}
+
+// Per-interval budget caps: static/retarget spend the full per-spammer
+// budget target, probe intervals stay at the probe budget, and slow drip
+// never exceeds its rate threshold.
+TEST(TemporalEvalTest, BudgetCapsHold) {
+  const auto legit = SmallLegit(8);
+  const std::vector<char> no_flags;
+
+  {
+    auto cfg = SmallConfig(sim::AdversaryKind::kProbeThenFlood);
+    sim::TemporalWorld world(legit, cfg);
+    sim::AdaptiveAdversary adversary(world);
+    const std::size_t before = world.Log().NumRequests();
+    adversary.EmitInterval(0, no_flags);  // inside the probe phase
+    std::vector<std::uint64_t> per_sender(world.NumNodes(), 0);
+    for (std::size_t i = before; i < world.Log().NumRequests(); ++i) {
+      ++per_sender[world.Log().Requests()[i].sender];
+    }
+    for (graph::NodeId f : world.Spammers()) {
+      EXPECT_LE(per_sender[f], cfg.probe_requests_per_interval);
+    }
+  }
+  {
+    auto cfg = SmallConfig(sim::AdversaryKind::kSlowDripCollusion);
+    sim::TemporalWorld world(legit, cfg);
+    sim::AdaptiveAdversary adversary(world);
+    for (int interval = 0; interval < cfg.num_intervals; ++interval) {
+      std::vector<std::uint64_t> spam_before(world.NumNodes(), 0);
+      for (graph::NodeId f : world.Spammers()) {
+        spam_before[f] = world.SpamRequestsSent(f);
+      }
+      adversary.EmitInterval(interval, no_flags);
+      for (graph::NodeId f : world.Spammers()) {
+        EXPECT_LE(world.SpamRequestsSent(f) - spam_before[f],
+                  cfg.drip_max_requests_per_interval)
+            << "interval " << interval << " spammer " << f;
+      }
+    }
+  }
+}
+
+TEST(TemporalEvalTest, SpamAccountingMatchesTheLog) {
+  const auto legit = SmallLegit(9);
+  sim::TemporalWorld world(legit,
+                           SmallConfig(sim::AdversaryKind::kStaticCampaign));
+  sim::AdaptiveAdversary adversary(world);
+  RunAllIntervals(world, adversary);
+  std::vector<std::uint64_t> sent(world.NumNodes(), 0);
+  std::vector<std::uint64_t> accepted(world.NumNodes(), 0);
+  const auto& is_fake = world.IsFake();
+  for (const sim::FriendRequest& r : world.Log().Requests()) {
+    if (is_fake[r.sender] == 0 || is_fake[r.receiver] != 0) continue;
+    ++sent[r.sender];
+    if (r.response == sim::Response::kAccepted) ++accepted[r.sender];
+  }
+  std::uint64_t total = 0;
+  for (graph::NodeId f : world.Spammers()) {
+    EXPECT_EQ(world.SpamRequestsSent(f), sent[f]);
+    EXPECT_EQ(world.SpamAccepted(f), accepted[f]);
+    total += sent[f];
+  }
+  EXPECT_GT(total, 0u);
+}
+
+}  // namespace
+}  // namespace rejecto
