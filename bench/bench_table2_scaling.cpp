@@ -13,6 +13,7 @@
 
 #include "detect/maar.h"
 #include "engine/cluster.h"
+#include "engine/dist_detector.h"
 #include "engine/dist_maar.h"
 #include "engine/shard_store.h"
 #include "gen/barabasi_albert.h"
@@ -93,6 +94,59 @@ int main() {
                                   ctx.fast);
       bench::RunSnapshotLoadProbe("bench_table2_scaling", scenario.graph,
                                   ctx.fast);
+    }
+
+    // Wire probe at the smallest size: the same detection over the simnet
+    // transport, with every fetch/update crossing the RJNET001 frame
+    // boundary. Per-round transport counters go to BENCH_maar.json so the
+    // traffic decay across pruning rounds is machine-readable.
+    if (n == sizes.front()) {
+      engine::ClusterConfig wcfg;
+      wcfg.num_workers = 4;
+      wcfg.prefetch_batch = 512;
+      wcfg.buffer_capacity = std::max<std::size_t>(8192, n / 2);
+      wcfg.transport = net::TransportKind::kSimNet;
+      wcfg.sim.seed = ctx.seed + 101;
+      engine::Cluster wired(wcfg);
+      util::Rng srng(ctx.seed + 9);
+      const auto seeds = scenario.SampleSeeds(16, 6, srng);
+      detect::IterativeConfig dcfg;
+      dcfg.target_detections = scfg.num_fakes;
+      dcfg.maar = maar;
+      const auto wire = engine::DetectFriendSpammersDistributed(
+          scenario.graph, seeds, dcfg, wired);
+      std::vector<bench::TransportBenchRecord> rounds;
+      for (std::size_t r = 0; r < wire.per_round.size(); ++r) {
+        const engine::IoStats& io = wire.per_round[r];
+        rounds.push_back({.bench = "bench_table2_scaling",
+                          .transport = net::TransportKindName(
+                              net::TransportKind::kSimNet),
+                          .users = static_cast<std::int64_t>(n),
+                          .round = static_cast<std::int64_t>(r),
+                          .frames_sent =
+                              static_cast<std::int64_t>(io.wire.frames_sent),
+                          .frames_received = static_cast<std::int64_t>(
+                              io.wire.frames_received),
+                          .bytes_sent =
+                              static_cast<std::int64_t>(io.wire.bytes_sent),
+                          .bytes_received = static_cast<std::int64_t>(
+                              io.wire.bytes_received),
+                          .retries =
+                              static_cast<std::int64_t>(io.fetch_retries),
+                          .timeouts =
+                              static_cast<std::int64_t>(io.wire.timeouts),
+                          .reconnects =
+                              static_cast<std::int64_t>(io.wire.reconnects),
+                          .failovers =
+                              static_cast<std::int64_t>(io.shard_failovers),
+                          .busy_us = io.wire.busy_us});
+      }
+      bench::AppendTransportBenchJson(rounds);
+      std::cout << "wire probe (simnet, " << n << " users): "
+                << wire.per_round.size() << " rounds, "
+                << wire.io.wire.frames_sent << " frames, "
+                << wire.io.wire.bytes_sent + wire.io.wire.bytes_received
+                << " bytes on the wire\n";
     }
 
     t.AddRow({static_cast<std::int64_t>(n),

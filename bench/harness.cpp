@@ -294,6 +294,29 @@ void AppendTemporalBenchJson(const std::vector<TemporalBenchRecord>& records) {
   AppendBenchJsonRecords(rendered);
 }
 
+void AppendTransportBenchJson(const std::vector<TransportBenchRecord>& records) {
+  std::vector<std::string> rendered;
+  rendered.reserve(records.size());
+  for (const auto& r : records) {
+    std::ostringstream os;
+    os.precision(6);
+    os << std::fixed;
+    os << "{\"bench\": \"" << r.bench << "\", \"transport\": \""
+       << r.transport << "\", \"users\": " << r.users
+       << ", \"round\": " << r.round
+       << ", \"frames_sent\": " << r.frames_sent
+       << ", \"frames_received\": " << r.frames_received
+       << ", \"bytes_sent\": " << r.bytes_sent
+       << ", \"bytes_received\": " << r.bytes_received
+       << ", \"retries\": " << r.retries << ", \"timeouts\": " << r.timeouts
+       << ", \"reconnects\": " << r.reconnects
+       << ", \"failovers\": " << r.failovers
+       << ", \"busy_us\": " << r.busy_us << "}";
+    rendered.push_back(os.str());
+  }
+  AppendBenchJsonRecords(rendered);
+}
+
 void RunMaarSpeedupProbe(const std::string& bench_name,
                          const graph::AugmentedGraph& g,
                          detect::MaarConfig config,

@@ -143,6 +143,31 @@ struct TemporalBenchRecord {
 
 void AppendTemporalBenchJson(const std::vector<TemporalBenchRecord>& records);
 
+// One detection round's wire-level transport counters (engine
+// DistDetectionResult::per_round over a simnet/socket cluster), appended to
+// the same BENCH_maar.json array (distinguished by the "transport" key).
+// Each detection round pushes a fresh store generation to every worker and
+// pulls the sweep's adjacency through it, so per-round records expose how
+// traffic decays as rounds prune the residual graph.
+struct TransportBenchRecord {
+  std::string bench;      // emitting binary, e.g. "bench_table2_scaling"
+  std::string transport;  // net::TransportKindName: "simnet" / "socket"
+  std::int64_t users = 0;
+  std::int64_t round = 0;  // detection round (= store generation), 0-based
+  std::int64_t frames_sent = 0;
+  std::int64_t frames_received = 0;
+  std::int64_t bytes_sent = 0;
+  std::int64_t bytes_received = 0;
+  std::int64_t retries = 0;    // engine-level RPC attempts repeated
+  std::int64_t timeouts = 0;
+  std::int64_t reconnects = 0;
+  std::int64_t failovers = 0;  // shards rebuilt from lineage
+  double busy_us = 0.0;        // time inside Transport::Call (virtual for
+                               // simnet, wall-clock for socket)
+};
+
+void AppendTransportBenchJson(const std::vector<TransportBenchRecord>& records);
+
 // Process peak resident set (VmHWM) and current resident set (VmRSS) from
 // /proc/self/status, in bytes; 0 where the kernel does not expose them.
 std::uint64_t PeakRssBytes();

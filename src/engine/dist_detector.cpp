@@ -16,10 +16,14 @@ DistDetectionResult DetectFriendSpammersDistributed(
     // rebuilds dead workers' partitions as replicas up front.
     const ShardedGraphStore store(residual, cluster);
     ++result.stores_built;
-    result.io.shard_failovers += store.Failovers();
+    IoStats round_io;
+    round_io.Accumulate(store.PublishIo());  // wire backends: partition push
+    round_io.shard_failovers += store.Failovers();
     DistMaarResult r =
         SolveMaarDistributed(residual, store, cluster, round_seeds, maar);
-    result.io.Accumulate(r.io);
+    round_io.Accumulate(r.io);
+    result.io.Accumulate(round_io);
+    result.per_round.push_back(round_io);
     return r.cut;
   };
   result.detection = detect::DetectFriendSpammers(g, seeds, config, runner);

@@ -8,6 +8,8 @@
 // rounds and sweeps.
 #pragma once
 
+#include <vector>
+
 #include "detect/iterative.h"
 #include "engine/cluster.h"
 #include "engine/shard_store.h"
@@ -18,6 +20,9 @@ struct DistDetectionResult {
   detect::DetectionResult detection;
   IoStats io;              // summed over every KL run of every round
   int stores_built = 0;    // residual re-shardings (one per round)
+  // One entry per round: that round's store publish + KL sweep traffic,
+  // including wire counters (io is the field-wise sum of these).
+  std::vector<IoStats> per_round;
 };
 
 DistDetectionResult DetectFriendSpammersDistributed(

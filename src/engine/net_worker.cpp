@@ -1,0 +1,110 @@
+#include "engine/net_worker.h"
+
+#include <exception>
+#include <utility>
+
+namespace rejecto::engine {
+namespace {
+
+net::Message ErrorReply(const net::Message& request, wire::ErrorCode code,
+                        const std::string& message) {
+  net::Message reply;
+  reply.type = net::MsgType::kError;
+  reply.request_id = request.request_id;
+  wire::EncodeError(code, message, reply.body);
+  return reply;
+}
+
+}  // namespace
+
+net::Message ShardWorker::ServeBuild(const net::Message& request) {
+  wire::BuildShard b;
+  try {
+    b = wire::DecodeBuildShard(request.body);
+  } catch (const std::exception& e) {
+    return ErrorReply(request, wire::ErrorCode::kBadRequest, e.what());
+  }
+  // A re-pushed generation (the master retried an unacked build) simply
+  // overwrites — the push is idempotent. A *new* generation supersedes
+  // every older one.
+  StoreShard shard;
+  shard.shard = b.shard;
+  shard.num_shards = b.num_shards;
+  shard.num_nodes = b.num_nodes;
+  shard.rows = std::move(b.rows);
+  const std::uint32_t row_count =
+      static_cast<std::uint32_t>(shard.rows.size());
+  if (stores_.find(b.store_id) == stores_.end()) stores_.clear();
+  stores_[b.store_id] = std::move(shard);
+
+  net::Message reply;
+  reply.type = net::MsgType::kBuildAck;
+  reply.request_id = request.request_id;
+  wire::EncodeBuildAck({b.store_id, b.shard, row_count}, reply.body);
+  return reply;
+}
+
+net::Message ShardWorker::ServeFetch(const net::Message& request) {
+  wire::FetchRequest req;
+  try {
+    req = wire::DecodeFetchRequest(request.body);
+  } catch (const std::exception& e) {
+    return ErrorReply(request, wire::ErrorCode::kBadRequest, e.what());
+  }
+  const auto it = stores_.find(req.store_id);
+  if (it == stores_.end()) {
+    return ErrorReply(request, wire::ErrorCode::kUnknownStore,
+                      "fetch for unknown store " +
+                          std::to_string(req.store_id));
+  }
+  const StoreShard& shard = it->second;
+  std::vector<const NodeAdjacency*> rows;
+  rows.reserve(req.ids.size());
+  for (graph::NodeId id : req.ids) {
+    if (id >= shard.num_nodes || id % shard.num_shards != shard.shard) {
+      return ErrorReply(request, wire::ErrorCode::kBadRequest,
+                        "fetch for node " + std::to_string(id) +
+                            " not on shard " + std::to_string(shard.shard));
+    }
+    rows.push_back(&shard.rows[id / shard.num_shards]);
+  }
+  net::Message reply;
+  reply.type = net::MsgType::kFetchResponse;
+  reply.request_id = request.request_id;
+  wire::EncodeFetchResponse(req.store_id, rows, reply.body);
+  return reply;
+}
+
+net::Message ShardWorker::Serve(const net::Message& request) {
+  ++served_;
+  switch (request.type) {
+    case net::MsgType::kFetchRequest:
+      return ServeFetch(request);
+    case net::MsgType::kBuildShard:
+      return ServeBuild(request);
+    case net::MsgType::kHello: {
+      net::Message reply;
+      reply.type = net::MsgType::kHello;
+      reply.request_id = request.request_id;
+      net::WireWriter w;
+      w.PutU32(wire::kProtocolVersion);
+      reply.body = std::move(w.buf);
+      return reply;
+    }
+    default:
+      return ErrorReply(request, wire::ErrorCode::kBadRequest,
+                        std::string("unexpected message type ") +
+                            net::MsgTypeName(request.type));
+  }
+}
+
+int RunShardWorker(const std::string& endpoint,
+                   const net::WorkerOptions& options) {
+  ShardWorker worker;
+  net::FrameServer server(
+      endpoint,
+      [&worker](const net::Message& m) { return worker.Serve(m); }, options);
+  return server.Run();
+}
+
+}  // namespace rejecto::engine

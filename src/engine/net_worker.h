@@ -1,0 +1,60 @@
+// Worker-side shard service for the distributed engine.
+//
+// ShardWorker is the state machine behind a worker's wire endpoint: it
+// accepts kBuildShard pushes (the master distributing a store's
+// partitions, one generation per detection round) and answers
+// kFetchRequest with the rows of the newest matching store. It is
+// transport-agnostic — the same Serve() is installed as a SimNetwork
+// handler (in-process deterministic tests) and behind a net::FrameServer
+// in a real worker process (RunShardWorker) — which is precisely why the
+// socket and simulated paths are bit-identical: both ends run this exact
+// code against byte-identical frames.
+//
+// Serve never throws: malformed bodies, unknown stores, and out-of-range
+// ids come back as kError messages the master's retry/failover machinery
+// handles like any other wire fault.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "engine/wire.h"
+#include "net/worker.h"
+
+namespace rejecto::engine {
+
+class ShardWorker {
+ public:
+  // Serves one request message; always returns a response with the
+  // request's id echoed.
+  net::Message Serve(const net::Message& request);
+
+  std::size_t NumStores() const noexcept { return stores_.size(); }
+  std::uint64_t FramesServed() const noexcept { return served_; }
+
+ private:
+  struct StoreShard {
+    std::uint32_t shard = 0;
+    std::uint32_t num_shards = 0;
+    graph::NodeId num_nodes = 0;
+    std::vector<NodeAdjacency> rows;  // local order
+  };
+
+  net::Message ServeFetch(const net::Message& request);
+  net::Message ServeBuild(const net::Message& request);
+
+  // Keyed by store generation; the master builds stores serially, so on a
+  // new push every older generation is dropped (the per-round RDD
+  // unpersist of the prototype).
+  std::unordered_map<std::uint64_t, StoreShard> stores_;
+  std::uint64_t served_ = 0;
+};
+
+// Runs a worker process: binds `endpoint`, serves ShardWorker frames until
+// the master's kShutdown arrives, and returns a process exit code. The
+// entry point behind `dist_detect --worker`.
+int RunShardWorker(const std::string& endpoint,
+                   const net::WorkerOptions& options = {});
+
+}  // namespace rejecto::engine

@@ -1,0 +1,258 @@
+#include "net/sim_net.h"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+#include <string>
+
+#include "util/crc32c.h"
+#include "util/failpoint.h"
+
+namespace rejecto::net {
+namespace {
+
+// One frame copy in flight, with its own arrival time and (possibly
+// corrupted) bytes.
+struct InFlight {
+  double arrive_us;
+  std::size_t order;  // insertion index: ties in arrival time keep order
+  std::vector<unsigned char> bytes;
+  bool corrupted;
+};
+
+bool ArrivesBefore(const InFlight& a, const InFlight& b) {
+  if (a.arrive_us != b.arrive_us) return a.arrive_us < b.arrive_us;
+  return a.order < b.order;
+}
+
+}  // namespace
+
+SimNetwork::SimNetwork(const SimNetConfig& config)
+    : bandwidth_gbps_(config.bandwidth_gbps),
+      record_trace_(config.record_trace) {
+  if (config.num_peers == 0) {
+    throw std::invalid_argument("SimNetwork: num_peers must be >= 1");
+  }
+  if (config.bandwidth_gbps <= 0.0) {
+    throw std::invalid_argument("SimNetwork: bandwidth_gbps must be > 0");
+  }
+  links_.reserve(config.num_peers);
+  for (std::uint32_t p = 0; p < config.num_peers; ++p) {
+    // Independent per-link stream derived from the root seed; splitmix
+    // inside Rng's constructor decorrelates consecutive seeds.
+    links_.push_back(Link{config.default_link,
+                          util::Rng(config.seed * 0x9e3779b97f4a7c15ULL +
+                                    0x100000001ULL * (p + 1)),
+                          nullptr});
+  }
+  for (const auto& [peer, faults] : config.link_overrides) {
+    if (peer >= links_.size()) {
+      throw std::invalid_argument(
+          "SimNetwork: link override for peer " + std::to_string(peer) +
+          " out of range (num_peers " + std::to_string(links_.size()) + ")");
+    }
+    links_[peer].faults = faults;
+  }
+}
+
+void SimNetwork::SetHandler(std::uint32_t peer, Handler handler) {
+  if (peer >= links_.size()) {
+    throw std::out_of_range("SimNetwork::SetHandler: peer index");
+  }
+  links_[peer].handler = std::move(handler);
+}
+
+bool SimNetwork::PeerConnected(std::uint32_t peer) const noexcept {
+  return peer < links_.size() && links_[peer].handler != nullptr;
+}
+
+void SimNetwork::Partition(std::uint32_t peer, bool partitioned) {
+  if (peer >= links_.size()) {
+    throw std::out_of_range("SimNetwork::Partition: peer index");
+  }
+  links_[peer].faults.partitioned = partitioned;
+}
+
+bool SimNetwork::Partitioned(std::uint32_t peer) const {
+  if (peer >= links_.size()) {
+    throw std::out_of_range("SimNetwork::Partitioned: peer index");
+  }
+  return links_[peer].faults.partitioned;
+}
+
+double SimNetwork::SerializationUs(std::uint64_t bytes) const noexcept {
+  return static_cast<double>(bytes) * 8.0 / (bandwidth_gbps_ * 1e3);
+}
+
+void SimNetwork::Record(TraceEvent::Kind kind, std::uint32_t peer,
+                        std::uint64_t request_id, double vtime_us,
+                        std::uint64_t bytes) {
+  ++trace_events_;
+  unsigned char packed[1 + 4 + 8 + 8 + 8];
+  packed[0] = static_cast<unsigned char>(kind);
+  for (int i = 0; i < 4; ++i) packed[1 + i] = (peer >> (8 * i)) & 0xff;
+  for (int i = 0; i < 8; ++i) {
+    packed[5 + i] = (request_id >> (8 * i)) & 0xff;
+  }
+  const auto tbits = std::bit_cast<std::uint64_t>(vtime_us);
+  for (int i = 0; i < 8; ++i) packed[13 + i] = (tbits >> (8 * i)) & 0xff;
+  for (int i = 0; i < 8; ++i) packed[21 + i] = (bytes >> (8 * i)) & 0xff;
+  trace_hash_ = util::Crc32c(packed, sizeof(packed),
+                             static_cast<std::uint32_t>(trace_hash_)) |
+                (trace_events_ << 32);
+  if (record_trace_) {
+    trace_.push_back(TraceEvent{kind, peer, request_id, vtime_us, bytes});
+  }
+}
+
+CallStatus SimNetwork::Call(std::uint32_t peer, const Message& request,
+                            Message* response, double timeout_us,
+                            double* elapsed_us) {
+  if (elapsed_us != nullptr) *elapsed_us = 0.0;
+  if (peer >= links_.size()) {
+    throw std::out_of_range("SimNetwork::Call: peer index");
+  }
+  Link& link = links_[peer];
+  if (link.handler == nullptr) return CallStatus::kPeerDead;
+
+  util::Failpoints& fp = util::Failpoints::Instance();
+  const double start_us = now_us_;
+  const double deadline_us = start_us + timeout_us;
+
+  std::vector<unsigned char> req_frame;
+  EncodeFrame(request, req_frame);
+  ++stats_.frames_sent;
+  stats_.bytes_sent += req_frame.size();
+  Record(TraceEvent::Kind::kSend, peer, request.request_id, start_us,
+         req_frame.size());
+
+  // A link transfer: draws drop/dup once, then per surviving copy jitter,
+  // reorder, and corruption. Draw counts depend only on the fault matrix
+  // and outcomes of earlier draws, never on wall-clock state — that is the
+  // replayability invariant.
+  auto transfer = [&](const std::vector<unsigned char>& frame,
+                      double depart_us, bool inject_lost,
+                      std::vector<InFlight>& out) {
+    if (link.faults.partitioned || inject_lost) {
+      ++stats_.dropped_frames;
+      Record(TraceEvent::Kind::kDrop, peer, request.request_id, depart_us,
+             frame.size());
+      return;
+    }
+    const bool dropped = link.rng.NextBool(link.faults.drop_p);
+    const bool duplicated = link.rng.NextBool(link.faults.dup_p);
+    if (dropped) {
+      ++stats_.dropped_frames;
+      Record(TraceEvent::Kind::kDrop, peer, request.request_id, depart_us,
+             frame.size());
+      return;
+    }
+    const int copies = duplicated ? 2 : 1;
+    if (duplicated) {
+      Record(TraceEvent::Kind::kDuplicate, peer, request.request_id,
+             depart_us, frame.size());
+    }
+    for (int c = 0; c < copies; ++c) {
+      double t = depart_us + SerializationUs(frame.size()) +
+                 link.faults.delay_us;
+      if (link.faults.jitter_us > 0.0) {
+        t += link.rng.NextDouble(0.0, link.faults.jitter_us);
+      }
+      if (link.faults.reorder_p > 0.0 &&
+          link.rng.NextBool(link.faults.reorder_p)) {
+        t += link.faults.reorder_extra_us;
+      }
+      InFlight f{t, out.size(), frame, false};
+      bool corrupt = link.faults.corrupt_p > 0.0 &&
+                     link.rng.NextBool(link.faults.corrupt_p);
+      if (fp.ShouldFail("net/corrupt_frame")) corrupt = true;
+      if (corrupt && !f.bytes.empty()) {
+        const auto pos = static_cast<std::size_t>(
+            link.rng.NextUInt(f.bytes.size()));
+        f.bytes[pos] ^= 0x40;
+        f.corrupted = true;
+      }
+      out.push_back(std::move(f));
+    }
+  };
+
+  std::vector<InFlight> to_worker;
+  transfer(req_frame, start_us, fp.ShouldFail("net/send_frame"), to_worker);
+  std::sort(to_worker.begin(), to_worker.end(), ArrivesBefore);
+
+  // Worker end: decode each arriving copy; intact ones are served and the
+  // responses travel back through the same faulty link.
+  std::vector<InFlight> to_master;
+  for (const InFlight& f : to_worker) {
+    if (f.arrive_us > deadline_us) {
+      Record(TraceEvent::Kind::kLate, peer, request.request_id, f.arrive_us,
+             f.bytes.size());
+      continue;
+    }
+    FrameDecoder dec;
+    dec.Feed(f.bytes.data(), f.bytes.size());
+    DecodeResult r = dec.Next();
+    if (r.status != DecodeStatus::kFrame) {
+      ++stats_.corrupt_frames;
+      Record(TraceEvent::Kind::kCorrupt, peer, request.request_id,
+             f.arrive_us, f.bytes.size());
+      continue;
+    }
+    Record(TraceEvent::Kind::kDeliver, peer, request.request_id, f.arrive_us,
+           f.bytes.size());
+    Message reply = link.handler(r.message);
+    std::vector<unsigned char> resp_frame;
+    EncodeFrame(reply, resp_frame);
+    Record(TraceEvent::Kind::kReply, peer, reply.request_id, f.arrive_us,
+           resp_frame.size());
+    transfer(resp_frame, f.arrive_us, false, to_master);
+  }
+  std::sort(to_master.begin(), to_master.end(), ArrivesBefore);
+
+  // Master end: the first intact response whose request id matches wins;
+  // duplicates and stragglers are discarded by the id check.
+  for (const InFlight& f : to_master) {
+    if (f.arrive_us > deadline_us) {
+      Record(TraceEvent::Kind::kLate, peer, request.request_id, f.arrive_us,
+             f.bytes.size());
+      continue;
+    }
+    if (fp.ShouldFail("net/recv_frame")) {
+      ++stats_.dropped_frames;
+      Record(TraceEvent::Kind::kDrop, peer, request.request_id, f.arrive_us,
+             f.bytes.size());
+      continue;
+    }
+    FrameDecoder dec;
+    dec.Feed(f.bytes.data(), f.bytes.size());
+    DecodeResult r = dec.Next();
+    if (r.status != DecodeStatus::kFrame) {
+      ++stats_.corrupt_frames;
+      Record(TraceEvent::Kind::kCorrupt, peer, request.request_id,
+             f.arrive_us, f.bytes.size());
+      continue;
+    }
+    ++stats_.frames_received;
+    stats_.bytes_received += f.bytes.size();
+    Record(TraceEvent::Kind::kReceive, peer, r.message.request_id,
+           f.arrive_us, f.bytes.size());
+    if (r.message.request_id != request.request_id) continue;  // straggler
+    now_us_ = std::max(now_us_, f.arrive_us);
+    const double elapsed = now_us_ - start_us;
+    stats_.busy_us += elapsed;
+    if (elapsed_us != nullptr) *elapsed_us = elapsed;
+    if (response != nullptr) *response = std::move(r.message);
+    return CallStatus::kOk;
+  }
+
+  // Nothing intact arrived in time: the master waited out the deadline.
+  now_us_ = deadline_us;
+  ++stats_.timeouts;
+  stats_.busy_us += timeout_us;
+  Record(TraceEvent::Kind::kTimeout, peer, request.request_id, deadline_us,
+         0);
+  if (elapsed_us != nullptr) *elapsed_us = timeout_us;
+  return CallStatus::kTimeout;
+}
+
+}  // namespace rejecto::net

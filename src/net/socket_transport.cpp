@@ -1,0 +1,293 @@
+#include "net/socket_transport.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+
+#include "util/failpoint.h"
+
+namespace rejecto::net {
+namespace {
+
+double NowUs() {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+int OpenAndConnect(const Endpoint& ep) {
+  if (ep.kind == Endpoint::Kind::kUnix) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (ep.path.size() >= sizeof(addr.sun_path)) return -1;
+    std::memcpy(addr.sun_path, ep.path.c_str(), ep.path.size() + 1);
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) return -1;
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+      ::close(fd);
+      return -1;
+    }
+    return fd;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(ep.port);
+  if (::inet_pton(AF_INET, ep.host.c_str(), &addr.sin_addr) != 1) return -1;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+// Writes the whole buffer; false on any unrecoverable error (EPIPE when
+// the worker died, etc.).
+bool WriteAll(int fd, const unsigned char* data, std::size_t len) {
+  std::size_t off = 0;
+  while (off < len) {
+    const ssize_t n = ::send(fd, data + off, len - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+Endpoint ParseEndpoint(const std::string& text) {
+  if (text.empty()) {
+    throw std::invalid_argument("net::ParseEndpoint: empty endpoint");
+  }
+  Endpoint ep;
+  if (text.rfind("tcp:", 0) == 0) {
+    const std::string rest = text.substr(4);
+    const std::size_t colon = rest.rfind(':');
+    if (colon == std::string::npos || colon == 0 ||
+        colon + 1 == rest.size()) {
+      throw std::invalid_argument(
+          "net::ParseEndpoint: malformed tcp endpoint '" + text +
+          "' (expected tcp:host:port)");
+    }
+    ep.kind = Endpoint::Kind::kTcp;
+    ep.host = rest.substr(0, colon);
+    const std::string port_text = rest.substr(colon + 1);
+    int port = 0;
+    for (char c : port_text) {
+      if (c < '0' || c > '9') {
+        throw std::invalid_argument(
+            "net::ParseEndpoint: malformed port in '" + text + "'");
+      }
+      port = port * 10 + (c - '0');
+      if (port > 65535) {
+        throw std::invalid_argument(
+            "net::ParseEndpoint: port out of range in '" + text + "'");
+      }
+    }
+    if (port == 0) {
+      throw std::invalid_argument("net::ParseEndpoint: port 0 in '" + text +
+                                  "'");
+    }
+    ep.port = static_cast<std::uint16_t>(port);
+    return ep;
+  }
+  ep.kind = Endpoint::Kind::kUnix;
+  ep.path = text.rfind("unix:", 0) == 0 ? text.substr(5) : text;
+  if (ep.path.empty()) {
+    throw std::invalid_argument("net::ParseEndpoint: empty unix path in '" +
+                                text + "'");
+  }
+  return ep;
+}
+
+SocketTransport::SocketTransport(const SocketConfig& config)
+    : config_(config) {
+  if (config.endpoints.empty()) {
+    throw std::invalid_argument(
+        "SocketTransport: at least one worker endpoint is required");
+  }
+  peers_.resize(config.endpoints.size());
+  for (std::size_t i = 0; i < config.endpoints.size(); ++i) {
+    peers_[i].endpoint = ParseEndpoint(config.endpoints[i]);
+    if (!ConnectPeer(static_cast<std::uint32_t>(i), config.connect_attempts,
+                     config.connect_retry_delay_us)) {
+      throw std::runtime_error("SocketTransport: cannot connect to worker " +
+                               std::to_string(i) + " at '" +
+                               config.endpoints[i] + "'");
+    }
+  }
+}
+
+SocketTransport::~SocketTransport() {
+  for (std::uint32_t i = 0; i < NumPeers(); ++i) ClosePeer(i);
+}
+
+bool SocketTransport::PeerConnected(std::uint32_t peer) const noexcept {
+  return peer < peers_.size() && peers_[peer].fd >= 0;
+}
+
+bool SocketTransport::ConnectPeer(std::uint32_t index,
+                                  std::uint32_t attempts,
+                                  double retry_delay_us) {
+  Peer& peer = peers_[index];
+  for (std::uint32_t attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      ::usleep(static_cast<useconds_t>(retry_delay_us));
+    }
+    const int fd = OpenAndConnect(peer.endpoint);
+    if (fd >= 0) {
+      peer.fd = fd;
+      peer.decoder.Reset();
+      return true;
+    }
+  }
+  return false;
+}
+
+void SocketTransport::ClosePeer(std::uint32_t index) {
+  Peer& peer = peers_[index];
+  if (peer.fd >= 0) {
+    ::close(peer.fd);
+    peer.fd = -1;
+  }
+  peer.decoder.Reset();
+}
+
+CallStatus SocketTransport::Exchange(Peer& peer, const Message& request,
+                                     Message* response, double timeout_us) {
+  util::Failpoints& fp = util::Failpoints::Instance();
+  std::vector<unsigned char> frame;
+  EncodeFrame(request, frame);
+  if (fp.ShouldFail("net/send_frame")) {
+    // The frame is "lost on the wire": never written, so the poll below
+    // runs out the deadline — the timeout path of a real lossy link.
+    ++stats_.dropped_frames;
+  } else {
+    if (!WriteAll(peer.fd, frame.data(), frame.size())) {
+      return CallStatus::kError;  // connection broke mid-write
+    }
+    ++stats_.frames_sent;
+    stats_.bytes_sent += frame.size();
+  }
+
+  const double deadline_us = NowUs() + timeout_us;
+  unsigned char buf[64 * 1024];
+  for (;;) {
+    // Drain whatever is already buffered before touching the socket.
+    for (;;) {
+      DecodeResult r = peer.decoder.Next();
+      if (r.status == DecodeStatus::kNeedMore) break;
+      if (r.status == DecodeStatus::kCorrupt) {
+        // A framed stream cannot resync after corruption: poison the
+        // connection and let the caller reconnect.
+        ++stats_.corrupt_frames;
+        return CallStatus::kError;
+      }
+      ++stats_.frames_received;
+      if (fp.ShouldFail("net/recv_frame")) {
+        ++stats_.dropped_frames;
+        continue;
+      }
+      if (r.message.request_id != request.request_id) continue;  // straggler
+      if (response != nullptr) *response = std::move(r.message);
+      return CallStatus::kOk;
+    }
+
+    const double remaining_us = deadline_us - NowUs();
+    if (remaining_us <= 0.0) {
+      ++stats_.timeouts;
+      return CallStatus::kTimeout;
+    }
+    pollfd pfd{peer.fd, POLLIN, 0};
+    const int timeout_ms =
+        static_cast<int>(remaining_us / 1000.0) + 1;  // ceil to >= 1ms
+    const int pr = ::poll(&pfd, 1, timeout_ms);
+    if (pr < 0) {
+      if (errno == EINTR) continue;
+      return CallStatus::kError;
+    }
+    if (pr == 0) {
+      ++stats_.timeouts;
+      return CallStatus::kTimeout;
+    }
+    const ssize_t n = ::recv(peer.fd, buf, sizeof(buf), 0);
+    if (n == 0) return CallStatus::kError;  // EOF: worker went away
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return CallStatus::kError;
+    }
+    stats_.bytes_received += static_cast<std::uint64_t>(n);
+    if (fp.ShouldFail("net/corrupt_frame")) {
+      // Deterministic position from the site's fire count, so env-spec
+      // driven corruption replays identically.
+      const std::uint64_t fires =
+          util::Failpoints::Instance().Fires("net/corrupt_frame");
+      buf[(fires * 7919) % static_cast<std::uint64_t>(n)] ^= 0x40;
+    }
+    peer.decoder.Feed(buf, static_cast<std::size_t>(n));
+  }
+}
+
+CallStatus SocketTransport::Call(std::uint32_t peer_index,
+                                 const Message& request, Message* response,
+                                 double timeout_us, double* elapsed_us) {
+  if (peer_index >= peers_.size()) {
+    throw std::out_of_range("SocketTransport::Call: peer index");
+  }
+  Peer& peer = peers_[peer_index];
+  const double start_us = NowUs();
+  auto finish = [&](CallStatus status) {
+    const double elapsed = NowUs() - start_us;
+    stats_.busy_us += elapsed;
+    if (elapsed_us != nullptr) *elapsed_us = elapsed;
+    return status;
+  };
+
+  // Up to one reconnect-and-resend per Call; persistent failure is the
+  // caller's retry policy's problem, a vanished peer is failover's.
+  for (int round = 0; round < 2; ++round) {
+    if (peer.fd < 0) {
+      ++stats_.reconnects;
+      if (!ConnectPeer(peer_index, config_.reconnect_attempts,
+                       config_.connect_retry_delay_us)) {
+        return finish(CallStatus::kPeerDead);
+      }
+    }
+    const CallStatus status = Exchange(peer, request, response, timeout_us);
+    if (status != CallStatus::kError) return finish(status);
+    ClosePeer(peer_index);  // broken stream; try once more on a fresh one
+  }
+  return finish(CallStatus::kPeerDead);
+}
+
+void SocketTransport::ShutdownPeers() {
+  Message bye;
+  bye.type = MsgType::kShutdown;
+  for (std::uint32_t i = 0; i < NumPeers(); ++i) {
+    Peer& peer = peers_[i];
+    if (peer.fd < 0) continue;
+    bye.request_id = NextRequestId();
+    std::vector<unsigned char> frame;
+    EncodeFrame(bye, frame);
+    (void)WriteAll(peer.fd, frame.data(), frame.size());
+    ClosePeer(i);
+  }
+}
+
+}  // namespace rejecto::net

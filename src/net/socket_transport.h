@@ -1,0 +1,96 @@
+// Real socket backend (net::Transport): a master process exchanging
+// RJNET001 frames with N worker processes over localhost TCP or
+// UNIX-domain stream sockets.
+//
+// Endpoints are strings: "unix:/path/to.sock", "tcp:127.0.0.1:7001", or a
+// bare path (treated as unix). The master connects eagerly at construction
+// (with a bounded retry loop so workers may still be starting), then each
+// Call writes one request frame and polls for the response frame whose
+// request id matches, discarding stragglers from earlier timed-out
+// attempts. A broken connection (worker crashed, stream poisoned by a
+// corrupt frame) triggers one reconnect-and-resend per Call; when the peer
+// cannot be re-reached, Call reports kPeerDead and the engine's failover
+// machinery rebuilds the shard from lineage — detection continues
+// bit-identical to the failure-free run.
+//
+// Failpoint sites: "net/send_frame" (the write is skipped, the frame is
+// "lost on the wire" and the call times out), "net/recv_frame" (a received
+// frame is discarded), "net/corrupt_frame" (one received byte is flipped
+// before decoding — exercising the CRC reject + reconnect path on a real
+// stream). Master-thread only, like every Transport.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/transport.h"
+
+namespace rejecto::net {
+
+struct Endpoint {
+  enum class Kind : std::uint8_t { kUnix, kTcp };
+  Kind kind = Kind::kUnix;
+  std::string path;        // kUnix
+  std::string host;        // kTcp
+  std::uint16_t port = 0;  // kTcp
+};
+
+// Parses an endpoint string; throws std::invalid_argument naming the
+// offending value on anything malformed.
+Endpoint ParseEndpoint(const std::string& text);
+
+struct SocketConfig {
+  std::vector<std::string> endpoints;  // one per worker, in shard order
+  // Initial-connect retry loop (covers the worker-startup race).
+  std::uint32_t connect_attempts = 100;
+  double connect_retry_delay_us = 50'000.0;
+  // Reconnect attempts when a live connection breaks mid-run (a crashed
+  // worker stays dead; a blipped one comes back).
+  std::uint32_t reconnect_attempts = 2;
+};
+
+class SocketTransport final : public Transport {
+ public:
+  // Connects to every endpoint; throws std::runtime_error when a peer
+  // cannot be reached within the connect budget.
+  explicit SocketTransport(const SocketConfig& config);
+  ~SocketTransport() override;
+
+  SocketTransport(const SocketTransport&) = delete;
+  SocketTransport& operator=(const SocketTransport&) = delete;
+
+  std::uint32_t NumPeers() const noexcept override {
+    return static_cast<std::uint32_t>(peers_.size());
+  }
+
+  CallStatus Call(std::uint32_t peer, const Message& request,
+                  Message* response, double timeout_us,
+                  double* elapsed_us) override;
+
+  bool PeerConnected(std::uint32_t peer) const noexcept override;
+
+  // Best-effort shutdown frame to every live peer (workers drain and
+  // exit); connections are closed either way.
+  void ShutdownPeers();
+
+ private:
+  struct Peer {
+    Endpoint endpoint;
+    int fd = -1;
+    FrameDecoder decoder;
+  };
+
+  bool ConnectPeer(std::uint32_t index, std::uint32_t attempts,
+                   double retry_delay_us);
+  void ClosePeer(std::uint32_t index);
+  // One write + read-until-matching-response exchange on the live
+  // connection; false means the connection broke (caller may reconnect).
+  CallStatus Exchange(Peer& peer, const Message& request, Message* response,
+                      double timeout_us);
+
+  std::vector<Peer> peers_;
+  SocketConfig config_;
+};
+
+}  // namespace rejecto::net

@@ -1,0 +1,46 @@
+#include "net/transport.h"
+
+#include <stdexcept>
+#include <string>
+
+#include "util/flags.h"
+
+namespace rejecto::net {
+
+const char* CallStatusName(CallStatus status) noexcept {
+  switch (status) {
+    case CallStatus::kOk: return "ok";
+    case CallStatus::kTimeout: return "timeout";
+    case CallStatus::kPeerDead: return "peer_dead";
+    case CallStatus::kError: return "error";
+  }
+  return "unknown";
+}
+
+void Transport::SetHandler(std::uint32_t /*peer*/, Handler /*handler*/) {}
+
+const char* TransportKindName(TransportKind kind) noexcept {
+  switch (kind) {
+    case TransportKind::kLoopback: return "loopback";
+    case TransportKind::kSimNet: return "simnet";
+    case TransportKind::kSocket: return "socket";
+  }
+  return "unknown";
+}
+
+TransportKind ParseTransportKind(std::string_view text) {
+  if (text == "loopback") return TransportKind::kLoopback;
+  if (text == "simnet") return TransportKind::kSimNet;
+  if (text == "socket") return TransportKind::kSocket;
+  throw std::invalid_argument(
+      "unknown transport '" + std::string(text) +
+      "' (expected loopback, simnet, or socket)");
+}
+
+TransportKind TransportKindFromEnv() {
+  const auto value = util::GetEnvString("REJECTO_TRANSPORT");
+  if (!value || value->empty()) return TransportKind::kLoopback;
+  return ParseTransportKind(*value);
+}
+
+}  // namespace rejecto::net

@@ -1,0 +1,157 @@
+#include "net/worker.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+
+namespace rejecto::net {
+namespace {
+
+bool WriteAll(int fd, const unsigned char* data, std::size_t len) {
+  std::size_t off = 0;
+  while (off < len) {
+    const ssize_t n = ::send(fd, data + off, len - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+FrameServer::FrameServer(const std::string& endpoint, Handler handler,
+                         WorkerOptions options)
+    : endpoint_(ParseEndpoint(endpoint)),
+      handler_(std::move(handler)),
+      options_(options) {
+  if (endpoint_.kind == Endpoint::Kind::kUnix) {
+    ::unlink(endpoint_.path.c_str());
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (endpoint_.path.size() >= sizeof(addr.sun_path)) {
+      throw std::runtime_error("FrameServer: unix path too long: " +
+                               endpoint_.path);
+    }
+    std::memcpy(addr.sun_path, endpoint_.path.c_str(),
+                endpoint_.path.size() + 1);
+    listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listen_fd_ < 0 ||
+        ::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) != 0 ||
+        ::listen(listen_fd_, 1) != 0) {
+      throw std::runtime_error("FrameServer: cannot bind '" + endpoint +
+                               "': " + std::strerror(errno));
+    }
+  } else {
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(endpoint_.port);
+    if (::inet_pton(AF_INET, endpoint_.host.c_str(), &addr.sin_addr) != 1) {
+      throw std::runtime_error("FrameServer: bad tcp host in '" + endpoint +
+                               "'");
+    }
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    const int one = 1;
+    if (listen_fd_ >= 0) {
+      ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    }
+    if (listen_fd_ < 0 ||
+        ::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) != 0 ||
+        ::listen(listen_fd_, 1) != 0) {
+      throw std::runtime_error("FrameServer: cannot bind '" + endpoint +
+                               "': " + std::strerror(errno));
+    }
+  }
+}
+
+FrameServer::~FrameServer() {
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (endpoint_.kind == Endpoint::Kind::kUnix) {
+    ::unlink(endpoint_.path.c_str());
+  }
+}
+
+int FrameServer::ServeConnection(int fd) {
+  FrameDecoder decoder;
+  unsigned char buf[64 * 1024];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n == 0) return 0;  // master hung up; go back to accept
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return 0;
+    }
+    decoder.Feed(buf, static_cast<std::size_t>(n));
+    for (;;) {
+      DecodeResult r = decoder.Next();
+      if (r.status == DecodeStatus::kNeedMore) break;
+      if (r.status == DecodeStatus::kCorrupt) {
+        // The stream is poisoned at r.offset; drop the connection and let
+        // the master reconnect with a fresh one.
+        ++stats_.corrupt_streams;
+        if (options_.verbose) {
+          std::fprintf(stderr,
+                       "[worker] corrupt stream at offset %llu: %s\n",
+                       static_cast<unsigned long long>(r.offset),
+                       r.reason.c_str());
+        }
+        return 0;
+      }
+      if (r.message.type == MsgType::kShutdown) return 1;
+      Message reply = handler_(r.message);
+      reply.request_id = r.message.request_id;  // idempotency anchor
+      std::vector<unsigned char> frame;
+      EncodeFrame(reply, frame);
+      if (!WriteAll(fd, frame.data(), frame.size())) return 0;
+      ++stats_.frames_served;
+      if (options_.die_after_frames != 0 &&
+          stats_.frames_served >= options_.die_after_frames) {
+        if (options_.verbose) {
+          std::fprintf(stderr, "[worker] dying after %llu frames\n",
+                       static_cast<unsigned long long>(stats_.frames_served));
+        }
+        std::_Exit(137);  // crash injection: as abrupt as SIGKILL
+      }
+    }
+  }
+}
+
+int FrameServer::Run() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return 1;
+    }
+    if (endpoint_.kind == Endpoint::Kind::kTcp) {
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    }
+    ++stats_.accepts;
+    if (options_.verbose) {
+      std::fprintf(stderr, "[worker] master connected (accept #%llu)\n",
+                   static_cast<unsigned long long>(stats_.accepts));
+    }
+    const int done = ServeConnection(fd);
+    ::close(fd);
+    if (done == 1) {
+      if (options_.verbose) std::fprintf(stderr, "[worker] shutdown\n");
+      return 0;
+    }
+  }
+}
+
+}  // namespace rejecto::net

@@ -1,0 +1,68 @@
+// Worker-process frame server: the far end of net::SocketTransport.
+//
+// A worker binds its endpoint, accepts the master's connection, and serves
+// RJNET001 frames one at a time through an injected handler (for the
+// distributed engine that handler is engine::ShardWorker::Serve). The
+// server is deliberately single-threaded — requests on one connection are
+// serial, which is all the master-driven engine ever issues — and treats a
+// poisoned stream the way the master does: tear the connection down and
+// re-accept, never guess at a resync.
+//
+// WorkerOptions::die_after_frames is the crash-injection hook for the
+// multiprocess smoke tests: after serving that many frames the process
+// calls _Exit(137), indistinguishable from SIGKILL to the master, which
+// must reconnect-or-failover and stay bit-identical.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "net/frame.h"
+#include "net/socket_transport.h"
+
+namespace rejecto::net {
+
+struct WorkerOptions {
+  // Hard-exit (_Exit(137)) after serving this many frames; 0 = never.
+  std::uint64_t die_after_frames = 0;
+  bool verbose = false;  // one stderr line per lifecycle event
+};
+
+struct WorkerStats {
+  std::uint64_t frames_served = 0;
+  std::uint64_t corrupt_streams = 0;  // connections torn down on bad frames
+  std::uint64_t accepts = 0;
+};
+
+class FrameServer {
+ public:
+  using Handler = std::function<Message(const Message&)>;
+
+  // Binds and listens immediately (an existing unix socket path is
+  // unlinked first). Throws std::runtime_error when the endpoint cannot
+  // be bound.
+  FrameServer(const std::string& endpoint, Handler handler,
+              WorkerOptions options = {});
+  ~FrameServer();
+
+  FrameServer(const FrameServer&) = delete;
+  FrameServer& operator=(const FrameServer&) = delete;
+
+  // Accept-and-serve loop. Returns 0 when a kShutdown frame arrives; a
+  // disconnected master is re-accepted (that is the reconnect path).
+  int Run();
+
+  const WorkerStats& Stats() const noexcept { return stats_; }
+
+ private:
+  int ServeConnection(int fd);  // 1 = shutdown seen, 0 = connection ended
+
+  Endpoint endpoint_;
+  Handler handler_;
+  WorkerOptions options_;
+  WorkerStats stats_;
+  int listen_fd_ = -1;
+};
+
+}  // namespace rejecto::net

@@ -1,0 +1,287 @@
+// RJNET001 codec hardening, mirroring wal_test's corruption model: a saved
+// multi-frame message stream is truncated at EVERY byte boundary and
+// corrupted at EVERY single byte position, and decode must never crash,
+// never hand back a frame that was not encoded, and always report the
+// stream offset plus a human-readable reason for the first bad frame.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "net/frame.h"
+#include "util/crc32c.h"
+
+namespace rejecto::net {
+namespace {
+
+Message MakeMessage(MsgType type, std::uint64_t id, std::size_t body_bytes) {
+  Message m;
+  m.type = type;
+  m.request_id = id;
+  m.body.resize(body_bytes);
+  for (std::size_t i = 0; i < body_bytes; ++i) {
+    m.body[i] = static_cast<unsigned char>((id * 131 + i * 7) & 0xff);
+  }
+  return m;
+}
+
+// A representative stream: control, fetch, bulk, and empty-body frames.
+std::vector<Message> SampleMessages() {
+  return {
+      MakeMessage(MsgType::kHello, 1, 4),
+      MakeMessage(MsgType::kFetchRequest, 2, 57),
+      MakeMessage(MsgType::kFetchResponse, 2, 300),
+      MakeMessage(MsgType::kBuildShard, 3, 1024),
+      MakeMessage(MsgType::kBuildAck, 3, 16),
+      MakeMessage(MsgType::kError, 4, 33),
+      MakeMessage(MsgType::kShutdown, 5, 0),
+  };
+}
+
+std::vector<unsigned char> EncodeStream(const std::vector<Message>& msgs) {
+  std::vector<unsigned char> bytes;
+  for (const Message& m : msgs) EncodeFrame(m, bytes);
+  return bytes;
+}
+
+void ExpectSameMessage(const Message& got, const Message& want) {
+  EXPECT_EQ(got.type, want.type);
+  EXPECT_EQ(got.request_id, want.request_id);
+  ASSERT_EQ(got.body.size(), want.body.size());
+  EXPECT_EQ(got.body, want.body);
+}
+
+TEST(FrameCodecTest, RoundTripsAStream) {
+  const auto msgs = SampleMessages();
+  const auto bytes = EncodeStream(msgs);
+  const StreamDecodeResult r = DecodeAll(bytes);
+  EXPECT_TRUE(r.clean);
+  EXPECT_TRUE(r.reason.empty());
+  ASSERT_EQ(r.frames.size(), msgs.size());
+  for (std::size_t i = 0; i < msgs.size(); ++i) {
+    ExpectSameMessage(r.frames[i], msgs[i]);
+  }
+}
+
+TEST(FrameCodecTest, EncodeRejectsOversizedBody) {
+  Message m;
+  m.type = MsgType::kFetchResponse;
+  // Don't actually allocate 256 MiB: resize without touching is enough for
+  // the size check, which runs before any copying.
+  m.body.resize(static_cast<std::size_t>(kMaxFramePayload) + 1);
+  std::vector<unsigned char> out;
+  EXPECT_THROW(EncodeFrame(m, out), std::invalid_argument);
+}
+
+// ISSUE satellite: truncate the saved stream at every byte offset. The
+// decoder must return exactly the intact frame prefix, flag the stream
+// unclean (unless the cut lands on a frame boundary), and point at the
+// offset where the torn frame starts.
+TEST(FrameCodecTest, EveryByteTruncationSweep) {
+  const auto msgs = SampleMessages();
+  const auto bytes = EncodeStream(msgs);
+
+  // Frame start offsets, for checking reported intact prefixes.
+  std::vector<std::size_t> starts;
+  {
+    std::size_t off = 0;
+    for (const Message& m : msgs) {
+      starts.push_back(off);
+      std::vector<unsigned char> one;
+      off += EncodeFrame(m, one);
+    }
+    starts.push_back(off);
+    ASSERT_EQ(off, bytes.size());
+  }
+
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    const std::span<const unsigned char> prefix(bytes.data(), cut);
+    StreamDecodeResult r;
+    ASSERT_NO_THROW(r = DecodeAll(prefix)) << "cut at " << cut;
+
+    // How many whole frames fit in the prefix?
+    std::size_t whole = 0;
+    while (whole + 1 < starts.size() && starts[whole + 1] <= cut) ++whole;
+    ASSERT_EQ(r.frames.size(), whole) << "cut at " << cut;
+    for (std::size_t i = 0; i < whole; ++i) {
+      ExpectSameMessage(r.frames[i], msgs[i]);
+    }
+
+    if (cut == starts[whole]) {
+      // The cut fell exactly between frames: a clean (shorter) stream.
+      EXPECT_TRUE(r.clean) << "cut at " << cut;
+    } else {
+      EXPECT_FALSE(r.clean) << "cut at " << cut;
+      EXPECT_FALSE(r.reason.empty()) << "cut at " << cut;
+      EXPECT_EQ(r.error_offset, starts[whole])
+          << "cut at " << cut << ": must report the torn frame's start";
+    }
+  }
+}
+
+// ISSUE satellite: flip every single byte of the stream (one at a time).
+// The magic check, length bound, and payload CRC must close every hole: no
+// flip may yield a clean decode of all frames, none may crash, and the
+// reported error offset always lands on a frame boundary at or before the
+// flipped byte.
+TEST(FrameCodecTest, SingleByteCorruptionSweep) {
+  const auto msgs = SampleMessages();
+  const auto bytes = EncodeStream(msgs);
+
+  for (std::size_t pos = 0; pos < bytes.size(); ++pos) {
+    for (const unsigned char flip : {0x01, 0x80}) {
+      std::vector<unsigned char> mutated = bytes;
+      mutated[pos] ^= flip;
+      StreamDecodeResult r;
+      ASSERT_NO_THROW(r = DecodeAll(mutated)) << "flip at " << pos;
+
+      EXPECT_FALSE(r.clean) << "flip " << int(flip) << " at " << pos
+                            << " decoded as a fully clean stream";
+      EXPECT_FALSE(r.reason.empty()) << "flip at " << pos;
+      EXPECT_LE(r.error_offset, pos) << "flip at " << pos;
+      // Every intact frame handed back must be one that was encoded, at
+      // its own position — corruption can only shorten the prefix.
+      ASSERT_LT(r.frames.size(), msgs.size() + 1);
+      for (std::size_t i = 0; i < r.frames.size(); ++i) {
+        EXPECT_EQ(r.frames[i].request_id, msgs[i].request_id)
+            << "flip at " << pos;
+      }
+    }
+  }
+}
+
+TEST(FrameDecoderTest, ByteAtATimeFeedMatchesOneShot) {
+  const auto msgs = SampleMessages();
+  const auto bytes = EncodeStream(msgs);
+  FrameDecoder dec;
+  std::vector<Message> got;
+  for (unsigned char b : bytes) {
+    dec.Feed(&b, 1);
+    for (;;) {
+      DecodeResult r = dec.Next();
+      if (r.status != DecodeStatus::kFrame) {
+        EXPECT_EQ(r.status, DecodeStatus::kNeedMore);
+        break;
+      }
+      got.push_back(std::move(r.message));
+    }
+  }
+  ASSERT_EQ(got.size(), msgs.size());
+  for (std::size_t i = 0; i < msgs.size(); ++i) {
+    ExpectSameMessage(got[i], msgs[i]);
+  }
+  EXPECT_EQ(dec.BufferedBytes(), 0u);
+  EXPECT_EQ(dec.StreamOffset(), bytes.size());
+}
+
+TEST(FrameDecoderTest, PoisonIsStickyUntilReset) {
+  const auto msgs = SampleMessages();
+  auto bytes = EncodeStream(msgs);
+  bytes[kFrameHeaderBytes + 3] ^= 0xff;  // corrupt the first payload
+
+  FrameDecoder dec;
+  dec.Feed(bytes.data(), bytes.size());
+  DecodeResult r = dec.Next();
+  EXPECT_EQ(r.status, DecodeStatus::kCorrupt);
+  EXPECT_EQ(r.offset, 0u);
+  EXPECT_FALSE(r.reason.empty());
+  EXPECT_TRUE(dec.Poisoned());
+
+  // Still poisoned on the next call, and feeding good bytes doesn't help:
+  // a framed stream can't resync after a bad frame.
+  r = dec.Next();
+  EXPECT_EQ(r.status, DecodeStatus::kCorrupt);
+  std::vector<unsigned char> good;
+  EncodeFrame(msgs[0], good);
+  dec.Feed(good.data(), good.size());
+  EXPECT_EQ(dec.Next().status, DecodeStatus::kCorrupt);
+
+  // Reset models the reconnect: the decoder accepts frames again.
+  dec.Reset();
+  EXPECT_FALSE(dec.Poisoned());
+  dec.Feed(good.data(), good.size());
+  r = dec.Next();
+  ASSERT_EQ(r.status, DecodeStatus::kFrame);
+  ExpectSameMessage(r.message, msgs[0]);
+}
+
+TEST(FrameDecoderTest, ReportsReasonsByCorruptionSite) {
+  const auto probe = [](auto mutate) {
+    std::vector<unsigned char> bytes;
+    EncodeFrame(MakeMessage(MsgType::kFetchRequest, 9, 32), bytes);
+    mutate(bytes);
+    return DecodeAll(bytes);
+  };
+
+  const auto bad_magic =
+      probe([](std::vector<unsigned char>& b) { b[0] = 'X'; });
+  EXPECT_FALSE(bad_magic.clean);
+  EXPECT_NE(bad_magic.reason.find("magic"), std::string::npos)
+      << bad_magic.reason;
+
+  const auto oversized = probe([](std::vector<unsigned char>& b) {
+    b[8] = 0xff; b[9] = 0xff; b[10] = 0xff; b[11] = 0x7f;  // len field
+  });
+  EXPECT_FALSE(oversized.clean);
+  EXPECT_NE(oversized.reason.find("limit"), std::string::npos)
+      << oversized.reason;
+
+  const auto undersized = probe([](std::vector<unsigned char>& b) {
+    b[8] = 0x03; b[9] = 0x00; b[10] = 0x00; b[11] = 0x00;
+  });
+  EXPECT_FALSE(undersized.clean);
+  EXPECT_NE(undersized.reason.find("9-byte"), std::string::npos)
+      << undersized.reason;
+
+  const auto bad_crc = probe(
+      [](std::vector<unsigned char>& b) { b[kFrameHeaderBytes + 2] ^= 1; });
+  EXPECT_FALSE(bad_crc.clean);
+  EXPECT_NE(bad_crc.reason.find("CRC"), std::string::npos) << bad_crc.reason;
+
+  // A flipped type byte fails the CRC first (the payload is covered); an
+  // unknown type behind a VALID crc needs a hand-built frame.
+  std::vector<unsigned char> raw;
+  {
+    Message m = MakeMessage(MsgType::kHello, 1, 0);
+    EncodeFrame(m, raw);
+    raw[kFrameHeaderBytes] = 0x99;  // type byte
+    // Recompute the CRC so only the type check can object.
+    const std::uint32_t crc = util::Crc32c(raw.data() + kFrameHeaderBytes,
+                                           raw.size() - kFrameHeaderBytes);
+    for (int i = 0; i < 4; ++i) {
+      raw[12 + i] = static_cast<unsigned char>((crc >> (8 * i)) & 0xff);
+    }
+  }
+  const auto unknown_type = DecodeAll(raw);
+  EXPECT_FALSE(unknown_type.clean);
+  EXPECT_NE(unknown_type.reason.find("message type"), std::string::npos)
+      << unknown_type.reason;
+}
+
+TEST(WireReaderTest, BoundsCheckedReads) {
+  WireWriter w;
+  w.PutU8(7);
+  w.PutU32(0xdeadbeef);
+  w.PutU64(0x0123456789abcdefULL);
+  w.PutString("rejections");
+
+  WireReader r(w.buf.data(), w.buf.size());
+  EXPECT_EQ(r.GetU8(), 7);
+  EXPECT_EQ(r.GetU32(), 0xdeadbeefu);
+  EXPECT_EQ(r.GetU64(), 0x0123456789abcdefULL);
+  EXPECT_EQ(r.GetString(), "rejections");
+  EXPECT_EQ(r.Remaining(), 0u);
+  EXPECT_THROW(r.GetU8(), std::runtime_error);
+
+  // A string length pointing past the end must throw, not read garbage.
+  WireWriter bad;
+  bad.PutU32(1000);
+  bad.PutU8('x');
+  WireReader r2(bad.buf.data(), bad.buf.size());
+  EXPECT_THROW(r2.GetString(), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace rejecto::net
