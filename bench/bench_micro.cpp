@@ -19,6 +19,7 @@
 #include "detect/maar.h"
 #include "detect/partition.h"
 #include "engine/cluster.h"
+#include "engine/epoch_detector.h"
 #include "engine/prefetch.h"
 #include "engine/shard_store.h"
 #include "gen/barabasi_albert.h"
@@ -27,6 +28,7 @@
 #include "graph/subgraph.h"
 #include "harness.h"
 #include "sim/scenario.h"
+#include "sim/stream_feed.h"
 #include "stream/delta_graph.h"
 #include "stream/mutation_log.h"
 #include "util/buffer.h"
@@ -836,6 +838,123 @@ void RunKernelProbes(const std::string& bench_name, bool fast) {
   rejecto::bench::AppendKernelBenchJson(records);
 }
 
+// Serving-path scoring probe: engine::EpochDetector::ScoreSenderIncremental
+// with the overlay mostly clean — the admission service's steady state,
+// where an epoch just compacted and only a trickle of post-epoch events
+// touched any node. "incr_score_overlay_old" replicates the pre-fast-path
+// kernel (every sender pays the three overlay merge walks even when its
+// rows are pure base CSR); "incr_score_fast" is the shipped kernel, whose
+// O(1) epoch-tag check sends untouched senders straight down the base CSR.
+// Divergence guard: both kernels must produce bit-identical gains for every
+// sender.
+void RunIncrementalScoreProbe(const std::string& bench_name, bool fast) {
+  const auto scenario = MakeScenario(fast ? 4'000 : 20'000, fast ? 400 : 2'000);
+  const stream::MutationLog log = sim::ToMutationLog(scenario.log);
+
+  engine::EpochConfig ecfg;
+  ecfg.events_per_epoch = 0;  // one explicit epoch below
+  ecfg.detect.target_detections = fast ? 400 : 2'000;
+  ecfg.detect.maar.seed = 23;
+  ecfg.detect.maar.num_threads = 1;
+  util::Rng seed_rng(13);
+  engine::EpochDetector det(log.NumNodes(),
+                            scenario.SampleSeeds(40, 12, seed_rng), ecfg);
+  det.IngestAll(log.Events());
+  det.RunEpoch();
+  if (!det.HasIncrementalBaseline()) {
+    std::cerr << bench_name << ": incremental probe: no baseline epoch\n";
+    std::abort();
+  }
+
+  // Post-epoch trickle: ~1% of nodes touched by fresh friendships, the
+  // rest stay on the fast path.
+  const graph::NodeId n = det.Graph().NumNodes();
+  util::Rng rng(57);
+  for (graph::NodeId i = 0; i < n / 200; ++i) {
+    const auto a = static_cast<graph::NodeId>(rng.NextUInt(n));
+    const auto b = static_cast<graph::NodeId>(rng.NextUInt(n));
+    if (a != b) det.Ingest({stream::EventType::kAddFriend, a, b});
+  }
+
+  // The retired kernel: unconditional overlay resolution, byte-for-byte
+  // the pre-fast-path walk (same side() arithmetic on the same rows).
+  const stream::DeltaGraph& delta = det.Graph();
+  const std::vector<char>& mask = det.IncrementalMask();
+  const double k = det.IncrementalK();
+  const auto side = [&](graph::NodeId v) -> bool {
+    return v < mask.size() && mask[v] != 0;
+  };
+  const auto score_old = [&](graph::NodeId s) -> detect::IncrementalScore {
+    if (side(s)) return {0.0, true};
+    std::int64_t delta_friend = 0;
+    std::int64_t delta_rej = 0;
+    delta.ForEachFriend(s, [&](graph::NodeId f) {
+      delta_friend += side(f) ? -1 : +1;
+    });
+    delta.ForEachRejector(s, [&](graph::NodeId r) {
+      if (!side(r)) ++delta_rej;
+    });
+    delta.ForEachRejectee(s, [&](graph::NodeId t) {
+      if (side(t)) --delta_rej;
+    });
+    const double gain = static_cast<double>(delta_friend) -
+                        k * static_cast<double>(delta_rej);
+    return {gain, gain < 0.0};
+  };
+
+  const int reps = fast ? 5 : 9;
+  std::vector<double> old_samples, fast_samples;
+  std::vector<double> gains_old(n), gains_fast(n);
+  for (int rep = 0; rep < reps; ++rep) {
+    util::WallTimer t_old;
+    for (graph::NodeId s = 0; s < n; ++s) gains_old[s] = score_old(s).gain;
+    old_samples.push_back(t_old.Seconds());
+
+    util::WallTimer t_fast;
+    for (graph::NodeId s = 0; s < n; ++s) {
+      gains_fast[s] = det.ScoreSenderIncremental(s).gain;
+    }
+    fast_samples.push_back(t_fast.Seconds());
+
+    if (gains_old != gains_fast) {
+      std::cerr << bench_name << ": INCREMENTAL SCORE KERNEL DIVERGED\n";
+      std::abort();
+    }
+  }
+
+  auto median_of = [](std::vector<double> samples) {
+    std::sort(samples.begin(), samples.end());
+    const std::size_t mid = samples.size() / 2;
+    if (samples.size() % 2 == 1) return samples[mid];
+    return 0.5 * (samples[mid - 1] + samples[mid]);
+  };
+  const double old_s = *std::min_element(old_samples.begin(),
+                                         old_samples.end());
+  const double fast_s = *std::min_element(fast_samples.begin(),
+                                          fast_samples.end());
+  std::vector<rejecto::bench::KernelBenchRecord> records;
+  for (const auto& [kernel, seconds, med] :
+       {std::tuple{"incr_score_overlay_old", old_s, median_of(old_samples)},
+        std::tuple{"incr_score_fast", fast_s, median_of(fast_samples)}}) {
+    rejecto::bench::KernelBenchRecord r;
+    r.bench = bench_name;
+    r.kernel = kernel;
+    r.users = static_cast<std::int64_t>(n);
+    r.edges = static_cast<std::int64_t>(
+        det.Graph().Graph().Friendships().NumEdges());
+    r.items = static_cast<std::int64_t>(n);
+    r.seconds = seconds;
+    r.seconds_median = med;
+    r.throughput = static_cast<double>(n) / std::max(seconds, 1e-9);
+    r.speedup = old_s / std::max(seconds, 1e-9);
+    std::cout << bench_name << " kernel=" << r.kernel << " items=" << r.items
+              << " seconds=" << r.seconds << " throughput=" << r.throughput
+              << " speedup=" << r.speedup << "\n";
+    records.push_back(std::move(r));
+  }
+  rejecto::bench::AppendKernelBenchJson(records);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -863,6 +982,10 @@ int main(int argc, char** argv) {
   // Kernel probes: fused-vs-unfused KL switch throughput and CSR-vs-builder
   // compaction time, appended to the same BENCH_maar.json array.
   RunKernelProbes("bench_micro", fast);
+
+  // Serving-path scoring: the epoch-tag fast path vs unconditional overlay
+  // resolution in EpochDetector::ScoreSenderIncremental.
+  RunIncrementalScoreProbe("bench_micro", fast);
 
   // Memory-layout and cold-start probes (graph/layout.h, graph/snapshot.h):
   // shuffled-vs-BFS-relaid switch throughput, plus text-vs-snapshot load

@@ -317,6 +317,30 @@ void AppendTransportBenchJson(const std::vector<TransportBenchRecord>& records) 
   AppendBenchJsonRecords(rendered);
 }
 
+void AppendAdmissionBenchJson(const std::vector<AdmissionBenchRecord>& records) {
+  std::vector<std::string> rendered;
+  rendered.reserve(records.size());
+  for (const auto& r : records) {
+    std::ostringstream os;
+    os.precision(6);
+    os << std::fixed;
+    os << "{\"bench\": \"" << r.bench << "\", \"admission\": \""
+       << r.admission << "\", \"reclaim\": \"" << r.reclaim
+       << "\", \"readers\": " << r.readers << ", \"users\": " << r.users
+       << ", \"events\": " << r.events
+       << ", \"decisions\": " << r.decisions << ", \"epochs\": " << r.epochs
+       << ", \"decisions_per_sec\": " << r.decisions_per_sec
+       << ", \"ingest_events_per_sec\": " << r.ingest_events_per_sec
+       << ", \"epoch_publish_stall_seconds\": "
+       << r.epoch_publish_stall_seconds
+       << ", \"detect_seconds\": " << r.detect_seconds
+       << ", \"p50_ns\": " << r.p50_ns << ", \"p95_ns\": " << r.p95_ns
+       << ", \"p99_ns\": " << r.p99_ns << "}";
+    rendered.push_back(os.str());
+  }
+  AppendBenchJsonRecords(rendered);
+}
+
 void RunMaarSpeedupProbe(const std::string& bench_name,
                          const graph::AugmentedGraph& g,
                          detect::MaarConfig config,

@@ -168,6 +168,34 @@ struct TransportBenchRecord {
 
 void AppendTransportBenchJson(const std::vector<TransportBenchRecord>& records);
 
+// One serving-tier mixed-load sample from bench_admission (serve/): a whole
+// AdmissionService run — ingest pressure + N reader threads deciding
+// continuously — reduced to its headline throughput and tail-latency
+// numbers, appended to the same BENCH_maar.json array (distinguished by the
+// "admission" key, which names the measured configuration, e.g.
+// "admission_hazard_r4"). The bench aborts before appending anything if its
+// divergence guard finds one concurrent decision the serial oracle does not
+// reproduce.
+struct AdmissionBenchRecord {
+  std::string bench;      // emitting binary, e.g. "bench_admission"
+  std::string admission;  // "admission_<reclaim>_r<readers>"
+  std::string reclaim;    // serve::ReclaimModeName: "hazard" / "shared_ptr"
+  int readers = 0;
+  std::int64_t users = 0;
+  std::int64_t events = 0;             // ingest events applied over the run
+  std::int64_t decisions = 0;          // admit/grey/reject verdicts issued
+  std::int64_t epochs = 0;             // detection epochs published
+  double decisions_per_sec = 0.0;      // all readers combined
+  double ingest_events_per_sec = 0.0;  // writer-thread drain rate
+  double epoch_publish_stall_seconds = 0.0;  // max snapshot cut (writer stall)
+  double detect_seconds = 0.0;               // mean off-path detection time
+  std::int64_t p50_ns = 0;  // merged reader decision latency quantiles
+  std::int64_t p95_ns = 0;
+  std::int64_t p99_ns = 0;
+};
+
+void AppendAdmissionBenchJson(const std::vector<AdmissionBenchRecord>& records);
+
 // Process peak resident set (VmHWM) and current resident set (VmRSS) from
 // /proc/self/status, in bytes; 0 where the kernel does not expose them.
 std::uint64_t PeakRssBytes();

@@ -58,6 +58,65 @@ std::size_t EpochDetector::IngestAll(std::span<const stream::Event> events) {
   return epochs;
 }
 
+EpochDetectionOutput RunEpochDetection(const graph::AugmentedGraph& g,
+                                       const detect::Seeds& seeds,
+                                       const EpochConfig& config,
+                                       const EpochWarmState& warm_in,
+                                       util::ThreadPool* pool) {
+  EpochDetectionOutput out;
+  const bool warm = config.warm_start && warm_in.valid && warm_in.k > 0.0 &&
+                    std::isfinite(warm_in.k);
+  out.warm_started = warm;
+
+  // One runner for every round; warm narrowing applies to round 0 only (the
+  // later rounds run on pruned residual graphs the previous epoch never
+  // saw). With warm off this runner is exactly the batch pipeline's.
+  int round = 0;
+  std::vector<char> warm_mask;
+  if (warm) {
+    warm_mask = warm_in.mask;
+    warm_mask.resize(g.NumNodes(), 0);  // nodes that joined since last epoch
+  }
+  const auto runner = [&](const graph::AugmentedGraph& residual,
+                          const detect::Seeds& s,
+                          const detect::MaarConfig& maar) {
+    detect::MaarConfig cell = maar;
+    if (round++ == 0 && warm) {
+      cell.extra_init = warm_mask;
+      cell.num_random_inits = config.warm_random_inits;
+      double lo = warm_in.k;
+      double hi = warm_in.k;
+      for (int i = 0; i < config.warm_k_halo; ++i) {
+        lo /= maar.k_scale;
+        hi *= maar.k_scale;
+      }
+      cell.k_min = std::max(maar.k_min, lo);
+      cell.k_max = std::min(maar.k_max, hi);
+      if (cell.k_min > cell.k_max) {  // prev k drifted outside the grid
+        cell.k_min = maar.k_min;
+        cell.k_max = maar.k_max;
+      }
+    }
+    detect::MaarSolver solver(residual, s, cell);
+    return solver.Solve(pool);
+  };
+
+  out.result =
+      detect::DetectFriendSpammers(g, seeds, config.detect, runner, pool);
+
+  if (!out.result.rounds.empty()) {
+    // Round 0 runs on the full graph, so its pre-trim detected ids are
+    // graph ids — the next epoch's warm mask.
+    out.next_warm.valid = true;
+    out.next_warm.mask.assign(g.NumNodes(), 0);
+    for (graph::NodeId v : out.result.rounds.front().detected) {
+      out.next_warm.mask[v] = 1;
+    }
+    out.next_warm.k = out.result.rounds.front().k;
+  }
+  return out;
+}
+
 const EpochStats& EpochDetector::RunEpoch() {
   EpochStats stats;
   stats.epoch = static_cast<int>(epoch_base_ + history_.size());
@@ -72,49 +131,18 @@ const EpochStats& EpochDetector::RunEpoch() {
   stats.compactions = delta_.Stats().compactions - compactions_at_last_epoch_;
 
   const graph::AugmentedGraph& g = delta_.Graph();
-  const bool warm = config_.warm_start && has_prev_ && prev_k_ > 0.0 &&
-                    std::isfinite(prev_k_);
-  stats.warm_started = warm;
-
-  // One runner for every round; warm narrowing applies to round 0 only (the
-  // later rounds run on pruned residual graphs the previous epoch never
-  // saw). With warm off this runner is exactly the batch pipeline's.
-  int round = 0;
-  std::vector<char> warm_mask;
-  if (warm) {
-    warm_mask = prev_mask_;
-    warm_mask.resize(g.NumNodes(), 0);  // nodes that joined since last epoch
-  }
-  const auto runner = [&](const graph::AugmentedGraph& residual,
-                          const detect::Seeds& s,
-                          const detect::MaarConfig& maar) {
-    detect::MaarConfig cell = maar;
-    if (round++ == 0 && warm) {
-      cell.extra_init = warm_mask;
-      cell.num_random_inits = config_.warm_random_inits;
-      double lo = prev_k_;
-      double hi = prev_k_;
-      for (int i = 0; i < config_.warm_k_halo; ++i) {
-        lo /= maar.k_scale;
-        hi *= maar.k_scale;
-      }
-      cell.k_min = std::max(maar.k_min, lo);
-      cell.k_max = std::min(maar.k_max, hi);
-      if (cell.k_min > cell.k_max) {  // prev k drifted outside the grid
-        cell.k_min = maar.k_min;
-        cell.k_max = maar.k_max;
-      }
-    }
-    detect::MaarSolver solver(residual, s, cell);
-    return solver.Solve(pool_.get());
-  };
+  EpochWarmState warm_in;
+  warm_in.valid = has_prev_;
+  warm_in.mask = prev_mask_;
+  warm_in.k = prev_k_;
 
   util::WallTimer detect_timer;
-  detect::DetectionResult result =
-      detect::DetectFriendSpammers(g, seeds_, config_.detect, runner,
-                                   pool_.get());
+  EpochDetectionOutput out =
+      RunEpochDetection(g, seeds_, config_, warm_in, pool_.get());
   stats.detect_seconds = detect_timer.Seconds();
+  stats.warm_started = out.warm_started;
 
+  detect::DetectionResult& result = out.result;
   stats.num_detected = result.detected.size();
   stats.rounds = static_cast<int>(result.rounds.size());
   stats.total_kl_runs = result.total_kl_runs;
@@ -125,13 +153,10 @@ const EpochStats& EpochDetector::RunEpoch() {
   if (!result.rounds.empty()) {
     stats.first_round_ratio = result.rounds.front().ratio;
     stats.first_round_acceptance = result.rounds.front().acceptance_rate;
-    // Round 0 runs on the full graph, so its pre-trim detected ids are
-    // graph ids — the next epoch's warm mask.
-    prev_mask_.assign(g.NumNodes(), 0);
-    for (graph::NodeId v : result.rounds.front().detected) {
-      prev_mask_[v] = 1;
-    }
-    prev_k_ = result.rounds.front().k;
+  }
+  if (out.next_warm.valid) {
+    prev_mask_ = std::move(out.next_warm.mask);
+    prev_k_ = out.next_warm.k;
     has_prev_ = true;
   }
 
@@ -166,10 +191,29 @@ detect::IncrementalScore EpochDetector::ScoreSenderIncremental(
     return {0.0, true};
   }
   std::int64_t delta_friend = 0;
+  std::int64_t delta_rej = 0;
+  const graph::AugmentedGraph& base = delta_.Graph();
+  if (s < base.NumNodes() && !delta_.OverlayTouched(s)) {
+    // Fast path: no event since the last compaction touched s, so its
+    // effective rows ARE its base CSR rows — walk them directly and skip
+    // the three overlay merge walks (same side() arithmetic, bit-identical
+    // result; the epoch-tag check is O(1)).
+    for (graph::NodeId f : base.Friendships().Neighbors(s)) {
+      delta_friend += side(f) ? -1 : +1;
+    }
+    for (graph::NodeId r : base.Rejections().Rejectors(s)) {
+      if (!side(r)) ++delta_rej;
+    }
+    for (graph::NodeId t : base.Rejections().Rejectees(s)) {
+      if (side(t)) --delta_rej;
+    }
+    const double gain = static_cast<double>(delta_friend) -
+                        prev_k_ * static_cast<double>(delta_rej);
+    return {gain, gain < 0.0};
+  }
   delta_.ForEachFriend(s, [&](graph::NodeId f) {
     delta_friend += side(f) ? -1 : +1;
   });
-  std::int64_t delta_rej = 0;
   delta_.ForEachRejector(s, [&](graph::NodeId r) {
     if (!side(r)) ++delta_rej;
   });

@@ -59,6 +59,38 @@ struct EpochConfig {
   int warm_random_inits = 0;  // random inits in a warm round-0 sweep
 };
 
+// The warm-start baton passed from one epoch's detection to the next: the
+// round-0 pre-trim cut mask (graph ids) and the ratio weight k that
+// produced it. This is also the serving layer's incremental-scoring
+// baseline (detect/incremental.h).
+struct EpochWarmState {
+  bool valid = false;       // a usable round-0 cut exists
+  std::vector<char> mask;   // indexed by graph id
+  double k = 0.0;
+};
+
+struct EpochDetectionOutput {
+  detect::DetectionResult result;
+  // The state the NEXT epoch warm-starts from (valid iff this run produced
+  // rounds); mask is sized to the detected graph's node count.
+  EpochWarmState next_warm;
+  bool warm_started = false;
+};
+
+// The detection core of one epoch, shared by EpochDetector::RunEpoch and
+// the concurrent serving layer (serve::AdmissionService runs it on a
+// background worker against an immutable snapshot while ingest continues):
+// the full iterative pipeline on the compacted graph g, with round 0
+// warm-started from `warm` when config.warm_start allows (mask seeded as
+// MaarConfig::extra_init, k sweep narrowed to config.warm_k_halo around
+// warm.k). With warm off or invalid this is EXACTLY a batch
+// DetectFriendSpammers. Pure: touches nothing but its arguments.
+EpochDetectionOutput RunEpochDetection(const graph::AugmentedGraph& g,
+                                       const detect::Seeds& seeds,
+                                       const EpochConfig& config,
+                                       const EpochWarmState& warm,
+                                       util::ThreadPool* pool);
+
 struct EpochStats {
   int epoch = 0;
   bool warm_started = false;

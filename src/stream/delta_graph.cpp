@@ -101,6 +101,7 @@ DeltaGraph::DeltaGraph(graph::AugmentedGraph base, DeltaConfig config)
   removed_out_.resize(num_nodes_);
   added_in_.resize(num_nodes_);
   removed_in_.resize(num_nodes_);
+  touch_tag_.resize(num_nodes_, 0);
 }
 
 DeltaGraph::DeltaGraph(graph::NodeId num_nodes, DeltaConfig config)
@@ -115,6 +116,7 @@ void DeltaGraph::EnsureNode(graph::NodeId u) {
   removed_out_.resize(num_nodes_);
   added_in_.resize(num_nodes_);
   removed_in_.resize(num_nodes_);
+  touch_tag_.resize(num_nodes_, 0);
 }
 
 bool DeltaGraph::BaseHasFriendship(graph::NodeId u, graph::NodeId v) const {
@@ -171,12 +173,16 @@ bool DeltaGraph::AddFriendship(graph::NodeId u, graph::NodeId v) {
     SortedErase(removed_fr_[v], u);
     overlay_size_ -= 2;
     ++num_friendships_;
+    Touch(u);
+    Touch(v);
     return true;
   }
   if (!SortedInsert(added_fr_[u], v)) return false;
   SortedInsert(added_fr_[v], u);
   overlay_size_ += 2;
   ++num_friendships_;
+  Touch(u);
+  Touch(v);
   return true;
 }
 
@@ -186,12 +192,16 @@ bool DeltaGraph::RemoveFriendship(graph::NodeId u, graph::NodeId v) {
     SortedInsert(removed_fr_[v], u);
     overlay_size_ += 2;
     --num_friendships_;
+    Touch(u);
+    Touch(v);
     return true;
   }
   if (!SortedErase(added_fr_[u], v)) return false;  // never existed
   SortedErase(added_fr_[v], u);
   overlay_size_ -= 2;
   --num_friendships_;
+  Touch(u);
+  Touch(v);
   return true;
 }
 
@@ -201,12 +211,16 @@ bool DeltaGraph::AddArc(graph::NodeId from, graph::NodeId to) {
     SortedErase(removed_in_[to], from);
     overlay_size_ -= 2;
     ++num_arcs_;
+    Touch(from);
+    Touch(to);
     return true;
   }
   if (!SortedInsert(added_out_[from], to)) return false;
   SortedInsert(added_in_[to], from);
   overlay_size_ += 2;
   ++num_arcs_;
+  Touch(from);
+  Touch(to);
   return true;
 }
 
@@ -216,12 +230,16 @@ bool DeltaGraph::RemoveArc(graph::NodeId from, graph::NodeId to) {
     SortedInsert(removed_in_[to], from);
     overlay_size_ += 2;
     --num_arcs_;
+    Touch(from);
+    Touch(to);
     return true;
   }
   if (!SortedErase(added_out_[from], to)) return false;
   SortedErase(added_in_[to], from);
   overlay_size_ -= 2;
   --num_arcs_;
+  Touch(from);
+  Touch(to);
   return true;
 }
 
@@ -350,6 +368,7 @@ void DeltaGraph::Compact() {
     removed_in_[u].clear();
   }
   overlay_size_ = 0;
+  ++overlay_gen_;  // O(1) reset of every touch tag
   base_csr_entries_ =
       static_cast<std::size_t>(2 * base_.Friendships().NumEdges()) +
       static_cast<std::size_t>(2 * base_.Rejections().NumArcs());

@@ -90,6 +90,19 @@ class DeltaGraph {
   // Pending overlay entries (added + removed, counting both mirror sides).
   std::size_t OverlaySize() const noexcept { return overlay_size_; }
 
+  // True when any event since the last compaction changed u's effective
+  // rows (either direction of any edge/arc incident to u). When false, u's
+  // effective rows are EXACTLY its base CSR rows — the incremental scorer's
+  // fast path reads the CSR directly instead of running the three merge
+  // walks. Conservative: an add later undone by a remove still reads as
+  // touched until the next compaction.
+  bool OverlayTouched(graph::NodeId u) const {
+    if (u >= num_nodes_) {
+      throw std::out_of_range("DeltaGraph: node id out of range");
+    }
+    return touch_tag_[u] == overlay_gen_;
+  }
+
   // O(deg) effective-row visitors: each visits u's current neighbors (base
   // row minus removed overlay plus added overlay) in ascending id order,
   // exactly once per neighbor. This is the seam the sub-epoch incremental
@@ -160,6 +173,7 @@ class DeltaGraph {
   }
 
   void EnsureNode(graph::NodeId u);
+  void Touch(graph::NodeId u) noexcept { touch_tag_[u] = overlay_gen_; }
   bool BaseHasFriendship(graph::NodeId u, graph::NodeId v) const;
   bool BaseHasArc(graph::NodeId from, graph::NodeId to) const;
   bool AddFriendship(graph::NodeId u, graph::NodeId v);
@@ -186,6 +200,13 @@ class DeltaGraph {
   std::vector<std::vector<graph::NodeId>> removed_out_;
   std::vector<std::vector<graph::NodeId>> added_in_;
   std::vector<std::vector<graph::NodeId>> removed_in_;
+
+  // Overlay-touch tracking for OverlayTouched(): a node is touched when its
+  // tag equals the current generation; Compact() bumps the generation, so
+  // clearing every tag is O(1). (Generation 0 is never current, so
+  // zero-initialised tags read untouched.)
+  std::vector<std::uint64_t> touch_tag_;
+  std::uint64_t overlay_gen_ = 1;
 
   DeltaStats stats_;
 };

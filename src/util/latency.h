@@ -1,0 +1,109 @@
+// Fixed-bucket latency histogram for the serving layer's tail metrics.
+//
+// A concurrent admission service cannot afford a per-decision allocation (or
+// a sorted vector of a billion samples) just to report p99, and its reader
+// threads cannot share one histogram without contending on every Record.
+// This histogram is the standard fix: a fixed 8KB table of counters bucketed
+// by magnitude — log2 major buckets (one per bit width of the sample) split
+// into kSubBuckets linear minor buckets — so Record is branch-light O(1),
+// quantile extraction is one O(buckets) scan, and the relative quantile
+// error is bounded by 1/kSubBuckets (6.25%). Each reader thread records into
+// its own instance and the collector Merge()s them: counters are plain
+// uint64, so merging is elementwise addition and needs no synchronization
+// beyond happens-before on the handoff (the unit test pins merged quantiles
+// == whole-trace quantiles).
+//
+// Values are whatever unit the caller samples in (the serving stack uses
+// nanoseconds); 0 lands in the first bucket and values past 2^63-1 clamp
+// into the last.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cstdint>
+
+namespace rejecto::util {
+
+class LatencyHistogram {
+ public:
+  static constexpr int kMajorBuckets = 64;   // one per bit width
+  static constexpr int kSubBuckets = 16;     // linear split of each octave
+  static constexpr int kNumBuckets = kMajorBuckets * kSubBuckets;
+
+  void Record(std::uint64_t value) noexcept {
+    counts_[BucketIndex(value)] += 1;
+    total_ += 1;
+  }
+
+  // Elementwise addition; the mergeability contract behind per-thread
+  // instances. `other` is unchanged.
+  void Merge(const LatencyHistogram& other) noexcept {
+    for (int i = 0; i < kNumBuckets; ++i) counts_[i] += other.counts_[i];
+    total_ += other.total_;
+  }
+
+  void Reset() noexcept {
+    counts_.fill(0);
+    total_ = 0;
+  }
+
+  std::uint64_t Count() const noexcept { return total_; }
+
+  // The value at quantile q in [0, 1] (q=0.5 -> p50), estimated as the
+  // inclusive upper bound of the bucket holding the ceil(q*N)-th smallest
+  // sample — so for every recorded sample x counted at or below the
+  // returned bound, oracle_quantile <= bound and bound <= oracle_quantile
+  // * (1 + 1/kSubBuckets) + 1 (the containment the unit test pins against
+  // a sorted-vector oracle). Returns 0 on an empty histogram.
+  std::uint64_t Quantile(double q) const noexcept {
+    if (total_ == 0) return 0;
+    q = std::clamp(q, 0.0, 1.0);
+    // rank in [1, total]: the ceil(q*N)-th smallest sample.
+    const double exact = q * static_cast<double>(total_);
+    std::uint64_t rank = static_cast<std::uint64_t>(exact);
+    if (static_cast<double>(rank) < exact) ++rank;
+    rank = std::clamp<std::uint64_t>(rank, 1, total_);
+    std::uint64_t seen = 0;
+    for (int i = 0; i < kNumBuckets; ++i) {
+      seen += counts_[i];
+      if (seen >= rank) return BucketUpperBound(i);
+    }
+    return BucketUpperBound(kNumBuckets - 1);
+  }
+
+  std::uint64_t P50() const noexcept { return Quantile(0.50); }
+  std::uint64_t P95() const noexcept { return Quantile(0.95); }
+  std::uint64_t P99() const noexcept { return Quantile(0.99); }
+
+  // Exact bucket geometry, exposed so the oracle test can assert the
+  // containment guarantee rather than an arbitrary tolerance.
+  static int BucketIndex(std::uint64_t value) noexcept {
+    if (value < kSubBuckets) {
+      // Values below one full octave of sub-buckets map linearly: one
+      // value per bucket, exact.
+      return static_cast<int>(value);
+    }
+    const int bits = 64 - std::countl_zero(value);  // >= 5 here
+    const int major = bits - 1;                     // value in [2^major, 2^(major+1))
+    const int sub =
+        static_cast<int>((value >> (major - 4)) & (kSubBuckets - 1));
+    return major * kSubBuckets + sub;
+  }
+
+  // Largest value mapping into bucket i (inclusive).
+  static std::uint64_t BucketUpperBound(int i) noexcept {
+    if (i < kSubBuckets) return static_cast<std::uint64_t>(i);
+    const int major = i / kSubBuckets;
+    const int sub = i % kSubBuckets;
+    const std::uint64_t base = std::uint64_t{1} << major;
+    const std::uint64_t width = base / kSubBuckets;  // major >= 4 => >= 1
+    return base + width * static_cast<std::uint64_t>(sub + 1) - 1;
+  }
+
+ private:
+  std::array<std::uint64_t, kNumBuckets> counts_{};
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace rejecto::util

@@ -1,0 +1,140 @@
+// util::LatencyHistogram vs a sorted-vector oracle: the bucketed quantile
+// must bound the exact quantile from above within the documented relative
+// error (1/kSubBuckets), and merging per-thread histograms must be exactly
+// equivalent to recording the whole trace into one.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "util/latency.h"
+#include "util/rng.h"
+
+namespace rejecto {
+namespace {
+
+using util::LatencyHistogram;
+
+std::uint64_t OracleQuantile(std::vector<std::uint64_t> sorted, double q) {
+  // The ceil(q*N)-th smallest sample, the same rank the histogram targets.
+  const double exact = q * static_cast<double>(sorted.size());
+  std::uint64_t rank = static_cast<std::uint64_t>(exact);
+  if (static_cast<double>(rank) < exact) ++rank;
+  rank = std::clamp<std::uint64_t>(rank, 1, sorted.size());
+  return sorted[rank - 1];
+}
+
+// A latency-shaped trace: a tight mode plus a heavy tail plus outliers.
+std::vector<std::uint64_t> LatencyTrace(std::uint64_t seed, std::size_t n) {
+  util::Rng rng(seed);
+  std::vector<std::uint64_t> v;
+  v.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double roll = rng.NextDouble();
+    if (roll < 0.80) {
+      v.push_back(50 + rng.NextUInt(200));            // the fast path
+    } else if (roll < 0.97) {
+      v.push_back(1000 + rng.NextUInt(20'000));       // contention tail
+    } else if (roll < 0.999) {
+      v.push_back(100'000 + rng.NextUInt(5'000'000));  // epoch stalls
+    } else {
+      v.push_back(rng.NextUInt(1) + (std::uint64_t{1} << 40));  // outlier
+    }
+  }
+  return v;
+}
+
+class LatencyHistogramTest : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(LatencyHistogramTest, QuantilesBoundOracleWithinBucketError) {
+  const auto trace = LatencyTrace(GetParam() * 31 + 7, 20'000);
+  LatencyHistogram h;
+  for (std::uint64_t v : trace) h.Record(v);
+  ASSERT_EQ(h.Count(), trace.size());
+
+  std::vector<std::uint64_t> sorted = trace;
+  std::sort(sorted.begin(), sorted.end());
+  for (double q : {0.0, 0.01, 0.10, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99,
+                   0.999, 1.0}) {
+    const std::uint64_t oracle = OracleQuantile(sorted, q);
+    const std::uint64_t est = h.Quantile(q);
+    // The estimate is the inclusive upper bound of the oracle sample's
+    // bucket: never below the oracle, and at most one sub-bucket above.
+    EXPECT_GE(est, oracle) << "q=" << q;
+    const double bound =
+        static_cast<double>(oracle) *
+            (1.0 + 1.0 / LatencyHistogram::kSubBuckets) +
+        1.0;
+    EXPECT_LE(static_cast<double>(est), bound) << "q=" << q;
+  }
+}
+
+TEST_P(LatencyHistogramTest, MergeEqualsWholeTrace) {
+  const auto trace = LatencyTrace(GetParam() * 101 + 3, 10'000);
+  LatencyHistogram whole;
+  LatencyHistogram shards[4];
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    whole.Record(trace[i]);
+    shards[i % 4].Record(trace[i]);
+  }
+  LatencyHistogram merged;
+  for (const LatencyHistogram& s : shards) merged.Merge(s);
+  ASSERT_EQ(merged.Count(), whole.Count());
+  for (double q : {0.01, 0.50, 0.95, 0.99, 0.999}) {
+    EXPECT_EQ(merged.Quantile(q), whole.Quantile(q)) << "q=" << q;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Traces, LatencyHistogramTest,
+                         ::testing::Range<std::uint64_t>(0, 10));
+
+TEST(LatencyHistogram, BucketGeometry) {
+  util::Rng rng(99);
+  for (int i = 0; i < 100'000; ++i) {
+    std::uint64_t v = rng();
+    v >>= rng.NextUInt(64);  // cover every magnitude
+    const int b = LatencyHistogram::BucketIndex(v);
+    ASSERT_GE(b, 0);
+    ASSERT_LT(b, LatencyHistogram::kNumBuckets);
+    // v is at most its bucket's inclusive upper bound, and above the
+    // previous bucket's (buckets partition the u64 range in order).
+    EXPECT_LE(v, LatencyHistogram::BucketUpperBound(b));
+    if (b > 0) {
+      EXPECT_GT(v, LatencyHistogram::BucketUpperBound(b - 1));
+    }
+  }
+  // The top bucket's bound must not wrap.
+  EXPECT_EQ(LatencyHistogram::BucketUpperBound(
+                LatencyHistogram::kNumBuckets - 1),
+            std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(LatencyHistogram, SmallValuesAreExact) {
+  LatencyHistogram h;
+  for (std::uint64_t v = 0; v < LatencyHistogram::kSubBuckets; ++v) {
+    EXPECT_EQ(LatencyHistogram::BucketUpperBound(
+                  LatencyHistogram::BucketIndex(v)),
+              v);
+    h.Record(v);
+  }
+  // With one sample per value, every quantile is exact.
+  EXPECT_EQ(h.Quantile(1.0), LatencyHistogram::kSubBuckets - 1);
+  EXPECT_EQ(h.Quantile(1.0 / LatencyHistogram::kSubBuckets), 0u);
+}
+
+TEST(LatencyHistogram, EmptyAndReset) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.Count(), 0u);
+  EXPECT_EQ(h.P99(), 0u);
+  h.Record(1234);
+  EXPECT_GT(h.P50(), 0u);
+  h.Reset();
+  EXPECT_EQ(h.Count(), 0u);
+  EXPECT_EQ(h.P50(), 0u);
+}
+
+}  // namespace
+}  // namespace rejecto
